@@ -1,0 +1,83 @@
+//! Criterion benches for the four EDA engines on a mid-size design,
+//! plus the Fig. 2-d ablation of simulated runtime vs vCPU count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_cloud_flow::{ExecContext, Placer, Recipe, Router, StaEngine, Synthesizer};
+use eda_cloud_netlist::generators;
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let design = generators::openpiton_design("dynamic_node").unwrap();
+    let ctx = ExecContext::with_vcpus(2);
+    let synthesizer = Synthesizer::new().with_verification(false);
+    let (netlist, _) = synthesizer.run(&design, &Recipe::balanced(), &ctx).unwrap();
+    let (placement, _) = Placer::new().run(&netlist, &ctx).unwrap();
+
+    let mut group = c.benchmark_group("stages");
+    group.sample_size(10);
+    group.bench_function("synthesis", |b| {
+        b.iter(|| {
+            black_box(
+                synthesizer
+                    .run(black_box(&design), &Recipe::balanced(), &ctx)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("placement", |b| {
+        b.iter(|| black_box(Placer::new().run(black_box(&netlist), &ctx).unwrap()));
+    });
+    group.bench_function("routing", |b| {
+        b.iter(|| {
+            black_box(
+                Router::new()
+                    .run(black_box(&netlist), &placement, &ctx)
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("sta", |b| {
+        b.iter(|| {
+            black_box(
+                StaEngine::new()
+                    .run(black_box(&netlist), &placement, &ctx)
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_routing_scaling(c: &mut Criterion) {
+    // Real wall-clock of the threaded router across thread counts — the
+    // measured companion to Fig. 3's simulated speedups.
+    let design = generators::openpiton_design("aes").unwrap();
+    let ctx1 = ExecContext::with_vcpus(1);
+    let synthesizer = Synthesizer::new().with_verification(false);
+    let (netlist, _) = synthesizer.run(&design, &Recipe::balanced(), &ctx1).unwrap();
+    let (placement, _) = Placer::new().run(&netlist, &ctx1).unwrap();
+
+    let mut group = c.benchmark_group("routing_threads");
+    group.sample_size(10);
+    for vcpus in [1u32, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(vcpus), &vcpus, |b, &v| {
+            let ctx = ExecContext::with_vcpus(v);
+            b.iter(|| black_box(Router::new().run(&netlist, &placement, &ctx).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_stages, bench_routing_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benches for the GCN stack: sparse aggregation, dense
+//! matmul, forward/backward passes, and a full training step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_cloud_gcn::{GraphSample, Matrix, ModelConfig, RuntimePredictor};
+use eda_cloud_netlist::{generators, DesignGraph};
+use std::hint::black_box;
+
+fn sample() -> GraphSample {
+    let aig = generators::openpiton_design("aes").unwrap();
+    GraphSample::new(&DesignGraph::from_aig(&aig), [100.0, 60.0, 35.0, 22.0])
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let s = sample();
+    let dense = Matrix::zeros(s.node_count(), 32);
+    c.bench_function("spmm_aes_x32", |b| {
+        b.iter(|| black_box(s.a_norm.matmul(black_box(&dense))));
+    });
+}
+
+fn bench_dense_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    for n in [64usize, 128, 256] {
+        let a = Matrix::zeros(n, n);
+        let b_mat = Matrix::identity(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(black_box(&b_mat))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let s = sample();
+    let mut group = c.benchmark_group("model");
+    group.sample_size(10);
+    for (label, config) in [("fast", ModelConfig::fast()), ("paper", ModelConfig::paper())] {
+        let model = RuntimePredictor::new(&config, 3);
+        group.bench_function(format!("forward_{label}"), |b| {
+            b.iter(|| black_box(model.predict_log(black_box(&s))));
+        });
+        group.bench_function(format!("train_step_{label}"), |b| {
+            let mut m = RuntimePredictor::new(&config, 3);
+            b.iter(|| black_box(m.train_step(black_box(&s), 1e-3)));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_spmm, bench_dense_matmul, bench_model
+}
+criterion_main!(benches);

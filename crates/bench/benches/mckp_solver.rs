@@ -1,0 +1,89 @@
+//! Criterion benches for the MCKP solver: DP cost vs budget and stage
+//! count, against the greedy and exhaustive baselines — plus the
+//! objective ablation (paper's max Σ1/p vs direct min-cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_cloud_mckp::{baselines, Choice, Objective, Problem, Solver, Stage};
+use std::hint::black_box;
+
+fn synth_problem(stages: usize, choices: usize) -> Problem {
+    let mut s = 0xDECAFu64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        s >> 33
+    };
+    Problem::new(
+        (0..stages)
+            .map(|i| {
+                Stage::new(
+                    format!("s{i}"),
+                    (0..choices)
+                        .map(|j| {
+                            Choice::new(
+                                format!("c{j}"),
+                                200 + next() % 5000,
+                                0.01 + (next() % 100) as f64 / 50.0,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+    .expect("valid")
+}
+
+fn bench_budget_scaling(c: &mut Criterion) {
+    let problem = synth_problem(4, 4);
+    let mut group = c.benchmark_group("dp_budget");
+    for budget in [10_000u64, 40_000, 160_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &budget, |b, &bud| {
+            b.iter(|| black_box(Solver::new().solve_min_cost(black_box(&problem), bud)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_stage_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_stages");
+    for stages in [4usize, 8, 16] {
+        let problem = synth_problem(stages, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| black_box(Solver::new().solve_min_cost(black_box(&problem), 30_000)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_baselines(c: &mut Criterion) {
+    let problem = synth_problem(4, 4);
+    let budget = 12_000;
+    let mut group = c.benchmark_group("solvers");
+    group.bench_function("dp_min_cost", |b| {
+        b.iter(|| black_box(Solver::new().solve_min_cost(&problem, budget)));
+    });
+    group.bench_function("dp_paper_objective", |b| {
+        b.iter(|| black_box(Solver::new().solve(&problem, budget, Objective::MaxInverseCost)));
+    });
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(baselines::greedy(&problem, budget)));
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| black_box(baselines::exhaustive_min_cost(&problem, budget)));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_budget_scaling, bench_stage_scaling, bench_vs_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Regenerates the paper's **Figure 6**: cost savings of the
+//! multi-choice knapsack deployment vs over-provisioning (8 vCPUs
+//! everywhere) and under-provisioning (1 vCPU everywhere), swept across
+//! deadline constraints. The paper reports an average saving of 35.29%.
+//!
+//! ```text
+//! cargo run -p eda-cloud-bench --bin fig6 --release
+//! cargo run -p eda-cloud-bench --bin fig6 --release -- --paper-runtimes
+//! ```
+
+use eda_cloud_bench::{experiment_design, Args};
+use eda_cloud_core::report::{pct, render_table};
+use eda_cloud_core::{CharacterizationConfig, StageRuntimes, Workflow};
+use eda_cloud_flow::StageKind;
+
+const PAPER_RUNTIMES: [(StageKind, [f64; 4]); 4] = [
+    (StageKind::Synthesis, [6100.0, 4342.0, 3449.0, 3352.0]),
+    (StageKind::Placement, [1206.0, 905.0, 644.0, 519.0]),
+    (StageKind::Routing, [10461.0, 5514.0, 2894.0, 1692.0]),
+    (StageKind::Sta, [183.0, 119.0, 90.0, 82.0]),
+];
+
+fn main() {
+    let args = Args::from_env();
+    let workflow = Workflow::with_defaults();
+
+    let runtimes: Vec<StageRuntimes> = if args.flag("paper-runtimes") {
+        println!("Figure 6 — savings with the paper's exact runtimes");
+        PAPER_RUNTIMES
+            .iter()
+            .map(|&(kind, runtimes_secs)| StageRuntimes {
+                kind,
+                runtimes_secs,
+            })
+            .collect()
+    } else {
+        let design = experiment_design(&args);
+        println!("Figure 6 — savings for measured `{}` runtimes", design.name());
+        let report = workflow
+            .characterize_design(&design, &CharacterizationConfig::paper())
+            .expect("characterization");
+        report
+            .stages
+            .iter()
+            .map(|s| {
+                let mut runtimes_secs = [0.0; 4];
+                for (k, run) in s.runs.iter().take(4).enumerate() {
+                    runtimes_secs[k] = run.report.runtime_secs;
+                }
+                StageRuntimes {
+                    kind: s.kind,
+                    runtimes_secs,
+                }
+            })
+            .collect()
+    };
+
+    let problem = workflow.deployment_problem(&runtimes).expect("problem");
+    let min_total = problem.min_total_runtime();
+
+    // Sweep deadlines from the feasibility edge up to fully relaxed.
+    let mut rows = Vec::new();
+    let mut savings_acc = Vec::new();
+    for rel in [1.0, 1.1, 1.25, 1.5, 1.77, 2.0, 2.5, 3.0] {
+        let budget = (min_total as f64 * rel).round() as u64;
+        let Some(plan) = workflow.plan_deployment(&runtimes, budget).expect("solves") else {
+            continue;
+        };
+        let s = plan.savings;
+        savings_acc.push(s.average_saving());
+        rows.push(vec![
+            format!("{budget}"),
+            format!("{:.2}", s.optimized_usd),
+            format!("{:.2}", s.over_provision_usd),
+            format!("{:.2}", s.under_provision_usd),
+            pct(s.saving_vs_over),
+            pct(s.saving_vs_under),
+            format!("{}", s.runtime_overhead_secs),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "deadline (s)",
+                "optimized ($)",
+                "over-prov ($)",
+                "under-prov ($)",
+                "saving vs over",
+                "saving vs under",
+                "runtime overhead (s)",
+            ],
+            &rows
+        )
+    );
+    let avg = savings_acc.iter().sum::<f64>() / savings_acc.len().max(1) as f64;
+    println!(
+        "average saving across constraints: {}   (paper: 35.29%)",
+        pct(avg)
+    );
+}

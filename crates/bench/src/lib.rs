@@ -1,0 +1,115 @@
+//! Shared plumbing for the reproduction binaries (`fig2`, `fig3`,
+//! `fig5`, `fig6`, `table1`) and the Criterion benches.
+//!
+//! Each binary regenerates one table or figure of the paper; see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for the
+//! recorded paper-vs-measured comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use eda_cloud_netlist::{generators, Aig};
+
+/// Minimal flag parser for the reproduction binaries: `--flag` booleans
+/// and `--key value` strings.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_bench::Args;
+///
+/// let args = Args::parse(["--smoke", "--design", "aes"].iter().map(|s| s.to_string()));
+/// assert!(args.flag("smoke"));
+/// assert_eq!(args.value("design"), Some("aes"));
+/// assert!(!args.flag("full"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    tokens: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of tokens (usually `std::env::args`).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        Self {
+            tokens: tokens.into_iter().collect(),
+        }
+    }
+
+    /// Parse from the process arguments (skipping `argv[0]`).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Whether `--name` was passed.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.tokens.iter().any(|t| t == &format!("--{name}"))
+    }
+
+    /// The token following `--name`, if any.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<&str> {
+        let key = format!("--{name}");
+        self.tokens
+            .windows(2)
+            .find(|w| w[0] == key)
+            .map(|w| w[1].as_str())
+    }
+}
+
+/// Resolve the design used by the single-design experiments: the
+/// OpenPiton-like composite named by `--design` (default `sparc_core`,
+/// or `dynamic_node` under `--smoke`).
+///
+/// # Panics
+///
+/// Panics with a clear message when the name is unknown.
+#[must_use]
+pub fn experiment_design(args: &Args) -> Aig {
+    let name = args
+        .value("design")
+        .unwrap_or(if args.flag("smoke") { "dynamic_node" } else { "sparc_core" });
+    generators::openpiton_design(name).unwrap_or_else(|| {
+        panic!(
+            "unknown design `{name}`; available: {}",
+            generators::OPENPITON_NAMES.join(", ")
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_flags_and_values() {
+        let a = Args::parse(["--x", "--k", "v", "--y"].iter().map(|s| (*s).to_owned()));
+        assert!(a.flag("x"));
+        assert!(a.flag("y"));
+        assert!(!a.flag("k2"));
+        assert_eq!(a.value("k"), Some("v"));
+        assert_eq!(a.value("missing"), None);
+    }
+
+    #[test]
+    fn default_design_is_sparc_core() {
+        let a = Args::default();
+        let d = experiment_design(&a);
+        assert_eq!(d.name(), "sparc_core");
+    }
+
+    #[test]
+    fn smoke_uses_smallest_design() {
+        let a = Args::parse(["--smoke".to_owned()]);
+        assert_eq!(experiment_design(&a).name(), "dynamic_node");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown design")]
+    fn unknown_design_panics() {
+        let a = Args::parse(["--design".to_owned(), "nope".to_owned()]);
+        let _ = experiment_design(&a);
+    }
+}

@@ -1,0 +1,221 @@
+//! Simulated VM lifecycle.
+
+use crate::{CloudError, InstanceType, Pricing};
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a provisioned VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Requested; booting until `ready_at`.
+    Pending,
+    /// Booted and accepting work.
+    Running,
+    /// Shut down; billing stopped.
+    Terminated,
+}
+
+/// A provisioned virtual machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vm {
+    /// Monotonic id assigned by the [`Provisioner`].
+    pub id: u64,
+    /// The purchased configuration.
+    pub instance: InstanceType,
+    /// Current lifecycle state.
+    pub state: VmState,
+    /// Simulation time the VM was requested.
+    pub launched_at: f64,
+    /// Simulation time the VM becomes `Running`.
+    pub ready_at: f64,
+    /// Simulation time the VM terminated (if it did).
+    pub terminated_at: Option<f64>,
+}
+
+/// What one job execution cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// VM the job ran on.
+    pub vm_id: u64,
+    /// Instance name.
+    pub instance: String,
+    /// Job runtime in seconds (excluding boot).
+    pub runtime_secs: f64,
+    /// Seconds billed (boot + runtime, rounded per the pricing rules).
+    pub billed_secs: u64,
+    /// Total cost in USD.
+    pub cost_usd: f64,
+}
+
+/// Simulated provisioning service with a virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_cloud::{Catalog, Provisioner};
+///
+/// let catalog = Catalog::aws_like();
+/// let mut cloud = Provisioner::new(catalog.pricing().clone());
+/// let vm = cloud.launch(catalog.instance("m5.large")?.clone());
+/// let record = cloud.run_job(vm, 120.0)?;
+/// assert!(record.cost_usd > 0.0);
+/// # Ok::<(), eda_cloud_cloud::CloudError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provisioner {
+    pricing: Pricing,
+    boot_secs: f64,
+    clock: f64,
+    vms: Vec<Vm>,
+}
+
+impl Provisioner {
+    /// Service with a 30-second boot time.
+    #[must_use]
+    pub fn new(pricing: Pricing) -> Self {
+        Self {
+            pricing,
+            boot_secs: 30.0,
+            clock: 0.0,
+            vms: Vec::new(),
+        }
+    }
+
+    /// Current simulation time in seconds.
+    #[must_use]
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Provisioned VMs (all states).
+    #[must_use]
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Request a VM; returns its id. The VM is `Pending` until the boot
+    /// interval elapses (advanced by [`Provisioner::run_job`] or
+    /// [`Provisioner::advance`]).
+    pub fn launch(&mut self, instance: InstanceType) -> u64 {
+        let id = self.vms.len() as u64;
+        self.vms.push(Vm {
+            id,
+            instance,
+            state: VmState::Pending,
+            launched_at: self.clock,
+            ready_at: self.clock + self.boot_secs,
+            terminated_at: None,
+        });
+        id
+    }
+
+    /// Advance the virtual clock, transitioning pending VMs that finish
+    /// booting.
+    pub fn advance(&mut self, dt_secs: f64) {
+        self.clock += dt_secs.max(0.0);
+        for vm in &mut self.vms {
+            if vm.state == VmState::Pending && self.clock >= vm.ready_at {
+                vm.state = VmState::Running;
+            }
+        }
+    }
+
+    /// Run a job of `runtime_secs` on the VM, waiting for boot first,
+    /// then terminate it and return the billing record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownVm`] for a bad id or
+    /// [`CloudError::InvalidState`] if the VM already terminated.
+    pub fn run_job(&mut self, vm_id: u64, runtime_secs: f64) -> Result<JobRecord, CloudError> {
+        let idx = usize::try_from(vm_id).map_err(|_| CloudError::UnknownVm(vm_id))?;
+        let ready_at = {
+            let vm = self.vms.get(idx).ok_or(CloudError::UnknownVm(vm_id))?;
+            if vm.state == VmState::Terminated {
+                return Err(CloudError::InvalidState {
+                    vm: vm_id,
+                    operation: "run_job",
+                });
+            }
+            vm.ready_at
+        };
+        if self.clock < ready_at {
+            let dt = ready_at - self.clock;
+            self.advance(dt);
+        }
+        self.advance(runtime_secs.max(0.0));
+        let vm = &mut self.vms[idx];
+        vm.state = VmState::Terminated;
+        vm.terminated_at = Some(self.clock);
+        // Billing runs from launch to termination (boot is billed).
+        let billed_wall = self.clock - vm.launched_at;
+        let billed_secs = self.pricing.billed_secs(billed_wall);
+        let cost_usd = self.pricing.cost_usd(&vm.instance, billed_wall);
+        Ok(JobRecord {
+            vm_id,
+            instance: vm.instance.name.clone(),
+            runtime_secs,
+            billed_secs,
+            cost_usd,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+
+    fn setup() -> (Catalog, Provisioner) {
+        let c = Catalog::aws_like();
+        let p = Provisioner::new(*c.pricing());
+        (c, p)
+    }
+
+    #[test]
+    fn lifecycle_pending_running_terminated() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("m5.large").unwrap().clone());
+        assert_eq!(cloud.vms()[0].state, VmState::Pending);
+        cloud.advance(35.0);
+        assert_eq!(cloud.vms()[0].state, VmState::Running);
+        let rec = cloud.run_job(id, 100.0).expect("runs");
+        assert_eq!(cloud.vms()[0].state, VmState::Terminated);
+        assert!(rec.billed_secs >= 100);
+    }
+
+    #[test]
+    fn boot_time_is_billed() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("m5.large").unwrap().clone());
+        let rec = cloud.run_job(id, 120.0).expect("runs");
+        assert_eq!(rec.billed_secs, 150, "30s boot + 120s job");
+    }
+
+    #[test]
+    fn terminated_vm_rejects_jobs() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("m5.large").unwrap().clone());
+        cloud.run_job(id, 10.0).expect("first run");
+        assert!(matches!(
+            cloud.run_job(id, 10.0).unwrap_err(),
+            CloudError::InvalidState { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_vm_rejected() {
+        let (_, mut cloud) = setup();
+        assert_eq!(cloud.run_job(7, 1.0).unwrap_err(), CloudError::UnknownVm(7));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("c5.large").unwrap().clone());
+        let t0 = cloud.now();
+        cloud.run_job(id, 50.0).expect("runs");
+        assert!(cloud.now() >= t0 + 80.0 - 1e-9);
+        cloud.advance(-10.0); // negative time is ignored
+        assert!(cloud.now() >= t0 + 80.0 - 1e-9);
+    }
+}

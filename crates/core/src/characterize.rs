@@ -1,0 +1,217 @@
+//! Problem 1: characterize the four applications across VM sizes.
+
+use crate::{recommended_family, WorkflowError, Workflow};
+use eda_cloud_flow::{
+    ExecContext, Placer, Recipe, Router, StaEngine, StageKind, StageReport, Synthesizer,
+};
+use eda_cloud_netlist::Aig;
+use serde::{Deserialize, Serialize};
+
+/// How to run a characterization sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationConfig {
+    /// vCPU counts to sweep (the paper uses 1, 2, 4, 8).
+    pub vcpu_sweep: Vec<u32>,
+    /// Synthesis recipe used to produce the netlist.
+    pub recipe: Recipe,
+    /// Whether synthesis runs its equivalence spot-check.
+    pub verify: bool,
+}
+
+impl CharacterizationConfig {
+    /// The paper's sweep: 1, 2, 4, 8 vCPUs with the default recipe.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            vcpu_sweep: vec![1, 2, 4, 8],
+            recipe: Recipe::balanced(),
+            verify: true,
+        }
+    }
+
+    /// A minimal sweep for tests and doc examples.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            vcpu_sweep: vec![1, 2],
+            recipe: Recipe::balanced(),
+            verify: false,
+        }
+    }
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// One stage run at one vCPU count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VcpuRun {
+    /// vCPU count of the VM.
+    pub vcpus: u32,
+    /// The stage's performance report.
+    pub report: StageReport,
+}
+
+/// A stage's full sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageCharacterization {
+    /// Which application.
+    pub kind: StageKind,
+    /// Instance-family name the sweep ran on.
+    pub family: String,
+    /// One entry per vCPU count, in sweep order.
+    pub runs: Vec<VcpuRun>,
+}
+
+impl StageCharacterization {
+    /// Speedup of each run relative to the first (1-vCPU) run.
+    #[must_use]
+    pub fn speedups(&self) -> Vec<f64> {
+        let base = self.runs.first().map_or(1.0, |r| r.report.runtime_secs);
+        self.runs
+            .iter()
+            .map(|r| base / r.report.runtime_secs)
+            .collect()
+    }
+
+    /// The run at a specific vCPU count, if it was swept.
+    #[must_use]
+    pub fn at_vcpus(&self, vcpus: u32) -> Option<&VcpuRun> {
+        self.runs.iter().find(|r| r.vcpus == vcpus)
+    }
+}
+
+/// The characterization of one design across all four stages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizationReport {
+    /// Design name.
+    pub design: String,
+    /// Cell count of the synthesized netlist.
+    pub cells: usize,
+    /// Per-stage sweeps, in flow order.
+    pub stages: Vec<StageCharacterization>,
+}
+
+impl CharacterizationReport {
+    /// Find the sweep of a given stage.
+    #[must_use]
+    pub fn stage(&self, kind: StageKind) -> Option<&StageCharacterization> {
+        self.stages.iter().find(|s| s.kind == kind)
+    }
+}
+
+impl Workflow {
+    /// Run the four-stage flow at every vCPU count in the sweep, each
+    /// stage on its recommended instance family, and collect the
+    /// counter signatures and runtimes of the paper's Figure 2.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures as [`WorkflowError::Flow`].
+    pub fn characterize_design(
+        &self,
+        design: &Aig,
+        config: &CharacterizationConfig,
+    ) -> Result<CharacterizationReport, WorkflowError> {
+        let mut stages: Vec<StageCharacterization> = StageKind::ALL
+            .iter()
+            .map(|&kind| {
+                let family = recommended_family(kind);
+                StageCharacterization {
+                    kind,
+                    family: family.to_string(),
+                    runs: Vec::new(),
+                }
+            })
+            .collect();
+
+        let synthesizer = Synthesizer::new().with_verification(config.verify);
+        let mut cells = 0;
+        for &vcpus in &config.vcpu_sweep {
+            let ctx_for = |kind: StageKind| -> ExecContext {
+                self.exec_context(kind, vcpus)
+            };
+
+            let ctx = ctx_for(StageKind::Synthesis);
+            let (netlist, syn_report) = synthesizer.run(design, &config.recipe, &ctx)?;
+            cells = netlist.cell_count();
+            stages[0].runs.push(VcpuRun {
+                vcpus,
+                report: syn_report,
+            });
+
+            let ctx = ctx_for(StageKind::Placement);
+            let (placement, place_report) = Placer::new().run(&netlist, &ctx)?;
+            stages[1].runs.push(VcpuRun {
+                vcpus,
+                report: place_report,
+            });
+
+            let ctx = ctx_for(StageKind::Routing);
+            let (_routing, route_report) = Router::new().run(&netlist, &placement, &ctx)?;
+            stages[2].runs.push(VcpuRun {
+                vcpus,
+                report: route_report,
+            });
+
+            let ctx = ctx_for(StageKind::Sta);
+            let (_timing, sta_report) = StaEngine::new().run(&netlist, &placement, &ctx)?;
+            stages[3].runs.push(VcpuRun {
+                vcpus,
+                report: sta_report,
+            });
+        }
+        Ok(CharacterizationReport {
+            design: design.name().to_owned(),
+            cells,
+            stages,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_netlist::generators;
+
+    #[test]
+    fn sweep_produces_all_stages_and_vcpus() {
+        let wf = Workflow::with_defaults();
+        let report = wf
+            .characterize_design(&generators::adder(8), &CharacterizationConfig::fast())
+            .expect("characterization runs");
+        assert_eq!(report.stages.len(), 4);
+        for stage in &report.stages {
+            assert_eq!(stage.runs.len(), 2);
+            assert_eq!(stage.runs[0].vcpus, 1);
+            assert!(stage.runs[0].report.runtime_secs > 0.0);
+        }
+        assert!(report.cells > 0);
+        assert!(report.stage(StageKind::Routing).is_some());
+    }
+
+    #[test]
+    fn placement_and_routing_run_on_memory_optimized() {
+        let wf = Workflow::with_defaults();
+        let report = wf
+            .characterize_design(&generators::adder(6), &CharacterizationConfig::fast())
+            .expect("characterization runs");
+        assert_eq!(report.stage(StageKind::Placement).unwrap().family, "memory-optimized");
+        assert_eq!(report.stage(StageKind::Sta).unwrap().family, "general-purpose");
+    }
+
+    #[test]
+    fn speedups_start_at_one() {
+        let wf = Workflow::with_defaults();
+        let report = wf
+            .characterize_design(&generators::multiplier(6), &CharacterizationConfig::fast())
+            .expect("characterization runs");
+        for stage in &report.stages {
+            let sp = stage.speedups();
+            assert!((sp[0] - 1.0).abs() < 1e-12);
+        }
+    }
+}

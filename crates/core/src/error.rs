@@ -1,0 +1,88 @@
+//! Workflow errors.
+
+use eda_cloud_cloud::CloudError;
+use eda_cloud_flow::FlowError;
+use eda_cloud_mckp::MckpError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the end-to-end workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowError {
+    /// A flow stage failed.
+    Flow(FlowError),
+    /// The cloud substrate rejected a request.
+    Cloud(CloudError),
+    /// The optimizer instance was malformed.
+    Mckp(MckpError),
+    /// The dataset builder produced no samples for a stage.
+    EmptyDataset {
+        /// The stage whose corpus came out empty.
+        stage: &'static str,
+    },
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::Flow(e) => write!(f, "flow stage failed: {e}"),
+            WorkflowError::Cloud(e) => write!(f, "cloud substrate error: {e}"),
+            WorkflowError::Mckp(e) => write!(f, "optimizer error: {e}"),
+            WorkflowError::EmptyDataset { stage } => {
+                write!(f, "dataset for stage `{stage}` is empty")
+            }
+        }
+    }
+}
+
+impl Error for WorkflowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkflowError::Flow(e) => Some(e),
+            WorkflowError::Cloud(e) => Some(e),
+            WorkflowError::Mckp(e) => Some(e),
+            WorkflowError::EmptyDataset { .. } => None,
+        }
+    }
+}
+
+impl From<FlowError> for WorkflowError {
+    fn from(e: FlowError) -> Self {
+        WorkflowError::Flow(e)
+    }
+}
+
+impl From<CloudError> for WorkflowError {
+    fn from(e: CloudError) -> Self {
+        WorkflowError::Cloud(e)
+    }
+}
+
+impl From<MckpError> for WorkflowError {
+    fn from(e: MckpError) -> Self {
+        WorkflowError::Mckp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: WorkflowError = FlowError::EmptyDesign.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("flow stage"));
+        let e: WorkflowError = MckpError::NoStages.into();
+        assert!(e.to_string().contains("optimizer"));
+        let e = WorkflowError::EmptyDataset { stage: "routing" };
+        assert!(e.to_string().contains("routing"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<WorkflowError>();
+    }
+}

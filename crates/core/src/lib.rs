@@ -1,0 +1,53 @@
+//! End-to-end workflow of the paper's Figure 1: characterize the four
+//! EDA applications on candidate VM configurations, train a GCN to
+//! predict runtimes for new designs, and optimize the deployment with a
+//! multi-choice knapsack under a deadline constraint.
+//!
+//! The [`Workflow`] type ties the substrates together:
+//!
+//! 1. [`Workflow::characterize_design`] — run synthesis / placement /
+//!    routing / STA at 1/2/4/8 vCPUs on each stage's recommended
+//!    instance family, collecting counter signatures and simulated
+//!    runtimes (Problems 1 of the paper, Figures 2-3).
+//! 2. [`dataset::DatasetBuilder`] — generate the benchmark corpus
+//!    (18 design families × synthesis recipes) and label each netlist
+//!    with per-vCPU stage runtimes (the paper's 330-netlist dataset).
+//! 3. [`predict::StagePredictors`] — one GCN per application trained on
+//!    that corpus (Problem 2, Figures 4-5).
+//! 4. [`Workflow::plan_deployment`] — map predicted runtimes and the
+//!    AWS-like pricing catalog to an MCKP instance and solve it
+//!    (Problem 3, Table I and Figure 6).
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_cloud_core::{CharacterizationConfig, Workflow};
+//! use eda_cloud_netlist::generators;
+//!
+//! let workflow = Workflow::with_defaults();
+//! let design = generators::adder(8);
+//! let report = workflow.characterize_design(&design, &CharacterizationConfig::fast())?;
+//! assert_eq!(report.stages.len(), 4);
+//! assert!(report.stages[0].runs[0].report.runtime_secs > 0.0);
+//! # Ok::<(), eda_cloud_core::WorkflowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterize;
+pub mod dataset;
+mod error;
+mod optimize;
+pub mod predict;
+mod recommend;
+pub mod report;
+mod workflow;
+
+pub use characterize::{
+    CharacterizationConfig, CharacterizationReport, StageCharacterization, VcpuRun,
+};
+pub use error::WorkflowError;
+pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
+pub use recommend::{recommended_family, recommendation_notes};
+pub use workflow::{stage_work_scale, Workflow};

@@ -1,0 +1,70 @@
+//! Instance-family recommendations (the paper's "Main Takeaways").
+
+use eda_cloud_cloud::InstanceFamily;
+use eda_cloud_flow::StageKind;
+
+/// The instance family the paper recommends for each application:
+///
+/// * Synthesis and STA "perform well on general-purpose VM instances
+///   with a balance between computations and memory access".
+/// * Placement and routing "require VM instances with higher
+///   memory-to-core ratio, with routing demanding more available L1 and
+///   LLC cache".
+#[must_use]
+pub fn recommended_family(stage: StageKind) -> InstanceFamily {
+    match stage {
+        StageKind::Synthesis | StageKind::Sta => InstanceFamily::GeneralPurpose,
+        StageKind::Placement | StageKind::Routing => InstanceFamily::MemoryOptimized,
+    }
+}
+
+/// Free-text notes accompanying the recommendation (AVX guidance and
+/// scaling caveats from the paper).
+#[must_use]
+pub fn recommendation_notes(stage: StageKind) -> &'static str {
+    match stage {
+        StageKind::Synthesis => "balanced compute/memory; limited multi-core scaling",
+        StageKind::Placement => {
+            "needs high memory-to-core ratio and an AVX-capable processor \
+             (analytical engine is vector-FP heavy)"
+        }
+        StageKind::Routing => {
+            "needs large L1/LLC cache; scales well with vCPUs on large designs, \
+             plateaus on small ones"
+        }
+        StageKind::Sta => "general-purpose instances; benefits from AVX hardware",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_match_paper_table1_headers() {
+        // Table I runs synthesis and STA on general-purpose VMs and
+        // placement and routing on memory-optimized VMs.
+        assert_eq!(
+            recommended_family(StageKind::Synthesis),
+            InstanceFamily::GeneralPurpose
+        );
+        assert_eq!(
+            recommended_family(StageKind::Placement),
+            InstanceFamily::MemoryOptimized
+        );
+        assert_eq!(
+            recommended_family(StageKind::Routing),
+            InstanceFamily::MemoryOptimized
+        );
+        assert_eq!(
+            recommended_family(StageKind::Sta),
+            InstanceFamily::GeneralPurpose
+        );
+    }
+
+    #[test]
+    fn notes_mention_avx_for_placement() {
+        assert!(recommendation_notes(StageKind::Placement).contains("AVX"));
+        assert!(recommendation_notes(StageKind::Routing).contains("cache"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The workflow façade.
+
+use crate::recommended_family;
+use eda_cloud_cloud::Catalog;
+use eda_cloud_flow::{ExecContext, StageKind};
+use eda_cloud_perf::MachineModel;
+
+/// Base calibration constant bridging this reproduction's lightweight
+/// engines to commercial-flow runtimes (see `DESIGN.md`).
+pub(crate) const DEFAULT_WORK_SCALE: f64 = 1.0;
+
+/// Per-stage calibration on top of [`DEFAULT_WORK_SCALE`]: each engine
+/// under-models a different share of its commercial counterpart's work
+/// (a production synthesis tool runs orders of magnitude more
+/// optimization than our three passes; our router is closer to the real
+/// thing). Chosen so the `sparc_core` composite lands at the paper's
+/// Table-I runtime magnitudes at 1 vCPU (synthesis 6100 s, placement
+/// 1206 s, routing 10461 s, STA 183 s). A per-stage constant cannot
+/// change any speedup, ordering, or knapsack-selection *shape* — only
+/// absolute seconds.
+#[must_use]
+pub fn stage_work_scale(stage: StageKind) -> f64 {
+    match stage {
+        StageKind::Synthesis => 7_300_000.0,
+        StageKind::Placement => 1_330.0,
+        StageKind::Routing => 2_420.0,
+        StageKind::Sta => 20_000.0,
+    }
+}
+
+/// The top-level entry point tying catalog, cost model, and flow
+/// engines together.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_core::Workflow;
+///
+/// let workflow = Workflow::with_defaults();
+/// assert!(workflow.catalog().instances().len() >= 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    catalog: Catalog,
+    model: MachineModel,
+}
+
+impl Workflow {
+    /// Workflow over the AWS-like catalog and the calibrated cost model.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self {
+            catalog: Catalog::aws_like(),
+            model: MachineModel::with_work_scale(DEFAULT_WORK_SCALE),
+        }
+    }
+
+    /// Replace the instance catalog.
+    #[must_use]
+    pub fn with_catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = catalog;
+        self
+    }
+
+    /// Replace the machine cost model.
+    #[must_use]
+    pub fn with_model(mut self, model: MachineModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// The instance catalog in use.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The machine cost model in use.
+    #[must_use]
+    pub fn model(&self) -> &MachineModel {
+        &self.model
+    }
+
+    /// Execution context for running `stage` at `vcpus` on the stage's
+    /// recommended instance family.
+    #[must_use]
+    pub fn exec_context(&self, stage: StageKind, vcpus: u32) -> ExecContext {
+        let family = recommended_family(stage);
+        let machine = self
+            .catalog
+            .cheapest_with(family, vcpus)
+            .map(|i| {
+                let mut cfg = i.machine_config();
+                // The sweep emulates a VM of exactly `vcpus`, even when
+                // the purchasable size is larger.
+                cfg.vcpus = vcpus;
+                cfg.mem_bw_gbps = cfg.mem_bw_gbps / f64::from(i.vcpus) * f64::from(vcpus);
+                cfg
+            })
+            .unwrap_or_else(|| eda_cloud_perf::MachineConfig::vcpus(vcpus));
+        let model = eda_cloud_perf::MachineModel {
+            work_scale: self.model.work_scale * stage_work_scale(stage),
+            ..self.model
+        };
+        ExecContext::new(machine).with_model(model)
+    }
+}
+
+impl Default for Workflow {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_follow_recommendations() {
+        let wf = Workflow::with_defaults();
+        let syn = wf.exec_context(StageKind::Synthesis, 4);
+        let place = wf.exec_context(StageKind::Placement, 4);
+        assert_eq!(syn.machine.vcpus, 4);
+        assert_eq!(place.machine.vcpus, 4);
+        // Memory-optimized has more bandwidth per vCPU.
+        assert!(place.machine.mem_bw_gbps > syn.machine.mem_bw_gbps);
+    }
+
+    #[test]
+    fn work_scale_applied_per_stage() {
+        let wf = Workflow::with_defaults();
+        let ctx = wf.exec_context(StageKind::Routing, 1);
+        assert_eq!(
+            ctx.model.work_scale,
+            wf.model().work_scale * stage_work_scale(StageKind::Routing)
+        );
+        // Synthesis is scaled harder than routing (its engine models a
+        // smaller share of the commercial tool's work).
+        assert!(
+            stage_work_scale(StageKind::Synthesis) > stage_work_scale(StageKind::Routing)
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Execution context shared by all stages.
+
+use eda_cloud_perf::{MachineConfig, MachineModel, PerfProbe};
+
+/// Where and how a flow stage executes: the target machine configuration
+/// plus the calibrated cost model converting counted work into seconds.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_flow::ExecContext;
+///
+/// let ctx = ExecContext::with_vcpus(4);
+/// assert_eq!(ctx.machine.vcpus, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecContext {
+    /// The VM configuration the job runs on.
+    pub machine: MachineConfig,
+    /// Cost model (cycle weights, scaling efficiency, work scale).
+    pub model: MachineModel,
+    /// Number of OS threads stages may really spawn for measured
+    /// parallelism (capped at `machine.vcpus`).
+    pub real_threads: usize,
+}
+
+impl ExecContext {
+    /// Context for a general-purpose VM with `vcpus` cores.
+    #[must_use]
+    pub fn with_vcpus(vcpus: u32) -> Self {
+        Self::new(MachineConfig::vcpus(vcpus))
+    }
+
+    /// Context for an explicit machine configuration.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> Self {
+        Self {
+            machine,
+            model: MachineModel::default(),
+            real_threads: machine.vcpus as usize,
+        }
+    }
+
+    /// Replace the cost model (e.g. to apply a work-scale calibration).
+    #[must_use]
+    pub fn with_model(mut self, model: MachineModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// A fresh probe wired to this machine's cache hierarchy and AVX
+    /// capability.
+    #[must_use]
+    pub fn probe(&self) -> PerfProbe {
+        PerfProbe::for_machine(&self.machine)
+    }
+
+    /// Threads a stage should actually spawn (at least one).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.real_threads.clamp(1, (self.machine.vcpus as usize).max(1))
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self::with_vcpus(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_single_core() {
+        let ctx = ExecContext::default();
+        assert_eq!(ctx.machine.vcpus, 1);
+        assert_eq!(ctx.threads(), 1);
+    }
+
+    #[test]
+    fn probe_matches_machine() {
+        let ctx = ExecContext::with_vcpus(2);
+        let p = ctx.probe();
+        assert!(p.avx_available());
+    }
+
+    #[test]
+    fn threads_clamped_to_vcpus() {
+        let mut ctx = ExecContext::with_vcpus(2);
+        ctx.real_threads = 64;
+        assert_eq!(ctx.threads(), 2);
+        ctx.real_threads = 0;
+        assert_eq!(ctx.threads(), 1);
+    }
+}

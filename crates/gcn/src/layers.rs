@@ -1,0 +1,304 @@
+//! Network layers with manual backpropagation.
+
+use crate::{Matrix, SparseMatrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One graph-convolution layer implementing the paper's Equation (2):
+///
+/// `H' = ReLU( Ā·H·W  +  H·B )`
+///
+/// where `Ā` is the mean-aggregation operator over each node's
+/// neighbors, `W` the aggregation weights, and `B` the self-loop
+/// weights. Both are trainable and shared across all nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GcnLayer {
+    /// Aggregation weight matrix (`in x out`).
+    pub w: Matrix,
+    /// Self-term weight matrix (`in x out`).
+    pub b: Matrix,
+}
+
+/// Cached forward state needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct GcnCache {
+    /// Input activations `H`.
+    pub input: Matrix,
+    /// Aggregated input `Ā·H`.
+    pub aggregated: Matrix,
+    /// Pre-activation `Z`.
+    pub pre_activation: Matrix,
+}
+
+/// Parameter gradients of one GCN layer.
+#[derive(Debug, Clone)]
+pub struct GcnGrads {
+    /// `∂L/∂W`.
+    pub dw: Matrix,
+    /// `∂L/∂B`.
+    pub db: Matrix,
+}
+
+impl GcnLayer {
+    /// Xavier-initialized layer.
+    #[must_use]
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Self {
+            w: Matrix::xavier(in_dim, out_dim, rng),
+            b: Matrix::xavier(in_dim, out_dim, rng),
+        }
+    }
+
+    /// Forward pass; returns activations and the cache for backward.
+    #[must_use]
+    pub fn forward(&self, a_norm: &SparseMatrix, input: &Matrix) -> (Matrix, GcnCache) {
+        let aggregated = a_norm.matmul(input);
+        let pre_activation = aggregated.matmul(&self.w).add(&input.matmul(&self.b));
+        let out = pre_activation.relu();
+        (
+            out,
+            GcnCache {
+                input: input.clone(),
+                aggregated,
+                pre_activation,
+            },
+        )
+    }
+
+    /// Backward pass: given `∂L/∂H'`, produce parameter gradients and
+    /// `∂L/∂H` for the upstream layer.
+    #[must_use]
+    pub fn backward(
+        &self,
+        a_norm: &SparseMatrix,
+        cache: &GcnCache,
+        grad_out: &Matrix,
+    ) -> (GcnGrads, Matrix) {
+        let dz = grad_out.relu_backward(&cache.pre_activation);
+        let dw = cache.aggregated.transpose().matmul(&dz);
+        let db = cache.input.transpose().matmul(&dz);
+        // dH = Āᵀ (dZ Wᵀ) + dZ Bᵀ
+        let dzw = dz.matmul(&self.w.transpose());
+        let dh = a_norm.matmul_transposed(&dzw).add(&dz.matmul(&self.b.transpose()));
+        (GcnGrads { dw, db }, dh)
+    }
+
+    /// Flatten parameters for the optimizer: `[W, B]`.
+    pub fn params_mut(&mut self) -> [&mut Matrix; 2] {
+        [&mut self.w, &mut self.b]
+    }
+}
+
+/// A fully connected layer `y = x·W + bias`, with optional ReLU handled
+/// by the caller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weights (`in x out`).
+    pub w: Matrix,
+    /// Bias (`1 x out`).
+    pub bias: Matrix,
+}
+
+/// Cached forward state of a dense layer.
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// Layer input.
+    pub input: Matrix,
+}
+
+/// Parameter gradients of a dense layer.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// `∂L/∂W`.
+    pub dw: Matrix,
+    /// `∂L/∂bias`.
+    pub dbias: Matrix,
+}
+
+impl DenseLayer {
+    /// Xavier-initialized layer with zero bias.
+    #[must_use]
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Self {
+            w: Matrix::xavier(in_dim, out_dim, rng),
+            bias: Matrix::zeros(1, out_dim),
+        }
+    }
+
+    /// Forward pass (`rows` of `input` are independent samples).
+    #[must_use]
+    pub fn forward(&self, input: &Matrix) -> (Matrix, DenseCache) {
+        let mut out = input.matmul(&self.w);
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + self.bias.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        (
+            out,
+            DenseCache {
+                input: input.clone(),
+            },
+        )
+    }
+
+    /// Backward pass: returns gradients and `∂L/∂input`.
+    #[must_use]
+    pub fn backward(&self, cache: &DenseCache, grad_out: &Matrix) -> (DenseGrads, Matrix) {
+        let dw = cache.input.transpose().matmul(grad_out);
+        let dbias = grad_out.sum_rows();
+        let dinput = grad_out.matmul(&self.w.transpose());
+        (DenseGrads { dw, dbias }, dinput)
+    }
+
+    /// Flatten parameters for the optimizer: `[W, bias]`.
+    pub fn params_mut(&mut self) -> [&mut Matrix; 2] {
+        [&mut self.w, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_graph() -> SparseMatrix {
+        // 3 nodes: 0 -> 2, 1 -> 2 (node 2 averages its two fanins).
+        SparseMatrix::from_triplets(3, 3, &[(2, 0, 0.5), (2, 1, 0.5)])
+    }
+
+    #[test]
+    fn gcn_forward_aggregates_neighbors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut layer = GcnLayer::new(1, 1, &mut rng);
+        // Make weights identity-ish: W = 1, B = 0.
+        layer.w = Matrix::from_rows(&[&[1.0]]);
+        layer.b = Matrix::from_rows(&[&[0.0]]);
+        let x = Matrix::from_rows(&[&[2.0], &[4.0], &[100.0]]);
+        let (out, _) = layer.forward(&tiny_graph(), &x);
+        // Node 2 receives mean(2, 4) = 3; nodes 0, 1 have no fanins.
+        assert_eq!(out.get(2, 0), 3.0);
+        assert_eq!(out.get(0, 0), 0.0);
+    }
+
+    /// Numerical gradient check: the analytic backward pass must match
+    /// finite differences on every parameter.
+    #[test]
+    fn gcn_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let layer = GcnLayer::new(2, 2, &mut rng);
+        let a = tiny_graph();
+        let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.3], &[-0.2, 0.8]]);
+        // Loss = sum of outputs (grad_out = ones).
+        let loss = |l: &GcnLayer| -> f64 {
+            let (out, _) = l.forward(&a, &x);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&a, &x);
+        let ones = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        let (grads, _) = layer.backward(&a, &cache, &ones);
+
+        let eps = 1e-6;
+        for (pick_grad, name) in [(0usize, "w"), (1, "b")] {
+            for r in 0..2 {
+                for c in 0..2 {
+                    let mut plus = layer.clone();
+                    let mut minus = layer.clone();
+                    let (p, m) = if pick_grad == 0 {
+                        (&mut plus.w, &mut minus.w)
+                    } else {
+                        (&mut plus.b, &mut minus.b)
+                    };
+                    p.set(r, c, p.get(r, c) + eps);
+                    m.set(r, c, m.get(r, c) - eps);
+                    let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                    let analytic = if pick_grad == 0 {
+                        grads.dw.get(r, c)
+                    } else {
+                        grads.db.get(r, c)
+                    };
+                    assert!(
+                        (numeric - analytic).abs() < 1e-5,
+                        "{name}[{r}][{c}]: numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_input_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let layer = GcnLayer::new(2, 2, &mut rng);
+        let a = tiny_graph();
+        let x = Matrix::from_rows(&[&[0.5, -1.0], &[1.5, 0.3], &[-0.2, 0.8]]);
+        let loss = |x: &Matrix| -> f64 {
+            let (out, _) = layer.forward(&a, x);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&a, &x);
+        let ones = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        let (_, dx) = layer.backward(&a, &cache, &ones);
+        let eps = 1e-6;
+        for r in 0..3 {
+            for c in 0..2 {
+                let mut plus = x.clone();
+                let mut minus = x.clone();
+                plus.set(r, c, plus.get(r, c) + eps);
+                minus.set(r, c, minus.get(r, c) - eps);
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                assert!(
+                    (numeric - dx.get(r, c)).abs() < 1e-5,
+                    "x[{r}][{c}]: numeric {numeric} vs analytic {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_gradients_match_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let layer = DenseLayer::new(3, 2, &mut rng);
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 0.5]]);
+        let loss = |l: &DenseLayer| -> f64 {
+            let (out, _) = l.forward(&x);
+            out.data().iter().sum()
+        };
+        let (out, cache) = layer.forward(&x);
+        let ones = Matrix::from_vec(1, out.cols(), vec![1.0; out.cols()]);
+        let (grads, _) = layer.backward(&cache, &ones);
+        let eps = 1e-6;
+        for r in 0..3 {
+            for c in 0..2 {
+                let mut plus = layer.clone();
+                plus.w.set(r, c, plus.w.get(r, c) + eps);
+                let mut minus = layer.clone();
+                minus.w.set(r, c, minus.w.get(r, c) - eps);
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                assert!((numeric - grads.dw.get(r, c)).abs() < 1e-5);
+            }
+        }
+        for c in 0..2 {
+            let mut plus = layer.clone();
+            plus.bias.set(0, c, plus.bias.get(0, c) + eps);
+            let mut minus = layer.clone();
+            minus.bias.set(0, c, minus.bias.get(0, c) - eps);
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+            assert!((numeric - grads.dbias.get(0, c)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dense_bias_applied_per_row() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut layer = DenseLayer::new(1, 1, &mut rng);
+        layer.w = Matrix::from_rows(&[&[2.0]]);
+        layer.bias = Matrix::from_rows(&[&[10.0]]);
+        let (out, _) = layer.forward(&Matrix::from_rows(&[&[1.0], &[3.0]]));
+        assert_eq!(out.get(0, 0), 12.0);
+        assert_eq!(out.get(1, 0), 16.0);
+    }
+}

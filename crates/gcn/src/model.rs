@@ -1,0 +1,467 @@
+//! The runtime-prediction model (paper Figure 4).
+
+use crate::adam::Adam;
+use crate::layers::{DenseLayer, GcnLayer};
+use crate::{GraphSample, Matrix};
+use eda_cloud_netlist::FEATURE_DIM;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Model architecture hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Output width of each GCN layer, in order.
+    pub gcn_dims: Vec<usize>,
+    /// Width of the fully connected layer after pooling.
+    pub fc_dim: usize,
+}
+
+impl ModelConfig {
+    /// The paper's architecture: 2 GCN layers with 256 and 128 hidden
+    /// units, then one 128-unit fully connected layer.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            gcn_dims: vec![256, 128],
+            fc_dim: 128,
+        }
+    }
+
+    /// A small configuration for unit tests and quick benches.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            gcn_dims: vec![32, 16],
+            fc_dim: 16,
+        }
+    }
+
+    /// Single-GCN-layer ablation of the given width.
+    #[must_use]
+    pub fn shallow(width: usize) -> Self {
+        Self {
+            gcn_dims: vec![width],
+            fc_dim: width,
+        }
+    }
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The four-output runtime regressor: GCN layers → scaled sum-pooling →
+/// FC(ReLU) → linear head predicting `ln(runtime)` on 1/2/4/8 vCPUs.
+///
+/// Sum-pooling follows the paper; the pooled vector is scaled by
+/// `1/√n` so corpora whose designs span several orders of magnitude in
+/// node count keep activations in a trainable range (the scale factor
+/// still grows with design size, preserving the size signal).
+#[derive(Debug, Clone)]
+pub struct RuntimePredictor {
+    gcn: Vec<GcnLayer>,
+    fc: DenseLayer,
+    head: DenseLayer,
+    adam: Vec<Adam>,
+    config: ModelConfig,
+}
+
+impl RuntimePredictor {
+    /// Initialize with Xavier weights from a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has no GCN layers.
+    #[must_use]
+    pub fn new(config: &ModelConfig, seed: u64) -> Self {
+        assert!(!config.gcn_dims.is_empty(), "need at least one GCN layer");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut gcn = Vec::new();
+        let mut in_dim = FEATURE_DIM;
+        for &out_dim in &config.gcn_dims {
+            gcn.push(GcnLayer::new(in_dim, out_dim, &mut rng));
+            in_dim = out_dim;
+        }
+        let fc = DenseLayer::new(in_dim, config.fc_dim, &mut rng);
+        let head = DenseLayer::new(config.fc_dim, 4, &mut rng);
+        let mut adam = Vec::new();
+        for layer in &gcn {
+            adam.push(Adam::new(layer.w.rows(), layer.w.cols()));
+            adam.push(Adam::new(layer.b.rows(), layer.b.cols()));
+        }
+        for layer in [&fc, &head] {
+            adam.push(Adam::new(layer.w.rows(), layer.w.cols()));
+            adam.push(Adam::new(layer.bias.rows(), layer.bias.cols()));
+        }
+        Self {
+            gcn,
+            fc,
+            head,
+            adam,
+            config: config.clone(),
+        }
+    }
+
+    /// The architecture this model was built with.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// Predicted `ln(runtime)` for 1/2/4/8 vCPUs.
+    #[must_use]
+    pub fn predict_log(&self, sample: &GraphSample) -> [f64; 4] {
+        let (out, _) = self.forward(sample);
+        [out.get(0, 0), out.get(0, 1), out.get(0, 2), out.get(0, 3)]
+    }
+
+    /// Predicted runtimes in seconds for 1/2/4/8 vCPUs.
+    #[must_use]
+    pub fn predict_secs(&self, sample: &GraphSample) -> [f64; 4] {
+        self.predict_log(sample).map(f64::exp)
+    }
+
+    /// Predicted speedups of 2/4/8 vCPUs over 1 vCPU (the paper derives
+    /// speedup gains from the four predictions).
+    #[must_use]
+    pub fn predict_speedups(&self, sample: &GraphSample) -> [f64; 3] {
+        let t = self.predict_secs(sample);
+        [t[0] / t[1], t[0] / t[2], t[0] / t[3]]
+    }
+
+    /// MSE loss (in log space) on one sample.
+    #[must_use]
+    pub fn loss(&self, sample: &GraphSample) -> f64 {
+        let pred = self.predict_log(sample);
+        pred.iter()
+            .zip(&sample.log_targets)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            / 4.0
+    }
+
+    /// One Adam step on one sample; returns the pre-step loss.
+    pub fn train_step(&mut self, sample: &GraphSample, lr: f64) -> f64 {
+        let (out, caches) = self.forward(sample);
+        let ForwardCaches {
+            gcn_caches,
+            pooled_scale,
+            fc_cache,
+            fc_pre,
+            head_cache,
+            last_gcn_rows,
+        } = caches;
+
+        // Loss and output gradient.
+        let mut loss = 0.0;
+        let mut dout = Matrix::zeros(1, 4);
+        for c in 0..4 {
+            let diff = out.get(0, c) - sample.log_targets[c];
+            loss += diff * diff / 4.0;
+            dout.set(0, c, 2.0 * diff / 4.0);
+        }
+
+        // Backward through head and FC.
+        let (head_grads, dfc_out) = self.head.backward(&head_cache, &dout);
+        let dfc_pre = dfc_out.relu_backward(&fc_pre);
+        let (fc_grads, dpooled) = self.fc.backward(&fc_cache, &dfc_pre);
+
+        // Un-pool: every node row receives the pooled gradient times the
+        // scale factor.
+        let cols = dpooled.cols();
+        let mut dh = Matrix::zeros(last_gcn_rows, cols);
+        for r in 0..last_gcn_rows {
+            for c in 0..cols {
+                dh.set(r, c, dpooled.get(0, c) * pooled_scale);
+            }
+        }
+
+        // Backward through the GCN stack.
+        let mut gcn_grads = Vec::with_capacity(self.gcn.len());
+        let mut grad = dh;
+        for (layer, cache) in self.gcn.iter().zip(&gcn_caches).rev() {
+            let (grads, dinput) = layer.backward(&sample.a_norm, cache, &grad);
+            gcn_grads.push(grads);
+            grad = dinput;
+        }
+        gcn_grads.reverse();
+
+        // Adam updates, in the same order the states were allocated.
+        let mut k = 0;
+        for (layer, grads) in self.gcn.iter_mut().zip(&gcn_grads) {
+            self.adam[k].step(&mut layer.w, &grads.dw, lr);
+            self.adam[k + 1].step(&mut layer.b, &grads.db, lr);
+            k += 2;
+        }
+        self.adam[k].step(&mut self.fc.w, &fc_grads.dw, lr);
+        self.adam[k + 1].step(&mut self.fc.bias, &fc_grads.dbias, lr);
+        self.adam[k + 2].step(&mut self.head.w, &head_grads.dw, lr);
+        self.adam[k + 3].step(&mut self.head.bias, &head_grads.dbias, lr);
+        loss
+    }
+
+    fn forward(&self, sample: &GraphSample) -> (Matrix, ForwardCaches) {
+        let mut h = sample.features.clone();
+        let mut gcn_caches = Vec::with_capacity(self.gcn.len());
+        for layer in &self.gcn {
+            let (next, cache) = layer.forward(&sample.a_norm, &h);
+            gcn_caches.push(cache);
+            h = next;
+        }
+        let n = h.rows();
+        let pooled_scale = 1.0 / (n as f64).sqrt();
+        let mut pooled = h.sum_rows();
+        for v in pooled.data_mut() {
+            *v *= pooled_scale;
+        }
+        let (fc_pre, fc_cache) = self.fc.forward(&pooled);
+        let fc_act = fc_pre.relu();
+        let (out, head_cache) = self.head.forward(&fc_act);
+        (
+            out,
+            ForwardCaches {
+                gcn_caches,
+                pooled_scale,
+                fc_cache,
+                fc_pre,
+                head_cache,
+                last_gcn_rows: n,
+            },
+        )
+    }
+}
+
+struct ForwardCaches {
+    gcn_caches: Vec<crate::layers::GcnCache>,
+    pooled_scale: f64,
+    fc_cache: crate::layers::DenseCache,
+    fc_pre: Matrix,
+    head_cache: crate::layers::DenseCache,
+    last_gcn_rows: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_netlist::{generators, DesignGraph};
+
+    fn sample() -> GraphSample {
+        let g = DesignGraph::from_aig(&generators::adder(4));
+        GraphSample::new(&g, [100.0, 60.0, 40.0, 30.0])
+    }
+
+    #[test]
+    fn training_reduces_loss_on_one_sample() {
+        let s = sample();
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 42);
+        let initial = model.loss(&s);
+        for _ in 0..200 {
+            model.train_step(&s, 1e-2);
+        }
+        let fin = model.loss(&s);
+        assert!(fin < initial * 0.1, "loss {initial} -> {fin}");
+    }
+
+    #[test]
+    fn overfit_single_sample_recovers_targets() {
+        let s = sample();
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 1);
+        for _ in 0..800 {
+            model.train_step(&s, 1e-2);
+        }
+        let pred = model.predict_secs(&s);
+        for (p, t) in pred.iter().zip(&s.targets_secs) {
+            let ape = (p - t).abs() / t;
+            assert!(ape < 0.10, "pred {p} vs target {t}");
+        }
+    }
+
+    #[test]
+    fn speedups_derived_from_predictions() {
+        let s = sample();
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 1);
+        for _ in 0..800 {
+            model.train_step(&s, 1e-2);
+        }
+        let sp = model.predict_speedups(&s);
+        // Targets: 100/60, 100/40, 100/30.
+        assert!((sp[0] - 100.0 / 60.0).abs() < 0.3);
+        assert!((sp[2] - 100.0 / 30.0).abs() < 0.6);
+    }
+
+    #[test]
+    fn distinct_graphs_get_distinct_predictions() {
+        let s1 = sample();
+        let g2 = DesignGraph::from_aig(&generators::multiplier(6));
+        let s2 = GraphSample::new(&g2, [900.0, 500.0, 300.0, 200.0]);
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 5);
+        for _ in 0..600 {
+            model.train_step(&s1, 5e-3);
+            model.train_step(&s2, 5e-3);
+        }
+        let p1 = model.predict_secs(&s1)[0];
+        let p2 = model.predict_secs(&s2)[0];
+        assert!(p2 > 2.0 * p1, "model must separate designs: {p1} vs {p2}");
+    }
+
+    #[test]
+    fn paper_config_shapes() {
+        let model = RuntimePredictor::new(&ModelConfig::paper(), 0);
+        assert_eq!(model.config().gcn_dims, vec![256, 128]);
+        assert_eq!(model.gcn.len(), 2);
+        assert_eq!(model.head.w.cols(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GCN layer")]
+    fn empty_config_panics() {
+        let cfg = ModelConfig {
+            gcn_dims: vec![],
+            fc_dim: 8,
+        };
+        let _ = RuntimePredictor::new(&cfg, 0);
+    }
+}
+
+/// Error returned when loading serialized weights fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadWeightsError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LoadWeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot load model weights: {}", self.message)
+    }
+}
+
+impl std::error::Error for LoadWeightsError {}
+
+impl RuntimePredictor {
+    /// Serialize all trainable parameters as a plain-text document
+    /// (architecture header + one line of numbers per tensor). Optimizer
+    /// state is not saved; a loaded model predicts but restarts Adam if
+    /// trained further.
+    #[must_use]
+    pub fn save_weights(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let dims: Vec<String> = self.config.gcn_dims.iter().map(|d| d.to_string()).collect();
+        let _ = writeln!(out, "gcn-runtime-predictor v1");
+        let _ = writeln!(out, "gcn_dims {}", dims.join(" "));
+        let _ = writeln!(out, "fc_dim {}", self.config.fc_dim);
+        let mut dump = |label: &str, m: &Matrix| {
+            let _ = write!(out, "{label} {} {}", m.rows(), m.cols());
+            for v in m.data() {
+                let _ = write!(out, " {v:e}");
+            }
+            let _ = writeln!(out);
+        };
+        for (i, layer) in self.gcn.iter().enumerate() {
+            dump(&format!("gcn{i}.w"), &layer.w);
+            dump(&format!("gcn{i}.b"), &layer.b);
+        }
+        dump("fc.w", &self.fc.w);
+        dump("fc.bias", &self.fc.bias);
+        dump("head.w", &self.head.w);
+        dump("head.bias", &self.head.bias);
+        out
+    }
+
+    /// Load parameters produced by [`RuntimePredictor::save_weights`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadWeightsError`] on version/shape mismatches or
+    /// unparsable numbers.
+    pub fn load_weights(text: &str) -> Result<Self, LoadWeightsError> {
+        let err = |m: &str| LoadWeightsError { message: m.to_owned() };
+        let mut lines = text.lines();
+        if lines.next() != Some("gcn-runtime-predictor v1") {
+            return Err(err("unknown header"));
+        }
+        let dims_line = lines.next().ok_or_else(|| err("missing gcn_dims"))?;
+        let gcn_dims: Vec<usize> = dims_line
+            .strip_prefix("gcn_dims ")
+            .ok_or_else(|| err("bad gcn_dims line"))?
+            .split_whitespace()
+            .map(|t| t.parse().map_err(|_| err("bad dim")))
+            .collect::<Result<_, _>>()?;
+        let fc_line = lines.next().ok_or_else(|| err("missing fc_dim"))?;
+        let fc_dim: usize = fc_line
+            .strip_prefix("fc_dim ")
+            .ok_or_else(|| err("bad fc_dim line"))?
+            .trim()
+            .parse()
+            .map_err(|_| err("bad fc_dim"))?;
+        let config = ModelConfig { gcn_dims, fc_dim };
+        let mut model = Self::new(&config, 0);
+
+        let mut parse_matrix = |expect: &str| -> Result<Matrix, LoadWeightsError> {
+            let line = lines.next().ok_or_else(|| err("missing tensor"))?;
+            let mut tok = line.split_whitespace();
+            let label = tok.next().ok_or_else(|| err("missing label"))?;
+            if label != expect {
+                return Err(err(&format!("expected tensor `{expect}`, found `{label}`")));
+            }
+            let rows: usize = tok
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad rows"))?;
+            let cols: usize = tok
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| err("bad cols"))?;
+            let data: Vec<f64> = tok
+                .map(|t| t.parse().map_err(|_| err("bad value")))
+                .collect::<Result<_, _>>()?;
+            if data.len() != rows * cols {
+                return Err(err("value count mismatch"));
+            }
+            Ok(Matrix::from_vec(rows, cols, data))
+        };
+        for i in 0..model.gcn.len() {
+            model.gcn[i].w = parse_matrix(&format!("gcn{i}.w"))?;
+            model.gcn[i].b = parse_matrix(&format!("gcn{i}.b"))?;
+        }
+        model.fc.w = parse_matrix("fc.w")?;
+        model.fc.bias = parse_matrix("fc.bias")?;
+        model.head.w = parse_matrix("head.w")?;
+        model.head.bias = parse_matrix("head.bias")?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use eda_cloud_netlist::{generators, DesignGraph};
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let g = DesignGraph::from_aig(&generators::adder(4));
+        let s = GraphSample::new(&g, [10.0, 7.0, 5.0, 4.0]);
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 9);
+        for _ in 0..30 {
+            model.train_step(&s, 1e-2);
+        }
+        let text = model.save_weights();
+        let loaded = RuntimePredictor::load_weights(&text).expect("loads");
+        assert_eq!(loaded.predict_log(&s), model.predict_log(&s));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(RuntimePredictor::load_weights("nope").is_err());
+        assert!(RuntimePredictor::load_weights("gcn-runtime-predictor v1\n").is_err());
+        let model = RuntimePredictor::new(&ModelConfig::fast(), 0);
+        let mut text = model.save_weights();
+        text = text.replace("head.bias", "head.oops");
+        let e = RuntimePredictor::load_weights(&text).unwrap_err();
+        assert!(e.to_string().contains("head.bias"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Dense and sparse matrix primitives.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_gcn::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = Matrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    #[must_use]
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    #[must_use]
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    #[must_use]
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Flat row-major data.
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row out of range");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    #[must_use]
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum `self + rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    #[must_use]
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// In-place AXPY: `self += alpha * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise ReLU.
+    #[must_use]
+    pub fn relu(&self) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// Gradient mask for ReLU: `grad * (pre > 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    #[must_use]
+    pub fn relu_backward(&self, pre_activation: &Matrix) -> Matrix {
+        assert_eq!(
+            (self.rows, self.cols),
+            (pre_activation.rows, pre_activation.cols),
+            "shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&pre_activation.data)
+            .map(|(&g, &z)| if z > 0.0 { g } else { 0.0 })
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Sum over rows (column sums), producing a `1 x cols` matrix —
+    /// the sum-pooling readout.
+    #[must_use]
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c] += self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    #[must_use]
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// A CSR sparse matrix used for the (normalized) adjacency.
+///
+/// Only the operations the GCN needs are provided: sparse-dense product
+/// and transpose-product for the backward pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Build from triplets `(row, col, value)`; triplets must be sorted
+    /// by row (column order within a row is free, duplicates are summed
+    /// by the consumer's semantics — we keep them as-is).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a triplet is out of range or rows are not sorted.
+    #[must_use]
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(u32, u32, f64)]) -> Self {
+        let mut offsets = vec![0u32; rows + 1];
+        let mut last_row = 0u32;
+        for &(r, c, _) in triplets {
+            assert!((r as usize) < rows && (c as usize) < cols, "out of range");
+            assert!(r >= last_row, "triplets must be sorted by row");
+            last_row = r;
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            offsets[i + 1] += offsets[i];
+        }
+        Self {
+            rows,
+            cols,
+            offsets,
+            indices: triplets.iter().map(|t| t.1).collect(),
+            values: triplets.iter().map(|t| t.2).collect(),
+        }
+    }
+
+    /// Row count.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparse-dense product `self * dense`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != dense.rows()`.
+    #[must_use]
+    pub fn matmul(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "inner dimensions must agree");
+        let c = dense.cols();
+        let mut out = Matrix::zeros(self.rows, c);
+        for r in 0..self.rows {
+            for k in self.offsets[r] as usize..self.offsets[r + 1] as usize {
+                let j = self.indices[k] as usize;
+                let v = self.values[k];
+                let drow = dense.row(j);
+                let orow = &mut out.data_mut()[r * c..(r + 1) * c];
+                for (o, &d) in orow.iter_mut().zip(drow) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse-dense product `selfᵀ * dense` (needed to push
+    /// gradients backward through the aggregation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != dense.rows()`.
+    #[must_use]
+    pub fn matmul_transposed(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "inner dimensions must agree");
+        let c = dense.cols();
+        let mut out = Matrix::zeros(self.cols, c);
+        for r in 0..self.rows {
+            let drow: Vec<f64> = dense.row(r).to_vec();
+            for k in self.offsets[r] as usize..self.offsets[r + 1] as usize {
+                let j = self.indices[k] as usize;
+                let v = self.values[k];
+                let orow = &mut out.data_mut()[j * c..(j + 1) * c];
+                for (o, &d) in orow.iter_mut().zip(&drow) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let z = Matrix::from_rows(&[&[-1.0, 2.0], &[0.0, -3.0]]);
+        let a = z.relu();
+        assert_eq!(a, Matrix::from_rows(&[&[0.0, 2.0], &[0.0, 0.0]]));
+        let g = Matrix::from_rows(&[&[10.0, 10.0], &[10.0, 10.0]]);
+        let back = g.relu_backward(&z);
+        assert_eq!(back, Matrix::from_rows(&[&[0.0, 10.0], &[0.0, 0.0]]));
+    }
+
+    #[test]
+    fn sum_rows_pools() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.sum_rows(), Matrix::from_rows(&[&[9.0, 12.0]]));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = Matrix::xavier(20, 30, &mut rng);
+        let bound = (6.0 / 50.0f64).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= bound));
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn sparse_matches_dense() {
+        // A = [[0, 2], [1, 0]]; X = [[1, 1], [2, 3]].
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 3.0]]);
+        assert_eq!(a.matmul(&x), Matrix::from_rows(&[&[4.0, 6.0], &[1.0, 1.0]]));
+        // Aᵀ X = [[0,1],[2,0]] * X = [[2,3],[2,2]].
+        assert_eq!(
+            a.matmul_transposed(&x),
+            Matrix::from_rows(&[&[2.0, 3.0], &[2.0, 2.0]])
+        );
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted by row")]
+    fn unsorted_triplets_panic() {
+        let _ = SparseMatrix::from_triplets(2, 2, &[(1, 0, 1.0), (0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::zeros(1, 3);
+        a.axpy(2.0, &Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        assert_eq!(a, Matrix::from_rows(&[&[2.0, 4.0, 6.0]]));
+    }
+}

@@ -1,0 +1,288 @@
+//! Training loop, dataset splitting, and accuracy metrics.
+
+use crate::{GraphSample, ModelConfig, RuntimePredictor};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Train/test indices over a sample corpus.
+///
+/// The paper splits 80/20 "where netlists of the test set belong to
+/// unseen designs in the training set" — so the split is by *design
+/// family*, not by netlist: every recipe variant of a test design is
+/// held out together.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSplit {
+    /// Indices of training samples.
+    pub train: Vec<usize>,
+    /// Indices of held-out samples (unseen designs).
+    pub test: Vec<usize>,
+}
+
+impl DatasetSplit {
+    /// Group samples by base design (the part of the name before the
+    /// first `.`), hold out ~`test_fraction` of the designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `test_fraction` is not within `(0, 1)`.
+    #[must_use]
+    pub fn by_design(samples: &[GraphSample], test_fraction: f64, seed: u64) -> Self {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must be in (0, 1)"
+        );
+        let base = |name: &str| name.split('.').next().unwrap_or(name).to_owned();
+        let designs: BTreeSet<String> = samples.iter().map(|s| base(&s.name)).collect();
+        let mut designs: Vec<String> = designs.into_iter().collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        designs.shuffle(&mut rng);
+        let n_test = ((designs.len() as f64 * test_fraction).round() as usize)
+            .clamp(1, designs.len().saturating_sub(1).max(1));
+        let test_designs: BTreeSet<&String> = designs.iter().take(n_test).collect();
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for (i, s) in samples.iter().enumerate() {
+            if test_designs.contains(&base(&s.name)) {
+                test.push(i);
+            } else {
+                train.push(i);
+            }
+        }
+        Self { train, test }
+    }
+}
+
+/// Per-run training metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean training loss per epoch (log-space MSE).
+    pub epoch_losses: Vec<f64>,
+    /// Absolute percentage error of every test prediction (one entry
+    /// per sample per vCPU configuration).
+    pub test_errors: Vec<f64>,
+    /// Mean absolute percentage error on the test set.
+    pub mean_error: f64,
+}
+
+impl TrainReport {
+    /// Prediction accuracy as the paper reports it: `1 - mean error`
+    /// (87% accuracy = 13% average error).
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        1.0 - self.mean_error
+    }
+
+    /// Histogram of test errors with `bins` equal-width buckets over
+    /// `[0, max_error]`; returns (bucket upper bounds, counts) —
+    /// the data behind the paper's Figure 5.
+    #[must_use]
+    pub fn error_histogram(&self, bins: usize) -> (Vec<f64>, Vec<usize>) {
+        let bins = bins.max(1);
+        let max = self
+            .test_errors
+            .iter()
+            .copied()
+            .fold(0.0f64, f64::max)
+            .max(1e-9);
+        let mut counts = vec![0usize; bins];
+        for &e in &self.test_errors {
+            let b = ((e / max) * bins as f64).min(bins as f64 - 1.0) as usize;
+            counts[b] += 1;
+        }
+        let bounds = (1..=bins).map(|b| max * b as f64 / bins as f64).collect();
+        (bounds, counts)
+    }
+}
+
+/// The trained model plus its report.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// The fitted predictor.
+    pub model: RuntimePredictor,
+    /// Metrics collected during training and evaluation.
+    pub report: TrainReport,
+}
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trainer {
+    /// Epochs over the training set.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Weight-initialization and shuffling seed.
+    pub seed: u64,
+    /// Model architecture.
+    pub config: ModelConfig,
+}
+
+impl Trainer {
+    /// The paper's recipe: 200 epochs, Adam with `lr = 1e-4`, MSE loss,
+    /// 2 GCN layers (256/128) + FC 128.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            epochs: 200,
+            lr: 1e-4,
+            seed: 0x6C1,
+            config: ModelConfig::paper(),
+        }
+    }
+
+    /// A fast recipe for tests and smoke benches: smaller model, larger
+    /// learning rate, fewer epochs.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            epochs: 60,
+            lr: 3e-3,
+            seed: 0x6C1,
+            config: ModelConfig::fast(),
+        }
+    }
+
+    /// Fit on the training split and evaluate on the held-out designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split references out-of-range samples or the
+    /// training set is empty.
+    #[must_use]
+    pub fn fit(&self, samples: &[GraphSample], split: &DatasetSplit) -> TrainOutcome {
+        assert!(!split.train.is_empty(), "training set is empty");
+        let mut model = RuntimePredictor::new(&self.config, self.seed);
+        let mut order: Vec<usize> = split.train.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xE70C);
+        let mut epoch_losses = Vec::with_capacity(self.epochs);
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                total += model.train_step(&samples[i], self.lr);
+            }
+            epoch_losses.push(total / order.len() as f64);
+        }
+        let mut test_errors = Vec::new();
+        for &i in &split.test {
+            let pred = model.predict_secs(&samples[i]);
+            for (p, t) in pred.iter().zip(&samples[i].targets_secs) {
+                test_errors.push((p - t).abs() / t);
+            }
+        }
+        let mean_error = if test_errors.is_empty() {
+            0.0
+        } else {
+            test_errors.iter().sum::<f64>() / test_errors.len() as f64
+        };
+        TrainOutcome {
+            model,
+            report: TrainReport {
+                epoch_losses,
+                test_errors,
+                mean_error,
+            },
+        }
+    }
+}
+
+impl Default for Trainer {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_netlist::{generators, DesignGraph};
+
+    /// A small corpus: several families, a few "recipe variants" each,
+    /// with runtimes that grow with design size (the signal the GCN
+    /// must learn).
+    fn corpus() -> Vec<GraphSample> {
+        let mut samples = Vec::new();
+        for (fi, family) in ["adder", "parity", "comparator", "max", "gray2bin"]
+            .iter()
+            .enumerate()
+        {
+            for size in [4u32, 8, 12] {
+                let aig = generators::build_family(family, size).expect("family");
+                let g = DesignGraph::from_aig(&aig);
+                let base = 10.0 + aig.and_count() as f64 * 0.5 + fi as f64;
+                let mut g2 = g.clone();
+                // Mimic recipe variants by reusing the same graph under
+                // a variant name (structure identical is fine for the
+                // split test; the training test uses the real pipeline).
+                for (vi, variant) in ["raw", "balanced"].iter().enumerate() {
+                    let t1 = base * (1.0 + vi as f64 * 0.07);
+                    let sample = GraphSample::new(
+                        &g2,
+                        [t1, t1 / 1.6, t1 / 2.4, t1 / 3.0],
+                    );
+                    let mut named = sample;
+                    named.name = format!("{family}{size}.{variant}");
+                    samples.push(named);
+                    g2 = g.clone();
+                }
+            }
+        }
+        samples
+    }
+
+    #[test]
+    fn split_keeps_designs_unseen() {
+        let samples = corpus();
+        let split = DatasetSplit::by_design(&samples, 0.2, 7);
+        assert!(!split.train.is_empty());
+        assert!(!split.test.is_empty());
+        let base = |i: usize| samples[i].name.split('.').next().unwrap().to_owned();
+        let train_designs: BTreeSet<String> = split.train.iter().map(|&i| base(i)).collect();
+        let test_designs: BTreeSet<String> = split.test.iter().map(|&i| base(i)).collect();
+        assert!(
+            train_designs.is_disjoint(&test_designs),
+            "no design may appear in both splits"
+        );
+    }
+
+    #[test]
+    fn training_converges_and_generalizes_somewhat() {
+        let samples = corpus();
+        let split = DatasetSplit::by_design(&samples, 0.2, 3);
+        let outcome = Trainer::fast().fit(&samples, &split);
+        let losses = &outcome.report.epoch_losses;
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.5),
+            "loss should at least halve: {} -> {}",
+            losses[0],
+            losses.last().unwrap()
+        );
+        // Generalization on a toy corpus is loose; just require sanity.
+        assert!(outcome.report.mean_error < 1.0);
+        assert!(outcome.report.accuracy() > 0.0);
+    }
+
+    #[test]
+    fn histogram_counts_all_errors() {
+        let report = TrainReport {
+            epoch_losses: vec![],
+            test_errors: vec![0.01, 0.05, 0.10, 0.20, 0.40],
+            mean_error: 0.152,
+        };
+        let (bounds, counts) = report.error_histogram(4);
+        assert_eq!(bounds.len(), 4);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        assert!((report.accuracy() - 0.848).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        let samples = corpus();
+        let _ = DatasetSplit::by_design(&samples, 1.5, 0);
+    }
+
+    use std::collections::BTreeSet;
+}

@@ -1,0 +1,55 @@
+//! Property-based tests for the GCN stack.
+
+use eda_cloud_gcn::{GraphSample, Matrix, ModelConfig, RuntimePredictor};
+use eda_cloud_netlist::{generators, DesignGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Predictions are finite and positive for any seed and any family
+    /// graph, even untrained.
+    #[test]
+    fn untrained_predictions_are_finite(
+        seed in 0u64..1_000,
+        size in 2u32..8,
+        fam in proptest::sample::select(generators::FAMILY_NAMES.to_vec()),
+    ) {
+        let aig = generators::build_family(fam, size).expect("family");
+        let sample = GraphSample::new(&DesignGraph::from_aig(&aig), [1.0, 1.0, 1.0, 1.0]);
+        let model = RuntimePredictor::new(&ModelConfig::fast(), seed);
+        let pred = model.predict_secs(&sample);
+        prop_assert!(pred.iter().all(|p| p.is_finite() && *p > 0.0));
+    }
+
+    /// A training step on any sample never produces NaNs in the
+    /// prediction path.
+    #[test]
+    fn training_steps_stay_finite(seed in 0u64..200, lr_exp in 1u32..4) {
+        let aig = generators::adder(4);
+        let sample = GraphSample::new(&DesignGraph::from_aig(&aig), [50.0, 30.0, 20.0, 15.0]);
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), seed);
+        let lr = 10f64.powi(-(lr_exp as i32));
+        for _ in 0..20 {
+            let loss = model.train_step(&sample, lr);
+            prop_assert!(loss.is_finite());
+        }
+        prop_assert!(model.predict_log(&sample).iter().all(|v| v.is_finite()));
+    }
+
+    /// Matrix transpose is an involution and matmul with identity is a
+    /// no-op, for random shapes.
+    #[test]
+    fn matrix_algebra_identities(rows in 1usize..10, cols in 1usize..10, seed in 0u64..500) {
+        let mut vals = Vec::with_capacity(rows * cols);
+        let mut s = seed | 1;
+        for _ in 0..rows * cols {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            vals.push(((s >> 33) % 1000) as f64 / 100.0 - 5.0);
+        }
+        let m = Matrix::from_vec(rows, cols, vals);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let id = Matrix::identity(cols);
+        prop_assert_eq!(m.matmul(&id), m);
+    }
+}

@@ -1,0 +1,287 @@
+//! The pseudo-polynomial dynamic program.
+
+use crate::Problem;
+use serde::{Deserialize, Serialize};
+
+/// Which objective the DP optimizes under the runtime budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// The paper's Equation (2): maximize `Σ 1/pᵢⱼ`.
+    MaxInverseCost,
+    /// Direct cost minimization: minimize `Σ pᵢⱼ`.
+    MinCost,
+}
+
+/// An optimal selection: one choice index per stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Choice index per stage (parallel to `Problem::stages`).
+    pub picks: Vec<usize>,
+    /// Total runtime of the selection in seconds.
+    pub total_runtime_secs: u64,
+    /// Total cost of the selection in USD.
+    pub total_cost_usd: f64,
+    /// Objective used to produce this selection.
+    pub objective: Objective,
+}
+
+/// Exact MCKP solver (Dudzinski–Walukiewicz dynamic programming).
+///
+/// State: `z_l(C)` = best objective over the first `l` stages with total
+/// runtime at most `C`; the recurrence tries every choice of stage `l`,
+/// exactly as in the paper's Equation (3). Runtime values are integer
+/// seconds, so the table is `stages x (C+1)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Solver;
+
+impl Solver {
+    /// Create a solver.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Solve with the paper's `max Σ 1/p` objective.
+    ///
+    /// Returns `None` when no selection meets the budget (the paper's
+    /// `z_l(C) = -∞`, printed as "NA" in Table I).
+    #[must_use]
+    pub fn solve_max_inverse_cost(&self, problem: &Problem, budget_secs: u64) -> Option<Selection> {
+        self.solve(problem, budget_secs, Objective::MaxInverseCost)
+    }
+
+    /// Solve with the direct `min Σ p` objective.
+    #[must_use]
+    pub fn solve_min_cost(&self, problem: &Problem, budget_secs: u64) -> Option<Selection> {
+        self.solve(problem, budget_secs, Objective::MinCost)
+    }
+
+    /// Solve under the given objective.
+    #[must_use]
+    pub fn solve(
+        &self,
+        problem: &Problem,
+        budget_secs: u64,
+        objective: Objective,
+    ) -> Option<Selection> {
+        let stages = problem.stages();
+        // Any budget beyond the slowest possible schedule is equivalent
+        // to it; clamp so the DP table stays proportional to the
+        // problem, not to the caller's (possibly huge) deadline.
+        let max_useful: u64 = stages
+            .iter()
+            .map(|s| s.choices.iter().map(|c| c.runtime_secs).max().unwrap_or(0))
+            .sum();
+        let budget = usize::try_from(budget_secs.min(max_useful)).ok()?;
+        // score(choice): larger is better for the DP max.
+        let score = |cost: f64| -> f64 {
+            match objective {
+                Objective::MaxInverseCost => {
+                    if cost > 0.0 {
+                        1.0 / cost
+                    } else {
+                        f64::INFINITY
+                    }
+                }
+                Objective::MinCost => -cost,
+            }
+        };
+
+        // dp[t] = best score achievable using runtime exactly <= t,
+        // with parent pointers per stage for reconstruction.
+        let mut dp: Vec<Option<f64>> = vec![None; budget + 1];
+        dp[0] = Some(0.0);
+        // Allow any slack at stage 0 by prefix-maxing later; instead we
+        // keep "at most t" semantics by carrying forward the best value.
+        let mut parents: Vec<Vec<Option<(usize, usize)>>> = Vec::with_capacity(stages.len());
+
+        for stage in stages {
+            let mut next: Vec<Option<f64>> = vec![None; budget + 1];
+            let mut parent: Vec<Option<(usize, usize)>> = vec![None; budget + 1];
+            for (j, choice) in stage.choices.iter().enumerate() {
+                let t = usize::try_from(choice.runtime_secs).unwrap_or(usize::MAX);
+                if t > budget {
+                    continue;
+                }
+                let s = score(choice.cost_usd);
+                for prev_t in 0..=(budget - t) {
+                    let Some(prev) = dp[prev_t] else { continue };
+                    let cand = prev + s;
+                    let slot = prev_t + t;
+                    if next[slot].is_none_or(|best| cand > best) {
+                        next[slot] = Some(cand);
+                        parent[slot] = Some((j, prev_t));
+                    }
+                }
+            }
+            dp = next;
+            parents.push(parent);
+        }
+
+        // Best cell within budget.
+        let (best_t, _) = dp
+            .iter()
+            .enumerate()
+            .filter_map(|(t, v)| v.map(|v| (t, v)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))?;
+
+        // Reconstruct.
+        let mut picks = vec![0usize; stages.len()];
+        let mut t = best_t;
+        for (l, parent) in parents.iter().enumerate().rev() {
+            let (j, prev_t) = parent[t].expect("parent chain is complete");
+            picks[l] = j;
+            t = prev_t;
+        }
+        let total_runtime_secs: u64 = picks
+            .iter()
+            .zip(stages)
+            .map(|(&j, s)| s.choices[j].runtime_secs)
+            .sum();
+        let total_cost_usd: f64 = picks
+            .iter()
+            .zip(stages)
+            .map(|(&j, s)| s.choices[j].cost_usd)
+            .sum();
+        Some(Selection {
+            picks,
+            total_runtime_secs,
+            total_cost_usd,
+            objective,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{baselines, Choice, Stage};
+
+    fn toy_problem() -> Problem {
+        // Mirrors the structure of the paper's Table I: four stages,
+        // four sizes each; bigger machines are faster but (mostly)
+        // dearer.
+        let stage = |name: &str, rows: &[(u64, f64)]| {
+            Stage::new(
+                name,
+                rows.iter()
+                    .enumerate()
+                    .map(|(k, &(t, p))| Choice::new(format!("{}v", 1 << k), t, p))
+                    .collect(),
+            )
+        };
+        Problem::new(vec![
+            stage(
+                "synthesis",
+                &[(6100, 0.16), (4342, 0.15), (3449, 0.19), (3352, 0.37)],
+            ),
+            stage(
+                "placement",
+                &[(1206, 0.04), (905, 0.04), (644, 0.05), (519, 0.08)],
+            ),
+            stage(
+                "routing",
+                &[(10461, 0.32), (5514, 0.25), (2894, 0.21), (1692, 0.25)],
+            ),
+            stage("sta", &[(183, 0.02), (119, 0.01), (90, 0.02), (82, 0.05)]),
+        ])
+        .expect("valid problem")
+    }
+
+    #[test]
+    fn infeasible_budget_returns_none() {
+        let p = toy_problem();
+        // Fastest possible total = 3352 + 519 + 1692 + 82 = 5645.
+        assert_eq!(p.min_total_runtime(), 5645);
+        assert!(Solver::new().solve_min_cost(&p, 5644).is_none());
+        assert!(Solver::new().solve_max_inverse_cost(&p, 5000).is_none());
+    }
+
+    #[test]
+    fn exact_boundary_budget_selects_fastest_everywhere() {
+        let p = toy_problem();
+        let sel = Solver::new().solve_min_cost(&p, 5645).expect("feasible");
+        assert_eq!(sel.total_runtime_secs, 5645);
+        assert_eq!(p.describe(&sel), vec!["8v", "8v", "8v", "8v"]);
+    }
+
+    #[test]
+    fn loose_budget_prefers_cheap_machines() {
+        let p = toy_problem();
+        let sel = Solver::new()
+            .solve_min_cost(&p, 1_000_000)
+            .expect("feasible");
+        // With unlimited time, the min-cost solver picks each stage's
+        // cheapest configuration.
+        let cheapest: f64 = p.stages().iter().map(|s| s.cheapest().unwrap().cost_usd).sum();
+        assert!((sel.total_cost_usd - cheapest).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tightening_budget_never_reduces_cost() {
+        let p = toy_problem();
+        let solver = Solver::new();
+        let mut last_cost = 0.0;
+        for budget in [20_000u64, 10_000, 8_000, 6_000, 5_645] {
+            let sel = solver.solve_min_cost(&p, budget).expect("feasible");
+            assert!(sel.total_runtime_secs <= budget);
+            assert!(
+                sel.total_cost_usd >= last_cost - 1e-9,
+                "cost must not drop when the deadline tightens"
+            );
+            last_cost = sel.total_cost_usd;
+        }
+    }
+
+    #[test]
+    fn min_cost_matches_exhaustive() {
+        let p = toy_problem();
+        let solver = Solver::new();
+        for budget in [5_645u64, 6_000, 7_500, 10_000, 18_000] {
+            let dp = solver.solve_min_cost(&p, budget).expect("feasible");
+            let brute = baselines::exhaustive_min_cost(&p, budget).expect("feasible");
+            assert!(
+                (dp.total_cost_usd - brute.total_cost_usd).abs() < 1e-9,
+                "budget {budget}: dp {} vs brute {}",
+                dp.total_cost_usd,
+                brute.total_cost_usd
+            );
+        }
+    }
+
+    #[test]
+    fn paper_objective_is_feasible_whenever_min_cost_is() {
+        let p = toy_problem();
+        let solver = Solver::new();
+        for budget in [5_645u64, 6_000, 10_000] {
+            let a = solver.solve_max_inverse_cost(&p, budget);
+            let b = solver.solve_min_cost(&p, budget);
+            assert_eq!(a.is_some(), b.is_some(), "budget {budget}");
+            let (a, b) = (a.unwrap(), b.unwrap());
+            assert!(a.total_runtime_secs <= budget);
+            // Min-cost is by definition no more expensive.
+            assert!(b.total_cost_usd <= a.total_cost_usd + 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_cost_choice_handled() {
+        let p = Problem::new(vec![Stage::new(
+            "free",
+            vec![Choice::new("gratis", 10, 0.0), Choice::new("paid", 5, 1.0)],
+        )])
+        .unwrap();
+        let sel = Solver::new()
+            .solve_max_inverse_cost(&p, 100)
+            .expect("feasible");
+        assert_eq!(p.describe(&sel), vec!["gratis"]);
+    }
+
+    #[test]
+    fn single_stage_single_choice() {
+        let p = Problem::new(vec![Stage::new("only", vec![Choice::new("x", 42, 0.5)])]).unwrap();
+        let sel = Solver::new().solve_min_cost(&p, 42).expect("feasible");
+        assert_eq!(sel.total_runtime_secs, 42);
+        assert!(Solver::new().solve_min_cost(&p, 41).is_none());
+    }
+}

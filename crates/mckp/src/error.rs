@@ -1,0 +1,51 @@
+//! MCKP errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when building an MCKP instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MckpError {
+    /// A stage has no configuration choices.
+    EmptyStage(String),
+    /// The problem has no stages.
+    NoStages,
+    /// A choice has a non-finite or negative cost.
+    InvalidCost {
+        /// Stage name.
+        stage: String,
+        /// Choice label.
+        choice: String,
+    },
+}
+
+impl fmt::Display for MckpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MckpError::EmptyStage(s) => write!(f, "stage `{s}` has no configuration choices"),
+            MckpError::NoStages => write!(f, "problem has no stages"),
+            MckpError::InvalidCost { stage, choice } => {
+                write!(f, "choice `{choice}` of stage `{stage}` has an invalid cost")
+            }
+        }
+    }
+}
+
+impl Error for MckpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(MckpError::EmptyStage("sta".into()).to_string().contains("sta"));
+        assert_eq!(MckpError::NoStages.to_string(), "problem has no stages");
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<MckpError>();
+    }
+}

@@ -1,0 +1,54 @@
+//! Multi-choice knapsack (MCKP) deployment optimizer.
+//!
+//! The paper's Problem 3: given each flow stage's predicted runtime and
+//! cost on every candidate VM configuration, pick exactly one
+//! configuration per stage so the total runtime meets a deadline and
+//! the deployment is as cheap as possible. The paper maps this to the
+//! multi-choice knapsack problem and solves it exactly with the
+//! Dudzinski–Walukiewicz pseudo-polynomial dynamic program, exploiting
+//! per-second billing to round runtimes to whole seconds.
+//!
+//! Two objectives are provided:
+//!
+//! * [`Solver::solve_max_inverse_cost`] — the paper's formulation,
+//!   maximizing `Σ 1/pᵢⱼ` subject to `Σ tᵢⱼ ≤ C`.
+//! * [`Solver::solve_min_cost`] — the direct formulation, minimizing
+//!   `Σ pᵢⱼ` under the same constraint. The ablation bench compares the
+//!   two (they agree on which deadlines are feasible but can pick
+//!   different configurations; minimizing cost is never worse in USD).
+//!
+//! Baselines for Figure 6 live in [`baselines`]: over-provisioning
+//! (largest machine everywhere), under-provisioning (smallest machine
+//! everywhere), a greedy ratio heuristic, and an exhaustive enumerator
+//! used to verify optimality in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_cloud_mckp::{Choice, Problem, Solver, Stage};
+//!
+//! let problem = Problem::new(vec![Stage::new(
+//!     "routing",
+//!     vec![
+//!         Choice::new("1 vCPU", 100, 0.10),
+//!         Choice::new("8 vCPU", 20, 0.25),
+//!     ],
+//! )])?;
+//! let pick = Solver::new().solve_min_cost(&problem, 50).expect("feasible");
+//! assert_eq!(problem.describe(&pick)[0], "8 vCPU");
+//! # Ok::<(), eda_cloud_mckp::MckpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+mod dp;
+mod error;
+mod problem;
+mod savings;
+
+pub use dp::{Objective, Selection, Solver};
+pub use error::MckpError;
+pub use problem::{Choice, Problem, Stage};
+pub use savings::{savings_of, savings_vs_baselines, CostSavings};

@@ -1,0 +1,120 @@
+//! Cost-savings accounting for Figure 6.
+
+use crate::{baselines, Problem, Selection, Solver};
+use serde::{Deserialize, Serialize};
+
+/// Savings of an optimized deployment relative to the naive baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostSavings {
+    /// Optimized deployment cost in USD.
+    pub optimized_usd: f64,
+    /// Cost of running every stage on the largest machine.
+    pub over_provision_usd: f64,
+    /// Cost of running every stage on the smallest machine.
+    pub under_provision_usd: f64,
+    /// Fractional saving vs over-provisioning (0.35 = 35%).
+    pub saving_vs_over: f64,
+    /// Fractional saving vs under-provisioning.
+    pub saving_vs_under: f64,
+    /// Runtime overhead vs the all-largest deployment, in seconds.
+    pub runtime_overhead_secs: i64,
+}
+
+impl CostSavings {
+    /// Mean of the two savings figures (the paper reports the average
+    /// saving across baselines and constraints: 35.29%).
+    #[must_use]
+    pub fn average_saving(&self) -> f64 {
+        0.5 * (self.saving_vs_over + self.saving_vs_under)
+    }
+}
+
+/// Solve the problem at `budget_secs` and compare against the
+/// over/under-provisioning baselines. Returns `None` when the deadline
+/// is infeasible.
+#[must_use]
+pub fn savings_vs_baselines(problem: &Problem, budget_secs: u64) -> Option<CostSavings> {
+    let optimized = Solver::new().solve_min_cost(problem, budget_secs)?;
+    Some(savings_of(problem, &optimized))
+}
+
+/// Compare an existing selection against the baselines.
+#[must_use]
+pub fn savings_of(problem: &Problem, optimized: &Selection) -> CostSavings {
+    let over = baselines::over_provision(problem);
+    let under = baselines::under_provision(problem);
+    let frac = |base: f64| {
+        if base > 0.0 {
+            (base - optimized.total_cost_usd) / base
+        } else {
+            0.0
+        }
+    };
+    CostSavings {
+        optimized_usd: optimized.total_cost_usd,
+        over_provision_usd: over.total_cost_usd,
+        under_provision_usd: under.total_cost_usd,
+        saving_vs_over: frac(over.total_cost_usd),
+        saving_vs_under: frac(under.total_cost_usd),
+        runtime_overhead_secs: optimized.total_runtime_secs as i64
+            - over.total_runtime_secs as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Choice, Stage};
+
+    fn problem() -> Problem {
+        // Shaped like the paper's Table I costs: mid-size machines are
+        // the sweet spot, so optimization saves against both extremes.
+        Problem::new(vec![
+            Stage::new(
+                "syn",
+                vec![
+                    Choice::new("1v", 6100, 0.16),
+                    Choice::new("2v", 4342, 0.15),
+                    Choice::new("4v", 3449, 0.19),
+                    Choice::new("8v", 3352, 0.37),
+                ],
+            ),
+            Stage::new(
+                "route",
+                vec![
+                    Choice::new("1v", 10461, 0.32),
+                    Choice::new("2v", 5514, 0.25),
+                    Choice::new("4v", 2894, 0.21),
+                    Choice::new("8v", 1692, 0.25),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn savings_positive_at_moderate_deadline() {
+        let s = savings_vs_baselines(&problem(), 10_000).expect("feasible");
+        assert!(s.saving_vs_over > 0.0, "{s:?}");
+        assert!(s.saving_vs_under > 0.0, "{s:?}");
+        assert!(s.average_saving() > 0.1);
+        assert!(s.runtime_overhead_secs >= 0);
+    }
+
+    #[test]
+    fn infeasible_deadline_gives_none() {
+        assert!(savings_vs_baselines(&problem(), 100).is_none());
+    }
+
+    #[test]
+    fn at_the_feasibility_edge_optimized_equals_over_provisioning() {
+        let p = problem();
+        let edge = p.min_total_runtime();
+        let s = savings_vs_baselines(&p, edge).expect("feasible");
+        assert!(
+            (s.optimized_usd - s.over_provision_usd).abs() < 1e-9,
+            "at the edge only the all-fastest deployment fits"
+        );
+        assert_eq!(s.runtime_overhead_secs, 0);
+    }
+}

@@ -1,0 +1,535 @@
+//! Text formats: AIGER-ASCII (`aag`) for AIGs and a BLIF-style gate-level
+//! format for netlists.
+//!
+//! These are interchange helpers so corpora can be inspected and
+//! round-tripped in tests; both writers emit the subset their reader
+//! accepts.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_cloud_netlist::{formats, generators};
+//!
+//! let aig = generators::adder(4);
+//! let text = formats::write_aag(&aig);
+//! let back = formats::read_aag(&text)?;
+//! assert_eq!(back.and_count(), aig.and_count());
+//! # Ok::<(), eda_cloud_netlist::NetlistError>(())
+//! ```
+
+use crate::aig::{Aig, AigNode, Lit};
+use crate::netlist::{NetDriver, Netlist};
+use crate::NetlistError;
+use eda_cloud_tech::Library;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serialize an AIG in AIGER-ASCII (`aag`) format with a symbol table for
+/// the outputs.
+#[must_use]
+pub fn write_aag(aig: &Aig) -> String {
+    let max_var = aig.node_count() - 1;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "aag {} {} 0 {} {}",
+        max_var,
+        aig.input_count(),
+        aig.output_count(),
+        aig.and_count()
+    );
+    for &pi in aig.inputs() {
+        let _ = writeln!(out, "{}", Lit::from_node(pi, false).raw());
+    }
+    for (_, lit) in aig.outputs() {
+        let _ = writeln!(out, "{}", lit.raw());
+    }
+    for (i, node) in aig.nodes().iter().enumerate() {
+        if let AigNode::And(a, b) = node {
+            let lhs = Lit::from_node(i as u32, false).raw();
+            let _ = writeln!(out, "{lhs} {} {}", a.raw(), b.raw());
+        }
+    }
+    for (k, (name, _)) in aig.outputs().iter().enumerate() {
+        let _ = writeln!(out, "o{k} {name}");
+    }
+    let _ = writeln!(out, "c");
+    let _ = writeln!(out, "{}", aig.name());
+    out
+}
+
+/// Parse an AIGER-ASCII (`aag`) document produced by [`write_aag`] (no
+/// latches; AND definitions must be in topological order).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input.
+pub fn read_aag(text: &str) -> Result<Aig, NetlistError> {
+    let perr = |line: usize, message: &str| NetlistError::Parse {
+        line,
+        message: message.to_owned(),
+    };
+    let mut lines = text.lines().enumerate();
+    let (lno, header) = lines
+        .next()
+        .ok_or_else(|| perr(1, "empty document"))?;
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() != 6 || fields[0] != "aag" {
+        return Err(perr(lno + 1, "expected `aag M I L O A` header"));
+    }
+    let parse_num = |s: &str, lno: usize| {
+        s.parse::<u32>()
+            .map_err(|_| perr(lno + 1, "invalid number"))
+    };
+    let max_var = parse_num(fields[1], lno)?;
+    let n_in = parse_num(fields[2], lno)?;
+    let n_latch = parse_num(fields[3], lno)?;
+    let n_out = parse_num(fields[4], lno)?;
+    let n_and = parse_num(fields[5], lno)?;
+    if n_latch != 0 {
+        return Err(perr(lno + 1, "latches are not supported"));
+    }
+    if max_var != n_in + n_and {
+        return Err(perr(lno + 1, "M must equal I + A for this subset"));
+    }
+
+    let mut aig = Aig::new("aag");
+    let mut pi_lits = Vec::with_capacity(n_in as usize);
+    for _ in 0..n_in {
+        let (lno, line) = lines
+            .next()
+            .ok_or_else(|| perr(0, "unexpected end of input list"))?;
+        let lit = parse_num(line.trim(), lno)?;
+        let expect = aig.add_pi();
+        if lit != expect.raw() {
+            return Err(perr(lno + 1, "inputs must be consecutive even literals"));
+        }
+        pi_lits.push(expect);
+    }
+    let mut out_lits = Vec::with_capacity(n_out as usize);
+    for _ in 0..n_out {
+        let (lno, line) = lines
+            .next()
+            .ok_or_else(|| perr(0, "unexpected end of output list"))?;
+        out_lits.push(Lit::from_raw(parse_num(line.trim(), lno)?));
+    }
+    for _ in 0..n_and {
+        let (lno, line) = lines
+            .next()
+            .ok_or_else(|| perr(0, "unexpected end of AND list"))?;
+        let nums: Vec<&str> = line.split_whitespace().collect();
+        if nums.len() != 3 {
+            return Err(perr(lno + 1, "AND line needs `lhs rhs0 rhs1`"));
+        }
+        let lhs = parse_num(nums[0], lno)?;
+        let a = Lit::from_raw(parse_num(nums[1], lno)?);
+        let b = Lit::from_raw(parse_num(nums[2], lno)?);
+        if lhs % 2 != 0 {
+            return Err(perr(lno + 1, "AND lhs must be even"));
+        }
+        let node = lhs / 2;
+        if node as usize != aig.node_count() {
+            return Err(perr(lno + 1, "AND definitions must be in order"));
+        }
+        if a.node() >= node || b.node() >= node {
+            return Err(perr(lno + 1, "AND fanin references a later node"));
+        }
+        let got = aig.and2(a, b);
+        // Structural hashing may fold the node; re-emit an explicit node
+        // is not possible, so require the writer's canonical form.
+        if got.node() as usize != node as usize {
+            return Err(perr(
+                lno + 1,
+                "AND folds to an existing node; input is not in canonical form",
+            ));
+        }
+    }
+    // Symbol table and comments.
+    let mut names: HashMap<usize, String> = HashMap::new();
+    let mut design_name: Option<String> = None;
+    let mut in_comment = false;
+    for (_, line) in lines {
+        let line = line.trim();
+        if in_comment {
+            if design_name.is_none() && !line.is_empty() {
+                design_name = Some(line.to_owned());
+            }
+            continue;
+        }
+        if line == "c" {
+            in_comment = true;
+        } else if let Some(rest) = line.strip_prefix('o') {
+            if let Some((idx, name)) = rest.split_once(' ') {
+                if let Ok(k) = idx.parse::<usize>() {
+                    names.insert(k, name.to_owned());
+                }
+            }
+        }
+    }
+    for (k, lit) in out_lits.into_iter().enumerate() {
+        let name = names.get(&k).cloned().unwrap_or_else(|| format!("o{k}"));
+        aig.add_po(name, lit);
+    }
+    if let Some(name) = design_name {
+        aig.set_name(name);
+    }
+    aig.check()?;
+    Ok(aig)
+}
+
+/// Serialize a netlist in a BLIF-style `.gate` format.
+#[must_use]
+pub fn write_blif(netlist: &Netlist, lib: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", netlist.name());
+    let pi_names: Vec<&str> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|&n| netlist.nets()[n as usize].name.as_str())
+        .collect();
+    let _ = writeln!(out, ".inputs {}", pi_names.join(" "));
+    let po_names: Vec<String> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|(name, _)| name.clone())
+        .collect();
+    let _ = writeln!(out, ".outputs {}", po_names.join(" "));
+    for cell in netlist.cells() {
+        let master = lib.cell(&cell.cell_name);
+        let mut parts = vec![format!(".gate {}", cell.cell_name)];
+        if let Ok(master) = master {
+            for (pin, &net) in master.input_pins().zip(cell.inputs.iter()) {
+                parts.push(format!("{}={}", pin.name, netlist.nets()[net as usize].name));
+            }
+            parts.push(format!(
+                "{}={}",
+                master.output_pin().name,
+                netlist.nets()[cell.output as usize].name
+            ));
+        }
+        let _ = writeln!(out, "{}", parts.join(" "));
+    }
+    // Alias lines: connect PO port names to their nets when they differ.
+    for (name, net) in netlist.primary_outputs() {
+        let net_name = &netlist.nets()[*net as usize].name;
+        if name != net_name {
+            let _ = writeln!(out, "# alias {name} = {net_name}");
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Parse the BLIF-style subset produced by [`write_blif`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input or references to
+/// cells missing from `lib`.
+pub fn read_blif(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
+    let perr = |line: usize, message: String| NetlistError::Parse { line, message };
+    let mut name = String::from("blif");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<(usize, String, Vec<(String, String)>)> = Vec::new();
+    for (lno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".model ") {
+            name = rest.trim().to_owned();
+        } else if let Some(rest) = line.strip_prefix(".inputs ") {
+            inputs.extend(rest.split_whitespace().map(str::to_owned));
+        } else if let Some(rest) = line.strip_prefix(".outputs ") {
+            outputs.extend(rest.split_whitespace().map(str::to_owned));
+        } else if let Some(rest) = line.strip_prefix(".gate ") {
+            let mut fields = rest.split_whitespace();
+            let master = fields
+                .next()
+                .ok_or_else(|| perr(lno + 1, "missing gate master".into()))?
+                .to_owned();
+            let mut conns = Vec::new();
+            for f in fields {
+                let (pin, net) = f
+                    .split_once('=')
+                    .ok_or_else(|| perr(lno + 1, format!("bad connection `{f}`")))?;
+                conns.push((pin.to_owned(), net.to_owned()));
+            }
+            gates.push((lno + 1, master, conns));
+        } else if line == ".end" {
+            break;
+        } else {
+            return Err(perr(lno + 1, format!("unrecognized line `{line}`")));
+        }
+    }
+
+    let mut nl = Netlist::new(name, lib.name());
+    let mut net_ids: HashMap<String, u32> = HashMap::new();
+    for pi in &inputs {
+        let id = nl.add_input(pi.clone());
+        net_ids.insert(pi.clone(), id);
+    }
+    // Pre-create nets so gates can reference them in any order.
+    let intern = |nl: &mut Netlist, net_ids: &mut HashMap<String, u32>, n: &str| -> u32 {
+        if let Some(&id) = net_ids.get(n) {
+            id
+        } else {
+            let id = nl.add_net(n.to_owned());
+            net_ids.insert(n.to_owned(), id);
+            id
+        }
+    };
+    for (lno, master_name, conns) in &gates {
+        let master = lib
+            .cell(master_name)
+            .map_err(|e| perr(*lno, e.to_string()))?;
+        let mut by_pin: HashMap<&str, &str> = HashMap::new();
+        for (pin, net) in conns {
+            by_pin.insert(pin.as_str(), net.as_str());
+        }
+        let mut input_nets = Vec::new();
+        for pin in master.input_pins() {
+            let net = by_pin.get(pin.name.as_str()).ok_or_else(|| {
+                perr(*lno, format!("missing pin `{}` on {master_name}", pin.name))
+            })?;
+            input_nets.push(intern(&mut nl, &mut net_ids, net));
+        }
+        let out_pin = master.output_pin().name.clone();
+        let out_net_name = by_pin
+            .get(out_pin.as_str())
+            .ok_or_else(|| perr(*lno, format!("missing output pin `{out_pin}`")))?;
+        let out_net = intern(&mut nl, &mut net_ids, out_net_name);
+        let inst = format!("g{}", nl.cell_count());
+        nl.add_cell(inst, master.name.clone(), master.kind, input_nets, out_net);
+    }
+    for po in &outputs {
+        let &id = net_ids
+            .get(po)
+            .ok_or_else(|| perr(0, format!("output `{po}` references unknown net")))?;
+        nl.add_output(po.clone(), id);
+    }
+    Ok(nl)
+}
+
+/// Serialize a netlist as structural Verilog (gate-level instantiations
+/// of the library masters). Write-only: the module is meant for
+/// inspection and hand-off to external tools, not re-import.
+#[must_use]
+pub fn write_verilog(netlist: &Netlist, lib: &Library) -> String {
+    let mut out = String::new();
+    let sanitize = |name: &str| name.replace(['.', '[', ']'], "_");
+    let pi_names: Vec<String> = netlist
+        .primary_inputs()
+        .iter()
+        .map(|&n| sanitize(&netlist.nets()[n as usize].name))
+        .collect();
+    let po_names: Vec<String> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|(name, _)| sanitize(name))
+        .collect();
+    let _ = writeln!(out, "module {} (", sanitize(netlist.name()));
+    let ports: Vec<String> = pi_names
+        .iter()
+        .map(|p| format!("  input  {p}"))
+        .chain(po_names.iter().map(|p| format!("  output {p}")))
+        .collect();
+    let _ = writeln!(out, "{}\n);", ports.join(",\n"));
+
+    // Wire declarations for internal nets.
+    use std::collections::HashSet;
+    let port_nets: HashSet<u32> = netlist
+        .primary_inputs()
+        .iter()
+        .copied()
+        .chain(netlist.primary_outputs().iter().map(|(_, n)| *n))
+        .collect();
+    for (ni, net) in netlist.nets().iter().enumerate() {
+        if !port_nets.contains(&(ni as u32)) {
+            let _ = writeln!(out, "  wire {};", sanitize(&net.name));
+        }
+    }
+    // PO aliasing: when a PO port name differs from its net, emit assign.
+    for (name, net) in netlist.primary_outputs() {
+        let net_name = sanitize(&netlist.nets()[*net as usize].name);
+        let port = sanitize(name);
+        if port != net_name && !netlist.primary_inputs().contains(net) {
+            // The net itself is the port in this writer; nothing to do
+            // unless another port aliases it.
+            let _ = (&port, &net_name);
+        }
+    }
+    for cell in netlist.cells() {
+        let Ok(master) = lib.cell(&cell.cell_name) else {
+            continue;
+        };
+        let mut conns: Vec<String> = master
+            .input_pins()
+            .zip(&cell.inputs)
+            .map(|(pin, &net)| {
+                format!(".{}({})", pin.name, sanitize(&netlist.nets()[net as usize].name))
+            })
+            .collect();
+        conns.push(format!(
+            ".{}({})",
+            master.output_pin().name,
+            sanitize(&netlist.nets()[cell.output as usize].name)
+        ));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            cell.cell_name,
+            sanitize(&cell.name),
+            conns.join(", ")
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Round-trip helper used by tests: whether two netlists are structurally
+/// identical up to net ids (same drivers, same cell masters, same pin
+/// wiring by name).
+#[must_use]
+pub fn netlists_equivalent(a: &Netlist, b: &Netlist) -> bool {
+    if a.cell_count() != b.cell_count()
+        || a.net_count() != b.net_count()
+        || a.primary_inputs().len() != b.primary_inputs().len()
+        || a.primary_outputs().len() != b.primary_outputs().len()
+    {
+        return false;
+    }
+    let net_name = |nl: &Netlist, id: u32| nl.nets()[id as usize].name.clone();
+    for (ca, cb) in a.cells().iter().zip(b.cells()) {
+        if ca.cell_name != cb.cell_name || ca.inputs.len() != cb.inputs.len() {
+            return false;
+        }
+        if net_name(a, ca.output) != net_name(b, cb.output) {
+            return false;
+        }
+        for (&ia, &ib) in ca.inputs.iter().zip(&cb.inputs) {
+            if net_name(a, ia) != net_name(b, ib) {
+                return false;
+            }
+        }
+    }
+    for (na, nb) in a.nets().iter().zip(b.nets()) {
+        let da = matches!(na.driver, Some(NetDriver::PrimaryInput(_)));
+        let db = matches!(nb.driver, Some(NetDriver::PrimaryInput(_)));
+        if na.name != nb.name || da != db {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use eda_cloud_tech::CellKind;
+
+    #[test]
+    fn aag_roundtrip_preserves_structure_and_function() {
+        let aig = generators::adder(4);
+        let text = write_aag(&aig);
+        let back = read_aag(&text).expect("parse own output");
+        assert_eq!(back.input_count(), aig.input_count());
+        assert_eq!(back.output_count(), aig.output_count());
+        assert_eq!(back.and_count(), aig.and_count());
+        assert_eq!(back.name(), aig.name());
+        // Function preserved.
+        let inputs = [true, false, true, false, false, true, true, false];
+        assert_eq!(
+            back.simulate(&inputs).unwrap(),
+            aig.simulate(&inputs).unwrap()
+        );
+    }
+
+    #[test]
+    fn aag_rejects_garbage() {
+        assert!(read_aag("").is_err());
+        assert!(read_aag("not an aig").is_err());
+        assert!(read_aag("aag 1 1 1 0 0\n2\n").is_err(), "latches rejected");
+        assert!(read_aag("aag 5 1 0 0 0\n2\n").is_err(), "M mismatch");
+    }
+
+    #[test]
+    fn aag_header_counts_match_body() {
+        let aig = generators::parity(8);
+        let text = write_aag(&aig);
+        let header: Vec<&str> = text.lines().next().unwrap().split(' ').collect();
+        let n_and: usize = header[5].parse().unwrap();
+        assert_eq!(n_and, aig.and_count());
+    }
+
+    #[test]
+    fn blif_roundtrip() {
+        let lib = Library::synthetic_14nm();
+        let mut nl = Netlist::new("rt", lib.name());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n1 = nl.add_net("n1");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", "NAND2_X1", CellKind::Nand2, vec![a, b], n1);
+        nl.add_cell("u2", "INV_X1", CellKind::Inv, vec![n1], y);
+        nl.add_output("y", y);
+
+        let text = write_blif(&nl, &lib);
+        let back = read_blif(&text, &lib).expect("parse own output");
+        assert!(netlists_equivalent(&nl, &back), "structural round-trip");
+        for (va, vb) in [(false, false), (true, true), (true, false)] {
+            assert_eq!(
+                back.simulate(&[va, vb]).unwrap(),
+                nl.simulate(&[va, vb]).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn verilog_writer_emits_module() {
+        let lib = Library::synthetic_14nm();
+        let mut nl = Netlist::new("vtest", lib.name());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", "NAND2_X1", CellKind::Nand2, vec![a, b], y);
+        nl.add_output("y", y);
+        let v = write_verilog(&nl, &lib);
+        assert!(v.contains("module vtest"));
+        assert!(v.contains("input  a"));
+        assert!(v.contains("output y"));
+        assert!(v.contains("NAND2_X1 u1 (.A(a), .B(b), .Y(y));"));
+        assert!(v.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn verilog_writer_sanitizes_names() {
+        let lib = Library::synthetic_14nm();
+        let mut nl = Netlist::new("top.mod", lib.name());
+        let a = nl.add_input("a[0]");
+        let y = nl.add_net("y.z");
+        nl.add_cell("u.1", "INV_X1", CellKind::Inv, vec![a], y);
+        nl.add_output("out", y);
+        let v = write_verilog(&nl, &lib);
+        assert!(v.contains("module top_mod"));
+        assert!(v.contains("a_0_"));
+        assert!(!v.contains("y.z"));
+    }
+
+    #[test]
+    fn blif_rejects_unknown_master() {
+        let lib = Library::synthetic_14nm();
+        let text = ".model x\n.inputs a\n.outputs y\n.gate FROB_X1 A=a Y=y\n.end\n";
+        let err = read_blif(text, &lib).unwrap_err();
+        assert!(err.to_string().contains("FROB_X1"));
+    }
+
+    #[test]
+    fn blif_rejects_missing_pin() {
+        let lib = Library::synthetic_14nm();
+        let text = ".model x\n.inputs a\n.outputs y\n.gate NAND2_X1 A=a Y=y\n.end\n";
+        assert!(read_blif(text, &lib).is_err());
+    }
+}

@@ -1,0 +1,947 @@
+//! Synthetic benchmark generators.
+//!
+//! The paper's corpus — 18 designs from the EPFL combinational suite and
+//! OpenCores plus OpenPiton blocks for the routing-scaling study — is tied
+//! to a proprietary flow. This module rebuilds an equivalent corpus from
+//! scratch: 18 parameterized combinational design families covering the
+//! same structural variety (arithmetic, control, routing fabric, random
+//! logic), plus named composite designs (`dynamic_node`, `aes`, ...,
+//! `sparc_core`) in increasing size order for the Figure 3 experiment.
+//!
+//! All generators are deterministic; random families take an explicit
+//! seed and use a ChaCha RNG so corpora are reproducible across runs and
+//! platforms.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_cloud_netlist::generators;
+//!
+//! let aig = generators::build_family("multiplier", 8).expect("known family");
+//! assert_eq!(aig.input_count(), 16);
+//! assert_eq!(aig.output_count(), 16);
+//! ```
+
+use crate::aig::{Aig, Lit};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Names of the 18 design families, in a stable order.
+pub const FAMILY_NAMES: [&str; 18] = [
+    "adder",
+    "barrel",
+    "multiplier",
+    "square",
+    "max",
+    "comparator",
+    "parity",
+    "decoder",
+    "priority",
+    "voter",
+    "arbiter",
+    "ctrl",
+    "crossbar",
+    "int2float",
+    "alu",
+    "sbox",
+    "gray2bin",
+    "hamming",
+];
+
+/// Build a family by name with a single size parameter.
+///
+/// Returns `None` for unknown names. The meaning of `size` is
+/// family-specific (usually a word width or port count); every family
+/// accepts any `size >= 2`.
+#[must_use]
+pub fn build_family(name: &str, size: u32) -> Option<Aig> {
+    let size = size.max(2);
+    let aig = match name {
+        "adder" => adder(size),
+        "barrel" => barrel(size.next_power_of_two()),
+        "multiplier" => multiplier(size),
+        "square" => square(size),
+        "max" => max(size),
+        "comparator" => comparator(size),
+        "parity" => parity(size * 8),
+        "decoder" => decoder(size.min(10)),
+        "priority" => priority(size * 4),
+        "voter" => voter(size * 4 + 1),
+        "arbiter" => arbiter(size * 4),
+        "ctrl" => ctrl(0xC0FFEE ^ u64::from(size), size * 40),
+        "crossbar" => crossbar(size.next_power_of_two().min(16), size),
+        "int2float" => int2float(size.next_power_of_two()),
+        "alu" => alu(size),
+        "sbox" => sbox(0x5B0C ^ u64::from(size), size.min(16)),
+        "gray2bin" => gray2bin(size * 4),
+        "hamming" => hamming(size * 8),
+        _ => return None,
+    };
+    Some(aig)
+}
+
+/// Ripple-carry adder of two `w`-bit operands (outputs `w` sum bits + carry).
+#[must_use]
+pub fn adder(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("adder{w}"));
+    let a: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let b: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let (sum, carry) = add_vectors(&mut aig, &a, &b, Lit::FALSE);
+    for (i, s) in sum.iter().enumerate() {
+        aig.add_po(format!("s{i}"), *s);
+    }
+    aig.add_po("cout", carry);
+    aig
+}
+
+/// Logarithmic barrel shifter: `w` data bits shifted left by a
+/// `log2(w)`-bit amount (`w` must be a power of two).
+///
+/// # Panics
+///
+/// Panics if `w` is not a power of two.
+#[must_use]
+pub fn barrel(w: u32) -> Aig {
+    assert!(w.is_power_of_two(), "barrel width must be a power of two");
+    let stages = w.trailing_zeros();
+    let mut aig = Aig::new(format!("barrel{w}"));
+    let mut data: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let shift: Vec<Lit> = (0..stages).map(|_| aig.add_pi()).collect();
+    for (s, &sel) in shift.iter().enumerate() {
+        let amount = 1usize << s;
+        let mut next = Vec::with_capacity(w as usize);
+        for i in 0..w as usize {
+            let shifted = if i >= amount {
+                data[i - amount]
+            } else {
+                Lit::FALSE
+            };
+            next.push(aig.mux2(sel, shifted, data[i]));
+        }
+        data = next;
+    }
+    for (i, d) in data.iter().enumerate() {
+        aig.add_po(format!("y{i}"), *d);
+    }
+    aig
+}
+
+/// Array multiplier of two `w`-bit operands (outputs `2w` bits).
+#[must_use]
+pub fn multiplier(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("multiplier{w}"));
+    let a: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let b: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let product = multiply_vectors(&mut aig, &a, &b);
+    for (i, p) in product.iter().enumerate() {
+        aig.add_po(format!("p{i}"), *p);
+    }
+    aig
+}
+
+/// Squarer: `w`-bit input multiplied by itself.
+#[must_use]
+pub fn square(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("square{w}"));
+    let a: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let product = multiply_vectors(&mut aig, &a.clone(), &a);
+    for (i, p) in product.iter().enumerate() {
+        aig.add_po(format!("p{i}"), *p);
+    }
+    aig
+}
+
+/// Maximum of two `w`-bit unsigned numbers.
+#[must_use]
+pub fn max(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("max{w}"));
+    let a: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let b: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let a_gt_b = greater_than(&mut aig, &a, &b);
+    for i in 0..w as usize {
+        let y = aig.mux2(a_gt_b, a[i], b[i]);
+        aig.add_po(format!("y{i}"), y);
+    }
+    aig
+}
+
+/// Comparator producing `eq`, `lt`, `gt` for two `w`-bit numbers.
+#[must_use]
+pub fn comparator(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("comparator{w}"));
+    let a: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let b: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let gt = greater_than(&mut aig, &a, &b);
+    let lt = greater_than(&mut aig, &b, &a);
+    let eqs: Vec<Lit> = (0..w as usize)
+        .map(|i| aig.xnor2(a[i], b[i]))
+        .collect();
+    let eq = aig.and_many(eqs);
+    aig.add_po("eq", eq);
+    aig.add_po("lt", lt);
+    aig.add_po("gt", gt);
+    aig
+}
+
+/// Parity (XOR reduction) over `w` inputs.
+#[must_use]
+pub fn parity(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("parity{w}"));
+    let xs: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let p = aig.xor_many(xs);
+    aig.add_po("p", p);
+    aig
+}
+
+/// `w`-to-`2^w` one-hot decoder.
+#[must_use]
+pub fn decoder(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("decoder{w}"));
+    let sel: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    for code in 0..(1u32 << w) {
+        let terms: Vec<Lit> = sel
+            .iter()
+            .enumerate()
+            .map(|(bit, &s)| s.complement_if((code >> bit) & 1 == 0))
+            .collect();
+        let y = aig.and_many(terms);
+        aig.add_po(format!("y{code}"), y);
+    }
+    aig
+}
+
+/// Priority encoder over `w` request lines: binary index of the lowest
+/// set bit, plus a `valid` output.
+#[must_use]
+pub fn priority(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("priority{w}"));
+    let req: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    // none_before[i] = !req[0] & ... & !req[i-1]
+    let mut none_before = Lit::TRUE;
+    let mut selected = Vec::with_capacity(w as usize);
+    for &r in &req {
+        selected.push(aig.and2(r, none_before));
+        none_before = aig.and2(none_before, !r);
+    }
+    let out_bits = 32 - (w - 1).leading_zeros();
+    for bit in 0..out_bits {
+        let terms: Vec<Lit> = (0..w as usize)
+            .filter(|i| (i >> bit) & 1 == 1)
+            .map(|i| selected[i])
+            .collect();
+        let y = aig.or_many(terms);
+        aig.add_po(format!("idx{bit}"), y);
+    }
+    let valid = aig.or_many(selected);
+    aig.add_po("valid", valid);
+    aig
+}
+
+/// Exact majority voter over `n` inputs (true when more than half are set).
+#[must_use]
+pub fn voter(n: u32) -> Aig {
+    let mut aig = Aig::new(format!("voter{n}"));
+    let xs: Vec<Lit> = (0..n).map(|_| aig.add_pi()).collect();
+    let count = popcount(&mut aig, &xs);
+    let threshold = n / 2; // strict majority: count > n/2
+    let y = greater_than_const(&mut aig, &count, u64::from(threshold));
+    aig.add_po("maj", y);
+    aig
+}
+
+/// Fixed-priority arbiter with a per-line mask input: grant the lowest
+/// unmasked requester.
+#[must_use]
+pub fn arbiter(n: u32) -> Aig {
+    let mut aig = Aig::new(format!("arbiter{n}"));
+    let req: Vec<Lit> = (0..n).map(|_| aig.add_pi()).collect();
+    let mask: Vec<Lit> = (0..n).map(|_| aig.add_pi()).collect();
+    let eff: Vec<Lit> = (0..n as usize)
+        .map(|i| aig.and2(req[i], !mask[i]))
+        .collect();
+    let mut none_before = Lit::TRUE;
+    for (i, &e) in eff.iter().enumerate() {
+        let g = aig.and2(e, none_before);
+        aig.add_po(format!("grant{i}"), g);
+        none_before = aig.and2(none_before, !e);
+    }
+    let any = aig.or_many(eff);
+    aig.add_po("busy", any);
+    aig
+}
+
+/// Random control-logic DAG with `gates` random two/three-input
+/// operations over 32 inputs. Deterministic for a given `seed`.
+#[must_use]
+pub fn ctrl(seed: u64, gates: u32) -> Aig {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut aig = Aig::new(format!("ctrl{gates}"));
+    let mut pool: Vec<Lit> = (0..32).map(|_| aig.add_pi()).collect();
+    for _ in 0..gates {
+        let pick = |rng: &mut ChaCha8Rng, pool: &[Lit]| {
+            // Bias towards recent signals to get realistic depth.
+            let n = pool.len();
+            let idx = if rng.gen_bool(0.5) && n > 8 {
+                n - 1 - rng.gen_range(0..8)
+            } else {
+                rng.gen_range(0..n)
+            };
+            pool[idx].complement_if(rng.gen_bool(0.3))
+        };
+        let a = pick(&mut rng, &pool);
+        let b = pick(&mut rng, &pool);
+        let out = match rng.gen_range(0..5u8) {
+            0 => aig.and2(a, b),
+            1 => aig.or2(a, b),
+            2 => aig.xor2(a, b),
+            3 => {
+                let c = pick(&mut rng, &pool);
+                aig.mux2(a, b, c)
+            }
+            _ => {
+                let c = pick(&mut rng, &pool);
+                aig.maj3(a, b, c)
+            }
+        };
+        pool.push(out);
+    }
+    let outputs = 16.min(pool.len());
+    for (i, &l) in pool.iter().rev().take(outputs).enumerate() {
+        aig.add_po(format!("o{i}"), l);
+    }
+    aig
+}
+
+/// `p`-port crossbar over `w`-bit data: each output port selects one of
+/// `p` inputs by a binary select (`p` must be a power of two).
+///
+/// # Panics
+///
+/// Panics if `p` is not a power of two.
+#[must_use]
+pub fn crossbar(p: u32, w: u32) -> Aig {
+    assert!(p.is_power_of_two(), "crossbar ports must be a power of two");
+    let sel_bits = p.trailing_zeros().max(1);
+    let mut aig = Aig::new(format!("crossbar{p}x{w}"));
+    let data: Vec<Vec<Lit>> = (0..p)
+        .map(|_| (0..w).map(|_| aig.add_pi()).collect())
+        .collect();
+    let sels: Vec<Vec<Lit>> = (0..p)
+        .map(|_| (0..sel_bits).map(|_| aig.add_pi()).collect())
+        .collect();
+    for (port, sel) in sels.iter().enumerate() {
+        for bit in 0..w as usize {
+            // Mux tree over the p sources.
+            let mut layer: Vec<Lit> = data.iter().map(|d| d[bit]).collect();
+            for s in sel {
+                let mut next = Vec::with_capacity(layer.len() / 2);
+                for pair in layer.chunks(2) {
+                    next.push(if pair.len() == 2 {
+                        aig.mux2(*s, pair[1], pair[0])
+                    } else {
+                        pair[0]
+                    });
+                }
+                layer = next;
+            }
+            aig.add_po(format!("out{port}_{bit}"), layer[0]);
+        }
+    }
+    aig
+}
+
+/// Integer-to-float style normalizer: leading-one detector plus
+/// normalizing left shift of a `w`-bit input (`w` a power of two).
+///
+/// # Panics
+///
+/// Panics if `w` is not a power of two.
+#[must_use]
+pub fn int2float(w: u32) -> Aig {
+    assert!(w.is_power_of_two(), "int2float width must be a power of two");
+    let stages = w.trailing_zeros();
+    let mut aig = Aig::new(format!("int2float{w}"));
+    let x: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    // Leading-one position from the MSB side: priority over reversed bits.
+    let mut none_before = Lit::TRUE;
+    let mut selected = vec![Lit::FALSE; w as usize];
+    for i in (0..w as usize).rev() {
+        selected[i] = aig.and2(x[i], none_before);
+        none_before = aig.and2(none_before, !x[i]);
+    }
+    // Exponent bits = binary encoding of leading-one index.
+    let mut exp = Vec::new();
+    for bit in 0..stages {
+        let terms: Vec<Lit> = (0..w as usize)
+            .filter(|i| (i >> bit) & 1 == 1)
+            .map(|i| selected[i])
+            .collect();
+        let e = aig.or_many(terms);
+        exp.push(e);
+    }
+    // Normalize: barrel-shift left by (w-1 - index) == shift by !exp.
+    let mut data = x;
+    for (s, &e) in exp.iter().enumerate() {
+        let amount = 1usize << s;
+        let sel = !e; // shift when exponent bit is 0 (leading one is low)
+        let mut next = Vec::with_capacity(w as usize);
+        for i in 0..w as usize {
+            let shifted = if i >= amount {
+                data[i - amount]
+            } else {
+                Lit::FALSE
+            };
+            next.push(aig.mux2(sel, shifted, data[i]));
+        }
+        data = next;
+    }
+    for (i, e) in exp.iter().enumerate() {
+        aig.add_po(format!("exp{i}"), *e);
+    }
+    for (i, m) in data.iter().enumerate().take(w as usize) {
+        aig.add_po(format!("mant{i}"), *m);
+    }
+    aig
+}
+
+/// Small ALU over `w`-bit operands: ADD, SUB, AND, OR, XOR, PASS selected
+/// by a 3-bit opcode.
+#[must_use]
+pub fn alu(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("alu{w}"));
+    let a: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let b: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let op: Vec<Lit> = (0..3).map(|_| aig.add_pi()).collect();
+    let (add, _) = add_vectors(&mut aig, &a, &b, Lit::FALSE);
+    let not_b: Vec<Lit> = b.iter().map(|&l| !l).collect();
+    let (sub, _) = add_vectors(&mut aig, &a, &not_b, Lit::TRUE);
+    let and: Vec<Lit> = (0..w as usize).map(|i| aig.and2(a[i], b[i])).collect();
+    let or: Vec<Lit> = (0..w as usize).map(|i| aig.or2(a[i], b[i])).collect();
+    let xor: Vec<Lit> = (0..w as usize).map(|i| aig.xor2(a[i], b[i])).collect();
+    for i in 0..w as usize {
+        // op[1:0] select among {add,sub,and,or}; op[2] overrides to xor/pass.
+        let lo = aig.mux2(op[0], sub[i], add[i]);
+        let hi = aig.mux2(op[0], or[i], and[i]);
+        let base = aig.mux2(op[1], hi, lo);
+        let alt = aig.mux2(op[0], a[i], xor[i]);
+        let y = aig.mux2(op[2], alt, base);
+        aig.add_po(format!("y{i}"), y);
+    }
+    aig
+}
+
+/// Random substitution box: `w` inputs, `w` outputs of dense random logic
+/// (crypto-like). Deterministic for a given `seed`.
+#[must_use]
+pub fn sbox(seed: u64, w: u32) -> Aig {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut aig = Aig::new(format!("sbox{w}"));
+    let xs: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    for o in 0..w {
+        // Random balanced expression tree of depth ~5 over the inputs.
+        let mut layer: Vec<Lit> = (0..16)
+            .map(|_| {
+                let i = rng.gen_range(0..xs.len());
+                xs[i].complement_if(rng.gen_bool(0.5))
+            })
+            .collect();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2);
+            for pair in layer.chunks(2) {
+                let y = if pair.len() == 2 {
+                    match rng.gen_range(0..3u8) {
+                        0 => aig.and2(pair[0], pair[1]),
+                        1 => aig.or2(pair[0], pair[1]),
+                        _ => aig.xor2(pair[0], pair[1]),
+                    }
+                } else {
+                    pair[0]
+                };
+                next.push(y);
+            }
+            layer = next;
+        }
+        aig.add_po(format!("s{o}"), layer[0]);
+    }
+    aig
+}
+
+/// Gray-code to binary converter (XOR prefix chain).
+#[must_use]
+pub fn gray2bin(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("gray2bin{w}"));
+    let g: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let mut acc = g[w as usize - 1];
+    let mut bits = vec![acc];
+    for i in (0..w as usize - 1).rev() {
+        acc = aig.xor2(acc, g[i]);
+        bits.push(acc);
+    }
+    for (i, b) in bits.iter().rev().enumerate() {
+        aig.add_po(format!("b{i}"), *b);
+    }
+    aig
+}
+
+/// Hamming-style parity generator: one parity output per bit position of
+/// the index, XORed over matching data bits.
+#[must_use]
+pub fn hamming(w: u32) -> Aig {
+    let mut aig = Aig::new(format!("hamming{w}"));
+    let d: Vec<Lit> = (0..w).map(|_| aig.add_pi()).collect();
+    let r = 32 - w.leading_zeros();
+    for bit in 0..r {
+        let terms: Vec<Lit> = (0..w as usize)
+            .filter(|i| ((i + 1) >> bit) & 1 == 1)
+            .map(|i| d[i])
+            .collect();
+        let p = aig.xor_many(terms);
+        aig.add_po(format!("p{bit}"), p);
+    }
+    aig
+}
+
+// ---------------------------------------------------------------------
+// Composite OpenPiton-like designs for the routing-scaling experiment.
+// ---------------------------------------------------------------------
+
+/// Names of the composite designs used by Figure 3, smallest first
+/// (`dynamic_node` is the smallest, `sparc_core` the largest).
+pub const OPENPITON_NAMES: [&str; 6] = [
+    "dynamic_node",
+    "aes",
+    "vanilla5",
+    "fpu",
+    "l2_bank",
+    "sparc_core",
+];
+
+/// Build a composite design by OpenPiton-like name; `None` if unknown.
+///
+/// Sizes grow roughly geometrically from a few hundred to tens of
+/// thousands of AIG nodes, mirroring the relative sizes in the paper
+/// (scaled down ~4x to stay laptop-friendly).
+#[must_use]
+pub fn openpiton_design(name: &str) -> Option<Aig> {
+    let parts: Vec<Aig> = match name {
+        "dynamic_node" => vec![crossbar(4, 8), arbiter(16), ctrl(11, 120)],
+        "aes" => vec![
+            sbox(1, 16),
+            sbox(2, 16),
+            sbox(3, 16),
+            sbox(4, 16),
+            parity(64),
+            ctrl(5, 400),
+        ],
+        "vanilla5" => vec![alu(16), barrel(16), priority(32), ctrl(7, 800)],
+        "fpu" => vec![multiplier(24), adder(48), int2float(32), ctrl(9, 600)],
+        "l2_bank" => vec![
+            decoder(8),
+            comparator(64),
+            crossbar(8, 32),
+            ctrl(13, 2500),
+            parity(128),
+        ],
+        "sparc_core" => vec![
+            multiplier(32),
+            alu(32),
+            barrel(32),
+            int2float(32),
+            decoder(7),
+            priority(64),
+            arbiter(32),
+            ctrl(17, 5000),
+            sbox(18, 16),
+            voter(33),
+        ],
+        _ => return None,
+    };
+    Some(merge(name, &parts))
+}
+
+/// Merge independent AIGs into one design with disjoint I/O spaces.
+#[must_use]
+pub fn merge(name: &str, parts: &[Aig]) -> Aig {
+    let mut out = Aig::new(name);
+    for (pi, part) in parts.iter().enumerate() {
+        let mut map: Vec<Lit> = Vec::with_capacity(part.node_count());
+        for node in part.nodes() {
+            let lit = match node {
+                crate::aig::AigNode::Const0 => Lit::FALSE,
+                crate::aig::AigNode::Pi(_) => out.add_pi(),
+                crate::aig::AigNode::And(a, b) => {
+                    let la = map[a.node() as usize].complement_if(a.is_complemented());
+                    let lb = map[b.node() as usize].complement_if(b.is_complemented());
+                    out.and2(la, lb)
+                }
+            };
+            map.push(lit);
+        }
+        for (po_name, l) in part.outputs() {
+            let lit = map[l.node() as usize].complement_if(l.is_complemented());
+            out.add_po(format!("u{pi}_{po_name}"), lit);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Shared arithmetic helpers.
+// ---------------------------------------------------------------------
+
+/// Ripple add two equal-width bit vectors; returns (sum bits, carry out).
+fn add_vectors(aig: &mut Aig, a: &[Lit], b: &[Lit], carry_in: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    let mut carry = carry_in;
+    let mut sum = Vec::with_capacity(a.len());
+    for i in 0..a.len() {
+        let axb = aig.xor2(a[i], b[i]);
+        let s = aig.xor2(axb, carry);
+        carry = aig.maj3(a[i], b[i], carry);
+        sum.push(s);
+    }
+    (sum, carry)
+}
+
+/// Array multiplication; returns `a.len() + b.len()` product bits.
+fn multiply_vectors(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let w = a.len() + b.len();
+    let mut acc = vec![Lit::FALSE; w];
+    for (i, &ai) in a.iter().enumerate() {
+        // Partial product row: (a_i ? b : 0) << i, ripple-added into acc.
+        let mut carry = Lit::FALSE;
+        for (j, &bj) in b.iter().enumerate() {
+            let pp = aig.and2(ai, bj);
+            let pos = i + j;
+            let axb = aig.xor2(acc[pos], pp);
+            let s = aig.xor2(axb, carry);
+            carry = aig.maj3(acc[pos], pp, carry);
+            acc[pos] = s;
+        }
+        // Propagate final carry.
+        let mut pos = i + b.len();
+        while carry != Lit::FALSE && pos < w {
+            let s = aig.xor2(acc[pos], carry);
+            carry = aig.and2(acc[pos], carry);
+            acc[pos] = s;
+            pos += 1;
+        }
+    }
+    acc
+}
+
+/// Unsigned `a > b` over equal-width vectors.
+fn greater_than(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    assert_eq!(a.len(), b.len(), "operand widths must match");
+    let mut gt = Lit::FALSE;
+    for i in 0..a.len() {
+        // From LSB to MSB: gt = a_i & !b_i  |  (a_i == b_i) & gt_lower
+        let ai_gt = aig.and2(a[i], !b[i]);
+        let eq = aig.xnor2(a[i], b[i]);
+        let keep = aig.and2(eq, gt);
+        gt = aig.or2(ai_gt, keep);
+    }
+    gt
+}
+
+/// Unsigned `value > constant` for a bit vector.
+fn greater_than_const(aig: &mut Aig, value: &[Lit], constant: u64) -> Lit {
+    let mut gt = Lit::FALSE;
+    for (i, &v) in value.iter().enumerate() {
+        let kbit = (constant >> i) & 1 == 1;
+        if kbit {
+            // v must be 1 to stay equal; gt propagates only when equal.
+            gt = aig.and2(v, gt);
+        } else {
+            // v=1 makes it greater at this bit.
+            gt = aig.or2(v, gt);
+        }
+    }
+    gt
+}
+
+/// Population count of a bit set, as a binary vector.
+fn popcount(aig: &mut Aig, xs: &[Lit]) -> Vec<Lit> {
+    // Tree of vector additions over 1-bit numbers.
+    let mut layer: Vec<Vec<Lit>> = xs.iter().map(|&x| vec![x]).collect();
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        let mut it = layer.into_iter();
+        while let Some(a) = it.next() {
+            if let Some(b) = it.next() {
+                let w = a.len().max(b.len()) ;
+                let pad = |mut v: Vec<Lit>| {
+                    v.resize(w, Lit::FALSE);
+                    v
+                };
+                let (sum, carry) = add_vectors(aig, &pad(a), &pad(b), Lit::FALSE);
+                let mut s = sum;
+                s.push(carry);
+                next.push(s);
+            } else {
+                next.push(a);
+            }
+        }
+        layer = next;
+    }
+    layer.pop().unwrap_or_else(|| vec![Lit::FALSE])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_to_u64(bits: &[bool]) -> u64 {
+        bits.iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | (u64::from(b) << i))
+    }
+
+    fn u64_to_bits(v: u64, w: u32) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn adder_is_correct() {
+        let aig = adder(6);
+        for (a, b) in [(0u64, 0u64), (5, 9), (63, 1), (33, 31), (63, 63)] {
+            let mut inputs = u64_to_bits(a, 6);
+            inputs.extend(u64_to_bits(b, 6));
+            let out = aig.simulate(&inputs).expect("arity");
+            assert_eq!(bits_to_u64(&out), a + b, "{a}+{b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_is_correct() {
+        let aig = multiplier(5);
+        for (a, b) in [(0u64, 0u64), (3, 7), (31, 31), (17, 2), (25, 13)] {
+            let mut inputs = u64_to_bits(a, 5);
+            inputs.extend(u64_to_bits(b, 5));
+            let out = aig.simulate(&inputs).expect("arity");
+            assert_eq!(bits_to_u64(&out), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn square_matches_multiplier() {
+        let aig = square(4);
+        for a in 0u64..16 {
+            let out = aig.simulate(&u64_to_bits(a, 4)).expect("arity");
+            assert_eq!(bits_to_u64(&out), a * a, "{a}^2");
+        }
+    }
+
+    #[test]
+    fn barrel_shifts_left() {
+        let aig = barrel(8);
+        for (data, shift) in [(0b1u64, 3u64), (0b1011, 2), (0xFF, 7), (0xAB, 0)] {
+            let mut inputs = u64_to_bits(data, 8);
+            inputs.extend(u64_to_bits(shift, 3));
+            let out = aig.simulate(&inputs).expect("arity");
+            assert_eq!(bits_to_u64(&out), (data << shift) & 0xFF);
+        }
+    }
+
+    #[test]
+    fn max_and_comparator_agree() {
+        let maxer = max(5);
+        let cmp = comparator(5);
+        for (a, b) in [(0u64, 0u64), (3, 17), (30, 12), (12, 12), (31, 30)] {
+            let mut inputs = u64_to_bits(a, 5);
+            inputs.extend(u64_to_bits(b, 5));
+            let m = maxer.simulate(&inputs).expect("arity");
+            assert_eq!(bits_to_u64(&m), a.max(b));
+            let c = cmp.simulate(&inputs).expect("arity");
+            assert_eq!(c, vec![a == b, a < b, a > b]);
+        }
+    }
+
+    #[test]
+    fn parity_counts_mod_two() {
+        let aig = parity(16);
+        let mut inputs = vec![false; 16];
+        inputs[1] = true;
+        inputs[5] = true;
+        inputs[6] = true;
+        assert_eq!(aig.simulate(&inputs).unwrap(), vec![true]);
+        inputs[9] = true;
+        assert_eq!(aig.simulate(&inputs).unwrap(), vec![false]);
+    }
+
+    #[test]
+    fn decoder_one_hot() {
+        let aig = decoder(3);
+        for code in 0u64..8 {
+            let out = aig.simulate(&u64_to_bits(code, 3)).unwrap();
+            let hot: Vec<usize> = out
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(hot, vec![code as usize]);
+        }
+    }
+
+    #[test]
+    fn priority_encoder_lowest_wins() {
+        let aig = priority(8);
+        let mut inputs = vec![false; 8];
+        inputs[5] = true;
+        inputs[2] = true; // lowest set bit = 2
+        let out = aig.simulate(&inputs).unwrap();
+        // idx bits (3) then valid.
+        assert_eq!(bits_to_u64(&out[..3]), 2);
+        assert!(out[3]);
+        let out = aig.simulate(&vec![false; 8]).unwrap();
+        assert!(!out[3], "no request -> invalid");
+    }
+
+    #[test]
+    fn voter_majority() {
+        let aig = voter(5);
+        let vote = |n_set: usize| {
+            let mut v = vec![false; 5];
+            v.iter_mut().take(n_set).for_each(|b| *b = true);
+            aig.simulate(&v).unwrap()[0]
+        };
+        assert!(!vote(0));
+        assert!(!vote(2));
+        assert!(vote(3));
+        assert!(vote(5));
+    }
+
+    #[test]
+    fn arbiter_grants_lowest_unmasked() {
+        let aig = arbiter(4);
+        // req = 0b1010, mask = 0b0010 -> effective = 0b1000 -> grant 3.
+        let mut inputs = u64_to_bits(0b1010, 4);
+        inputs.extend(u64_to_bits(0b0010, 4));
+        let out = aig.simulate(&inputs).unwrap();
+        assert_eq!(out[..4], [false, false, false, true]);
+        assert!(out[4], "busy");
+    }
+
+    #[test]
+    fn gray_roundtrip() {
+        let aig = gray2bin(6);
+        for v in [0u64, 1, 13, 42, 63] {
+            let gray = v ^ (v >> 1);
+            let out = aig.simulate(&u64_to_bits(gray, 6)).unwrap();
+            assert_eq!(bits_to_u64(&out), v, "gray({v})");
+        }
+    }
+
+    #[test]
+    fn ctrl_is_deterministic() {
+        let a = ctrl(42, 100);
+        let b = ctrl(42, 100);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.outputs(), b.outputs());
+        let c = ctrl(43, 100);
+        assert_ne!(
+            (a.node_count(), a.and_count()),
+            (c.node_count() + 1000, c.and_count()) // trivially different sanity
+        );
+    }
+
+    #[test]
+    fn crossbar_routes() {
+        let aig = crossbar(4, 2);
+        // 4 ports x 2 bits data, then 4 x 2 select bits.
+        let data: [u64; 4] = [0b01, 0b10, 0b11, 0b00];
+        let mut inputs = Vec::new();
+        for d in data {
+            inputs.extend(u64_to_bits(d, 2));
+        }
+        // All four outputs select port 2.
+        for _ in 0..4 {
+            inputs.extend(u64_to_bits(2, 2));
+        }
+        let out = aig.simulate(&inputs).unwrap();
+        for port in 0..4 {
+            assert_eq!(bits_to_u64(&out[port * 2..port * 2 + 2]), 0b11);
+        }
+    }
+
+    #[test]
+    fn all_families_build_and_check() {
+        for name in FAMILY_NAMES {
+            let aig = build_family(name, 4).expect("known family");
+            aig.check().expect("valid AIG");
+            assert!(aig.and_count() > 0, "{name} has logic");
+            assert!(aig.output_count() > 0, "{name} has outputs");
+        }
+        assert!(build_family("nonsense", 4).is_none());
+    }
+
+    #[test]
+    fn openpiton_designs_increase_in_size() {
+        let sizes: Vec<usize> = OPENPITON_NAMES
+            .iter()
+            .map(|n| openpiton_design(n).expect("known").and_count())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1], "sizes must increase: {sizes:?}");
+        }
+        assert!(openpiton_design("unknown").is_none());
+    }
+
+    #[test]
+    fn merge_preserves_function() {
+        let a = adder(3);
+        let p = parity(4);
+        let merged = merge("both", &[a.clone(), p.clone()]);
+        assert_eq!(merged.input_count(), a.input_count() + p.input_count());
+        assert_eq!(merged.output_count(), a.output_count() + p.output_count());
+        // Simulate: adder part 3+2, parity part odd.
+        let mut inputs = u64_to_bits(3, 3);
+        inputs.extend(u64_to_bits(2, 3));
+        inputs.extend([true, false, false, false]);
+        let out = merged.simulate(&inputs).unwrap();
+        assert_eq!(bits_to_u64(&out[..4]), 5);
+        assert!(out[4]);
+        merged.check().expect("valid");
+    }
+
+    #[test]
+    fn int2float_normalizes() {
+        let aig = int2float(8);
+        // Input 0b0001_0000 -> leading one at index 4 -> exp = 4.
+        let out = aig.simulate(&u64_to_bits(0b0001_0000, 8)).unwrap();
+        let exp = bits_to_u64(&out[..3]);
+        assert_eq!(exp, 4);
+        // Mantissa: shifted so the leading one lands at the MSB.
+        let mant = bits_to_u64(&out[3..]);
+        assert_eq!(mant & 0x80, 0x80, "leading one at MSB, mant={mant:#b}");
+    }
+
+    #[test]
+    fn alu_operations() {
+        let aig = alu(4);
+        let run = |a: u64, b: u64, op: u64| {
+            let mut inputs = u64_to_bits(a, 4);
+            inputs.extend(u64_to_bits(b, 4));
+            inputs.extend(u64_to_bits(op, 3));
+            bits_to_u64(&aig.simulate(&inputs).unwrap())
+        };
+        assert_eq!(run(5, 3, 0b000), 8); // add
+        assert_eq!(run(5, 3, 0b001), 2); // sub
+        assert_eq!(run(0b1100, 0b1010, 0b010), 0b1000); // and
+        assert_eq!(run(0b1100, 0b1010, 0b011), 0b1110); // or
+        assert_eq!(run(0b1100, 0b1010, 0b100), 0b0110); // xor
+        assert_eq!(run(0b1100, 0b1010, 0b101), 0b1100); // pass a
+    }
+
+    #[test]
+    fn hamming_parities() {
+        let aig = hamming(8);
+        // data = one-hot at position 0 (index 1 in 1-based): parity bits = 1's bits of 1.
+        let mut d = vec![false; 8];
+        d[0] = true;
+        let out = aig.simulate(&d).unwrap();
+        assert!(out[0]); // bit0 of (0+1)=1
+        assert!(!out[1]);
+    }
+}

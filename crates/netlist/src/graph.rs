@@ -1,0 +1,394 @@
+//! Design-to-graph conversion for the runtime-prediction GCN.
+//!
+//! The paper feeds the GCN either the AIG of a design (synthesis) or the
+//! *star-model* graph of its netlist (placement/routing/STA): cells and
+//! I/O pins become nodes, and each net becomes a set of directed edges
+//! from the driving cell (or input pin) to each sink (or output pin).
+
+use crate::aig::{Aig, AigNode};
+use crate::netlist::{NetDriver, NetSink, Netlist};
+use serde::{Deserialize, Serialize};
+
+/// Number of per-node input features produced by the converters.
+pub const FEATURE_DIM: usize = 10;
+
+/// Per-node feature vector layout (see [`FEATURE_DIM`]).
+///
+/// | idx | meaning |
+/// |-----|---------|
+/// | 0 | is primary input |
+/// | 1 | is primary output |
+/// | 2 | is combinational gate / AND node |
+/// | 3 | is sequential element |
+/// | 4 | fanin count / 4 |
+/// | 5 | `ln(1 + fanout)` |
+/// | 6 | logic level / depth (normalized) |
+/// | 7 | complemented-fanin fraction (AIG) or relative drive (netlist) |
+/// | 8 | relative area (netlist; 0 for AIG) |
+/// | 9 | constant 1 (bias) |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeFeatures(pub [f64; FEATURE_DIM]);
+
+/// A directed graph with node features, ready for GCN consumption.
+///
+/// Stored in CSR (compressed sparse row) form over *outgoing* edges;
+/// [`DesignGraph::reverse_offsets`]/[`DesignGraph::reverse_targets`] give
+/// the transposed (incoming) view used for fanin aggregation.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_netlist::{generators, DesignGraph};
+///
+/// let graph = DesignGraph::from_aig(&generators::adder(4));
+/// assert!(graph.edge_count() > 0);
+/// let deg: usize = (0..graph.node_count()).map(|v| graph.out_neighbors(v).len()).sum();
+/// assert_eq!(deg, graph.edge_count());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignGraph {
+    name: String,
+    node_count: usize,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    rev_offsets: Vec<u32>,
+    rev_targets: Vec<u32>,
+    features: Vec<f64>,
+}
+
+impl DesignGraph {
+    /// Build from an edge list. Edges are `(from, to)` node indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a node `>= node_count` or if
+    /// `features.len() != node_count`.
+    #[must_use]
+    pub fn from_edges(
+        name: impl Into<String>,
+        node_count: usize,
+        edges: &[(u32, u32)],
+        features: Vec<NodeFeatures>,
+    ) -> Self {
+        assert_eq!(features.len(), node_count, "one feature row per node");
+        let csr = |key: fn(&(u32, u32)) -> u32, val: fn(&(u32, u32)) -> u32| {
+            let mut offsets = vec![0u32; node_count + 1];
+            for e in edges {
+                let k = key(e) as usize;
+                assert!(k < node_count, "edge endpoint out of range");
+                assert!((val(e) as usize) < node_count, "edge endpoint out of range");
+                offsets[k + 1] += 1;
+            }
+            for i in 0..node_count {
+                offsets[i + 1] += offsets[i];
+            }
+            let mut cursor = offsets.clone();
+            let mut targets = vec![0u32; edges.len()];
+            for e in edges {
+                let k = key(e) as usize;
+                targets[cursor[k] as usize] = val(e);
+                cursor[k] += 1;
+            }
+            (offsets, targets)
+        };
+        let (offsets, targets) = csr(|e| e.0, |e| e.1);
+        let (rev_offsets, rev_targets) = csr(|e| e.1, |e| e.0);
+        let flat: Vec<f64> = features.iter().flat_map(|f| f.0).collect();
+        Self {
+            name: name.into(),
+            node_count,
+            offsets,
+            targets,
+            rev_offsets,
+            rev_targets,
+            features: flat,
+        }
+    }
+
+    /// Convert an AIG: one node per AIG node plus one per primary output;
+    /// edges follow signal flow (fanin → node, PO driver → PO node).
+    #[must_use]
+    pub fn from_aig(aig: &Aig) -> Self {
+        let n_core = aig.node_count();
+        let n = n_core + aig.output_count();
+        let levels = aig.levels();
+        let fanouts = aig.fanouts();
+        // Normalize by the deepest node anywhere in the AIG (dead logic
+        // included) so the level feature is always within [0, 1].
+        let depth = f64::from(levels.iter().copied().max().unwrap_or(0).max(1));
+        let mut edges = Vec::new();
+        let mut features = vec![NodeFeatures([0.0; FEATURE_DIM]); n];
+        for (i, node) in aig.nodes().iter().enumerate() {
+            let f = &mut features[i].0;
+            f[9] = 1.0;
+            f[5] = (1.0 + f64::from(fanouts[i])).ln();
+            f[6] = f64::from(levels[i]) / depth;
+            match node {
+                AigNode::Const0 => {}
+                AigNode::Pi(_) => f[0] = 1.0,
+                AigNode::And(a, b) => {
+                    f[2] = 1.0;
+                    f[4] = 2.0 / 4.0;
+                    f[7] = (f64::from(u8::from(a.is_complemented()))
+                        + f64::from(u8::from(b.is_complemented())))
+                        / 2.0;
+                    edges.push((a.node(), i as u32));
+                    edges.push((b.node(), i as u32));
+                }
+            }
+        }
+        for (k, (_, lit)) in aig.outputs().iter().enumerate() {
+            let v = (n_core + k) as u32;
+            let f = &mut features[v as usize].0;
+            f[1] = 1.0;
+            f[4] = 1.0 / 4.0;
+            f[6] = 1.0;
+            f[7] = f64::from(u8::from(lit.is_complemented()));
+            f[9] = 1.0;
+            edges.push((lit.node(), v));
+        }
+        Self::from_edges(aig.name().to_owned(), n, &edges, features)
+    }
+
+    /// Convert a netlist using the star model: one node per cell, per
+    /// primary input, and per primary output; each net contributes a
+    /// directed edge from its driver node to every sink node.
+    #[must_use]
+    pub fn from_netlist(netlist: &Netlist) -> Self {
+        let n_cells = netlist.cell_count();
+        let n_pis = netlist.primary_inputs().len();
+        let n_pos = netlist.primary_outputs().len();
+        let n = n_cells + n_pis + n_pos;
+        // Node numbering: cells, then PI ports, then PO ports.
+        let pi_node = |k: usize| (n_cells + k) as u32;
+        let po_node = |k: usize| (n_cells + n_pis + k) as u32;
+
+        let mut edges = Vec::new();
+        for net in netlist.nets() {
+            let Some(driver) = net.driver else { continue };
+            let from = match driver {
+                NetDriver::Cell(c) => c,
+                NetDriver::PrimaryInput(k) => pi_node(k as usize),
+            };
+            for sink in &net.sinks {
+                let to = match *sink {
+                    NetSink::CellPin { cell, .. } => cell,
+                    NetSink::PrimaryOutput(k) => po_node(k as usize),
+                };
+                edges.push((from, to));
+            }
+        }
+
+        // Per-cell levels for the depth feature.
+        let depth = netlist.depth().max(1) as f64;
+        let mut level = vec![0usize; n_cells];
+        if let Ok(order) = netlist.topological_cells() {
+            for &cid in &order {
+                let cell = &netlist.cells()[cid as usize];
+                if cell.kind.is_sequential() {
+                    continue;
+                }
+                let mut l = 1;
+                for &inet in &cell.inputs {
+                    if let Some(NetDriver::Cell(d)) = netlist.nets()[inet as usize].driver {
+                        if !netlist.cells()[d as usize].kind.is_sequential() {
+                            l = l.max(level[d as usize] + 1);
+                        }
+                    }
+                }
+                level[cid as usize] = l;
+            }
+        }
+        let mut fanout = vec![0u32; n];
+        for &(from, _) in &edges {
+            fanout[from as usize] += 1;
+        }
+
+        let max_area = 2.0; // µm², roughly the largest master in synth14
+        let mut features = vec![NodeFeatures([0.0; FEATURE_DIM]); n];
+        for (i, cell) in netlist.cells().iter().enumerate() {
+            let f = &mut features[i].0;
+            f[2] = if cell.kind.is_sequential() { 0.0 } else { 1.0 };
+            f[3] = if cell.kind.is_sequential() { 1.0 } else { 0.0 };
+            f[4] = cell.inputs.len() as f64 / 4.0;
+            f[5] = (1.0 + f64::from(fanout[i])).ln();
+            f[6] = level[i] as f64 / depth;
+            // Relative drive strength from the master name suffix.
+            f[7] = if cell.cell_name.ends_with("X2") { 1.0 } else { 0.5 };
+            f[8] = (0.2 + 0.1 * cell.inputs.len() as f64) / max_area;
+            f[9] = 1.0;
+        }
+        for k in 0..n_pis {
+            let f = &mut features[pi_node(k) as usize].0;
+            f[0] = 1.0;
+            f[5] = (1.0 + f64::from(fanout[pi_node(k) as usize])).ln();
+            f[9] = 1.0;
+        }
+        for k in 0..n_pos {
+            let f = &mut features[po_node(k) as usize].0;
+            f[1] = 1.0;
+            f[4] = 0.25;
+            f[6] = 1.0;
+            f[9] = 1.0;
+        }
+        Self::from_edges(netlist.name().to_owned(), n, &edges, features)
+    }
+
+    /// Design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Outgoing neighbors of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count`.
+    #[must_use]
+    pub fn out_neighbors(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Incoming neighbors of node `v` (its fanins under signal flow).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count`.
+    #[must_use]
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.rev_targets[self.rev_offsets[v] as usize..self.rev_offsets[v + 1] as usize]
+    }
+
+    /// CSR offsets over outgoing edges (length `node_count + 1`).
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// CSR target array over outgoing edges.
+    #[must_use]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// CSR offsets over incoming edges.
+    #[must_use]
+    pub fn reverse_offsets(&self) -> &[u32] {
+        &self.rev_offsets
+    }
+
+    /// CSR source array over incoming edges.
+    #[must_use]
+    pub fn reverse_targets(&self) -> &[u32] {
+        &self.rev_targets
+    }
+
+    /// Feature row of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count`.
+    #[must_use]
+    pub fn feature_row(&self, v: usize) -> &[f64] {
+        &self.features[v * FEATURE_DIM..(v + 1) * FEATURE_DIM]
+    }
+
+    /// Flat row-major feature matrix (`node_count x FEATURE_DIM`).
+    #[must_use]
+    pub fn features(&self) -> &[f64] {
+        &self.features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use eda_cloud_tech::CellKind;
+
+    #[test]
+    fn aig_conversion_shape() {
+        let aig = generators::adder(4);
+        let g = DesignGraph::from_aig(&aig);
+        assert_eq!(g.node_count(), aig.node_count() + aig.output_count());
+        // Every AND contributes 2 edges; every PO 1 edge.
+        assert_eq!(g.edge_count(), 2 * aig.and_count() + aig.output_count());
+    }
+
+    #[test]
+    fn csr_views_are_transposes() {
+        let g = DesignGraph::from_aig(&generators::adder(4));
+        let mut fwd: Vec<(u32, u32)> = Vec::new();
+        for v in 0..g.node_count() {
+            for &t in g.out_neighbors(v) {
+                fwd.push((v as u32, t));
+            }
+        }
+        let mut rev: Vec<(u32, u32)> = Vec::new();
+        for v in 0..g.node_count() {
+            for &s in g.in_neighbors(v) {
+                rev.push((s, v as u32));
+            }
+        }
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn star_model_edge_count() {
+        // Build 1 driver cell with 3 sinks: expect 3 star edges for that net.
+        let mut nl = Netlist::new("star", "synth14");
+        let a = nl.add_input("a");
+        let hub = nl.add_net("hub");
+        nl.add_cell("drv", "INV_X1", CellKind::Inv, vec![a], hub);
+        for i in 0..3 {
+            let out = nl.add_net(format!("o{i}"));
+            nl.add_cell(format!("s{i}"), "INV_X1", CellKind::Inv, vec![hub], out);
+            nl.add_output(format!("o{i}"), out);
+        }
+        let g = DesignGraph::from_netlist(&nl);
+        // a->drv (1), hub: drv->s0,s1,s2 (3), o_i -> PO_i (3)
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!(g.node_count(), 4 + 1 + 3);
+        // drv node (id 0) has 3 outgoing star edges.
+        assert_eq!(g.out_neighbors(0).len(), 3);
+    }
+
+    #[test]
+    fn features_have_bias_and_flags() {
+        let aig = generators::adder(4);
+        let g = DesignGraph::from_aig(&aig);
+        for v in 0..g.node_count() {
+            let f = g.feature_row(v);
+            assert_eq!(f.len(), FEATURE_DIM);
+            assert_eq!(f[9], 1.0, "bias feature");
+        }
+        // PI nodes flagged.
+        let pi = aig.inputs()[0] as usize;
+        assert_eq!(g.feature_row(pi)[0], 1.0);
+        // PO nodes flagged (appended after core nodes).
+        let po = aig.node_count();
+        assert_eq!(g.feature_row(po)[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge endpoint out of range")]
+    fn out_of_range_edge_panics() {
+        let feats = vec![NodeFeatures([0.0; FEATURE_DIM]); 2];
+        let _ = DesignGraph::from_edges("bad", 2, &[(0, 5)], feats);
+    }
+}

@@ -1,0 +1,375 @@
+//! Machine configuration and the work-to-runtime execution model.
+
+use crate::CounterSet;
+use serde::{Deserialize, Serialize};
+
+/// A virtual-machine configuration as the EDA job sees it.
+///
+/// The paper emulates VM sizes (1/2/4/8 vCPUs) by throttling a 14-core
+/// Xeon E5-2680 host with cgroups; this struct captures the quantities
+/// that throttling controls plus the instance-family traits the paper's
+/// recommendations hinge on (AVX support, memory-to-core ratio).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of virtual CPUs (hardware threads).
+    pub vcpus: u32,
+    /// Memory in GiB.
+    pub memory_gb: f64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Whether the underlying processor exposes AVX vector units.
+    pub avx: bool,
+    /// Memory bandwidth available to this VM, GB/s.
+    pub mem_bw_gbps: f64,
+    /// Interference factor from co-tenants in `[0, 1)`; effective core
+    /// throughput is scaled by `1 - interference`.
+    pub interference: f64,
+}
+
+impl MachineConfig {
+    /// A general-purpose VM with `vcpus` cores (4 GiB and ~6 GB/s of
+    /// memory bandwidth per vCPU, AVX available, Xeon-like 3.3 GHz).
+    #[must_use]
+    pub fn vcpus(vcpus: u32) -> Self {
+        let vcpus = vcpus.max(1);
+        Self {
+            vcpus,
+            memory_gb: 4.0 * f64::from(vcpus),
+            clock_ghz: 3.3,
+            avx: true,
+            mem_bw_gbps: 6.0 * f64::from(vcpus),
+            interference: 0.0,
+        }
+    }
+
+    /// A memory-optimized variant: double memory and +50% bandwidth per
+    /// vCPU, matching the paper's recommendation target for placement and
+    /// routing.
+    #[must_use]
+    pub fn memory_optimized(vcpus: u32) -> Self {
+        let base = Self::vcpus(vcpus);
+        Self {
+            memory_gb: base.memory_gb * 2.0,
+            mem_bw_gbps: base.mem_bw_gbps * 1.5,
+            ..base
+        }
+    }
+
+    /// Simulate co-tenancy: return a copy with the given interference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interference` is not within `[0, 1)`.
+    #[must_use]
+    pub fn with_interference(mut self, interference: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&interference),
+            "interference must be in [0, 1)"
+        );
+        self.interference = interference;
+        self
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::vcpus(1)
+    }
+}
+
+/// The work a flow stage performed, split into scheduling classes.
+///
+/// Produced by the flow engines from their [`CounterSet`] plus knowledge
+/// of which phases parallelize; consumed by [`MachineModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageWork {
+    /// Cycles that must execute on one core (inherent dependencies).
+    pub serial_cycles: f64,
+    /// Cycles that distribute across all vCPUs.
+    pub parallel_cycles: f64,
+    /// Memory-stall cycles incurred by the serial portion of the stage;
+    /// these cannot overlap across cores.
+    pub mem_serial_cycles: f64,
+    /// Memory-stall cycles incurred by the parallel portion; these
+    /// overlap across cores up to the VM's memory bandwidth.
+    pub mem_parallel_cycles: f64,
+    /// Synchronization cost paid once per barrier, multiplied by
+    /// `log2(vcpus)` (tree barriers).
+    pub sync_cycles: f64,
+}
+
+impl StageWork {
+    /// Derive stage work from counted events.
+    ///
+    /// `parallel_fraction` is the share of compute cycles that the
+    /// stage's algorithms can distribute (e.g. ~0.95 for independent-net
+    /// routing, ~0.5 for pass-dominated synthesis). Cost weights are
+    /// taken from `model`.
+    #[must_use]
+    pub fn from_counters(
+        counters: &CounterSet,
+        parallel_fraction: f64,
+        sync_cycles: f64,
+        model: &MachineModel,
+    ) -> Self {
+        let p = parallel_fraction.clamp(0.0, 1.0);
+        let base = counters.instructions as f64 / model.ipc;
+        let branch_penalty = counters.branch_misses as f64 * model.branch_miss_cycles;
+        let vector_discount = counters.avx_ops as f64 * model.avx_discount_cycles;
+        let compute = (base + branch_penalty - vector_discount).max(0.0);
+        let l1_stall = counters.l1_misses.saturating_sub(counters.llc_misses) as f64
+            * model.l1_miss_cycles;
+        let mem_stall = counters.llc_misses as f64 * model.llc_miss_cycles;
+        Self {
+            serial_cycles: (compute + l1_stall) * (1.0 - p),
+            parallel_cycles: (compute + l1_stall) * p,
+            mem_serial_cycles: mem_stall * (1.0 - p),
+            mem_parallel_cycles: mem_stall * p,
+            sync_cycles,
+        }
+    }
+
+    /// Total cycles ignoring parallelism (1-core lower bound).
+    #[must_use]
+    pub fn total_cycles(&self) -> f64 {
+        self.serial_cycles
+            + self.parallel_cycles
+            + self.mem_serial_cycles
+            + self.mem_parallel_cycles
+            + self.sync_cycles
+    }
+}
+
+/// Calibrated cost model converting [`StageWork`] into seconds on a
+/// [`MachineConfig`].
+///
+/// `work_scale` bridges the gap between this reproduction's lightweight
+/// engines and a full commercial flow: our kernels execute roughly 10³-10⁴
+/// times fewer operations per cell than production tools, so counted work
+/// is multiplied by `work_scale` to land runtimes in the paper's range
+/// (thousands of seconds for a SPARC-core-class design). Only relative
+/// magnitudes matter for every experiment.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_perf::{MachineConfig, MachineModel, StageWork};
+///
+/// let model = MachineModel::default();
+/// let work = StageWork {
+///     serial_cycles: 1e9,
+///     parallel_cycles: 9e9,
+///     mem_serial_cycles: 0.0,
+///     mem_parallel_cycles: 0.0,
+///     sync_cycles: 0.0,
+/// };
+/// let t1 = model.runtime_secs(&work, &MachineConfig::vcpus(1));
+/// let t8 = model.runtime_secs(&work, &MachineConfig::vcpus(8));
+/// assert!(t8 < t1 && t8 > t1 / 8.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Base instructions per cycle.
+    pub ipc: f64,
+    /// Penalty cycles per branch mispredict.
+    pub branch_miss_cycles: f64,
+    /// Stall cycles per L1 miss served by the LLC.
+    pub l1_miss_cycles: f64,
+    /// Stall cycles per LLC miss served by memory.
+    pub llc_miss_cycles: f64,
+    /// Cycles saved per FP op executed on AVX instead of scalar units.
+    pub avx_discount_cycles: f64,
+    /// Parallel-scaling efficiency per extra core (1.0 = perfect).
+    pub scaling_efficiency: f64,
+    /// Multiplier bridging modeled work to commercial-flow magnitudes.
+    pub work_scale: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        Self {
+            ipc: 2.0,
+            branch_miss_cycles: 14.0,
+            l1_miss_cycles: 12.0,
+            llc_miss_cycles: 180.0,
+            avx_discount_cycles: 0.35,
+            scaling_efficiency: 0.92,
+            work_scale: 1.0,
+        }
+    }
+}
+
+impl MachineModel {
+    /// Model with a work-scale calibration applied.
+    #[must_use]
+    pub fn with_work_scale(work_scale: f64) -> Self {
+        Self {
+            work_scale,
+            ..Self::default()
+        }
+    }
+
+    /// Effective parallel core count for a machine (accounts for
+    /// sub-linear scaling and co-tenant interference).
+    #[must_use]
+    pub fn effective_cores(&self, machine: &MachineConfig) -> f64 {
+        let n = f64::from(machine.vcpus.max(1));
+        let scaled = 1.0 + (n - 1.0) * self.scaling_efficiency;
+        scaled * (1.0 - machine.interference)
+    }
+
+    /// Predicted runtime in seconds for `work` on `machine`.
+    #[must_use]
+    pub fn runtime_secs(&self, work: &StageWork, machine: &MachineConfig) -> f64 {
+        let cores = self.effective_cores(machine);
+        let compute = work.serial_cycles + work.parallel_cycles / cores;
+        // Parallel-section memory stalls overlap across cores but
+        // saturate at the VM's bandwidth (roughly one outstanding miss
+        // stream per 12 GB/s); serial-section stalls do not overlap at
+        // all — memory latency is not parallelized by idle cores.
+        let bw_streams = (machine.mem_bw_gbps / 12.0 * 1.5).max(1.0);
+        let mem = work.mem_serial_cycles + work.mem_parallel_cycles / cores.min(bw_streams);
+        let sync = work.sync_cycles * (f64::from(machine.vcpus.max(1))).log2().max(0.0);
+        let hz = machine.clock_ghz * 1e9;
+        (compute + mem + sync) * self.work_scale / hz
+    }
+
+    /// Speedup of `machine` over a single-vCPU machine of the same family
+    /// for the given per-machine work measurements.
+    ///
+    /// `work_1` must be measured on the 1-vCPU configuration and `work_n`
+    /// on `machine` (counters differ because cache capacity differs).
+    #[must_use]
+    pub fn speedup(
+        &self,
+        work_1: &StageWork,
+        base: &MachineConfig,
+        work_n: &StageWork,
+        machine: &MachineConfig,
+    ) -> f64 {
+        self.runtime_secs(work_1, base) / self.runtime_secs(work_n, machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(p: f64) -> StageWork {
+        StageWork {
+            serial_cycles: 1e9 * (1.0 - p),
+            parallel_cycles: 1e9 * p,
+            mem_serial_cycles: 0.0,
+            mem_parallel_cycles: 0.0,
+            sync_cycles: 0.0,
+        }
+    }
+
+    #[test]
+    fn amdahl_limits_speedup() {
+        let model = MachineModel::default();
+        let w = work(0.5);
+        let t1 = model.runtime_secs(&w, &MachineConfig::vcpus(1));
+        let t8 = model.runtime_secs(&w, &MachineConfig::vcpus(8));
+        let speedup = t1 / t8;
+        assert!(speedup > 1.5 && speedup < 2.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn highly_parallel_work_scales() {
+        let model = MachineModel::default();
+        let w = work(0.97);
+        let t1 = model.runtime_secs(&w, &MachineConfig::vcpus(1));
+        let t8 = model.runtime_secs(&w, &MachineConfig::vcpus(8));
+        assert!(t1 / t8 > 4.5, "speedup={}", t1 / t8);
+    }
+
+    #[test]
+    fn interference_slows_execution() {
+        let model = MachineModel::default();
+        let w = work(0.9);
+        let quiet = model.runtime_secs(&w, &MachineConfig::vcpus(4));
+        let noisy =
+            model.runtime_secs(&w, &MachineConfig::vcpus(4).with_interference(0.3));
+        assert!(noisy > quiet);
+    }
+
+    #[test]
+    fn memory_stalls_saturate_bandwidth() {
+        let model = MachineModel::default();
+        let w = StageWork {
+            serial_cycles: 0.0,
+            parallel_cycles: 0.0,
+            mem_serial_cycles: 0.0,
+            mem_parallel_cycles: 1e9,
+            sync_cycles: 0.0,
+        };
+        let t1 = model.runtime_secs(&w, &MachineConfig::vcpus(1));
+        let t8 = model.runtime_secs(&w, &MachineConfig::vcpus(8));
+        // Bandwidth grows with vCPUs in this family, but sub-linearly
+        // relative to perfect core scaling for pure compute.
+        let speedup = t1 / t8;
+        assert!(speedup > 1.0 && speedup < 8.0, "speedup={speedup}");
+        // Memory-optimized family with more bandwidth is faster.
+        let mem = model.runtime_secs(&w, &MachineConfig::memory_optimized(8));
+        assert!(mem < t8);
+    }
+
+    #[test]
+    fn work_scale_multiplies_runtime() {
+        let w = work(0.5);
+        let base = MachineModel::default().runtime_secs(&w, &MachineConfig::vcpus(1));
+        let scaled =
+            MachineModel::with_work_scale(100.0).runtime_secs(&w, &MachineConfig::vcpus(1));
+        assert!((scaled / base - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_counters_splits_by_fraction() {
+        let model = MachineModel::default();
+        let counters = CounterSet {
+            instructions: 2_000,
+            branch_misses: 10,
+            l1_misses: 100,
+            llc_misses: 40,
+            ..CounterSet::default()
+        };
+        let w = StageWork::from_counters(&counters, 0.75, 0.0, &model);
+        assert!(w.serial_cycles > 0.0);
+        assert!(w.parallel_cycles > w.serial_cycles);
+        let mem_total = w.mem_serial_cycles + w.mem_parallel_cycles;
+        assert!((mem_total - 40.0 * model.llc_miss_cycles).abs() < 1e-9);
+        // Split follows the parallel fraction.
+        assert!((w.mem_parallel_cycles / mem_total - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn avx_discount_reduces_compute() {
+        let model = MachineModel::default();
+        let scalar = CounterSet {
+            instructions: 10_000,
+            flops: 5_000,
+            ..CounterSet::default()
+        };
+        let vector = CounterSet {
+            instructions: 10_000,
+            avx_ops: 5_000,
+            ..CounterSet::default()
+        };
+        let ws = StageWork::from_counters(&scalar, 0.5, 0.0, &model);
+        let wv = StageWork::from_counters(&vector, 0.5, 0.0, &model);
+        assert!(wv.total_cycles() < ws.total_cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "interference must be in [0, 1)")]
+    fn bad_interference_panics() {
+        let _ = MachineConfig::vcpus(1).with_interference(1.5);
+    }
+
+    #[test]
+    fn zero_vcpus_clamped() {
+        let m = MachineConfig::vcpus(0);
+        assert_eq!(m.vcpus, 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! The probe EDA kernels emit events into.
+
+use crate::{BranchPredictor, CacheSim, CounterSet, MachineConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Collects events from an instrumented kernel: memory accesses flow
+/// through a cache hierarchy sized for the target machine, branches
+/// through a bimodal predictor, and floating-point work is attributed to
+/// AVX hardware when the machine supports it.
+///
+/// One probe per thread; merge per-thread [`CounterSet`]s with
+/// [`PerfProbe::absorb`] after a parallel section (cache/predictor state
+/// is per-thread, matching private L1s).
+#[derive(Debug, Clone)]
+pub struct PerfProbe {
+    counters: CounterSet,
+    cache: CacheSim,
+    branch: BranchPredictor,
+    avx_available: bool,
+}
+
+/// The final result of a probed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// All counted events with cache/branch misses folded in.
+    pub counters: CounterSet,
+}
+
+impl PerfProbe {
+    /// Probe with a cache hierarchy and AVX capability matching `machine`.
+    #[must_use]
+    pub fn for_machine(machine: &MachineConfig) -> Self {
+        Self {
+            counters: CounterSet::default(),
+            cache: CacheSim::for_vcpus(machine.vcpus),
+            branch: BranchPredictor::new(4096),
+            avx_available: machine.avx,
+        }
+    }
+
+    /// Probe with an explicit cache hierarchy (used by cache-model
+    /// ablations).
+    #[must_use]
+    pub fn with_cache(cache: CacheSim, avx_available: bool) -> Self {
+        Self {
+            counters: CounterSet::default(),
+            cache,
+            branch: BranchPredictor::new(4096),
+            avx_available,
+        }
+    }
+
+    /// Count `n` generic retired instructions.
+    #[inline]
+    pub fn instr(&mut self, n: u64) {
+        self.counters.instructions += n;
+    }
+
+    /// Simulate a memory read at byte address `addr`.
+    #[inline]
+    pub fn read(&mut self, addr: u64) {
+        self.counters.instructions += 1;
+        self.counters.cache_refs += 1;
+        if !self.cache.access(addr) {
+            self.counters.l1_misses += 1;
+        }
+    }
+
+    /// Simulate a memory write at byte address `addr` (write-allocate).
+    #[inline]
+    pub fn write(&mut self, addr: u64) {
+        self.read(addr);
+    }
+
+    /// Simulate a conditional branch at site `pc` with outcome `taken`.
+    #[inline]
+    pub fn branch(&mut self, pc: u64, taken: bool) {
+        self.counters.instructions += 1;
+        self.counters.branches += 1;
+        if !self.branch.predict_and_update(pc, taken) {
+            self.counters.branch_misses += 1;
+        }
+    }
+
+    /// Count `n` iterations of a well-predicted loop: the back-edge
+    /// branch is taken every iteration and mispredicted only at loop
+    /// exit. Engines call this once per loop with the trip count, so
+    /// the branch population reflects real control flow instead of only
+    /// the data-dependent branches.
+    #[inline]
+    pub fn loop_branches(&mut self, n: u64) {
+        self.counters.instructions += n;
+        self.counters.branches += n;
+        // Loop predictors capture short trip counts; long loops pay an
+        // amortized exit/alias miss.
+        self.counters.branch_misses += n / 48;
+    }
+
+    /// Count `n` floating-point operations; vectorizable work lands on
+    /// AVX hardware when available, otherwise executes as scalar FLOPs.
+    #[inline]
+    pub fn fp(&mut self, n: u64, vectorizable: bool) {
+        self.counters.instructions += n;
+        if vectorizable && self.avx_available {
+            self.counters.avx_ops += n;
+        } else {
+            self.counters.flops += n;
+        }
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> CounterSet {
+        let mut c = self.counters;
+        // Fold LLC misses from the hierarchy (kept there to avoid a
+        // second counter increment on the hot path).
+        c.llc_misses = self.cache.llc_misses();
+        c
+    }
+
+    /// Merge counters collected by another probe (e.g. a worker thread).
+    pub fn absorb(&mut self, other: CounterSet) {
+        self.counters += other;
+    }
+
+    /// Whether this probe attributes vector FP work to AVX hardware.
+    #[must_use]
+    pub fn avx_available(&self) -> bool {
+        self.avx_available
+    }
+
+    /// Finish the run and produce the report.
+    #[must_use]
+    pub fn finish(self) -> PerfReport {
+        let counters = self.counters();
+        PerfReport { counters }
+    }
+}
+
+/// A thread-safe probe handle for sections where worker threads share one
+/// collector; coarse-grained, so workers should batch their events.
+///
+/// # Examples
+///
+/// ```
+/// use eda_cloud_perf::{MachineConfig, PerfProbe, SharedProbe};
+///
+/// let shared = SharedProbe::new(PerfProbe::for_machine(&MachineConfig::vcpus(4)));
+/// let handle = shared.clone();
+/// std::thread::spawn(move || handle.lock().instr(100)).join().unwrap();
+/// assert_eq!(shared.lock().counters().instructions, 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedProbe(Arc<Mutex<PerfProbe>>);
+
+impl SharedProbe {
+    /// Wrap a probe for sharing across threads.
+    #[must_use]
+    pub fn new(probe: PerfProbe) -> Self {
+        Self(Arc::new(Mutex::new(probe)))
+    }
+
+    /// Lock the inner probe.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, PerfProbe> {
+        self.0.lock()
+    }
+
+    /// Unwrap if this is the last handle, else return the counters only.
+    #[must_use]
+    pub fn into_report(self) -> PerfReport {
+        match Arc::try_unwrap(self.0) {
+            Ok(m) => m.into_inner().finish(),
+            Err(arc) => PerfReport {
+                counters: arc.lock().counters(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> PerfProbe {
+        PerfProbe::for_machine(&MachineConfig::vcpus(1))
+    }
+
+    #[test]
+    fn reads_flow_through_cache() {
+        let mut p = probe();
+        p.read(0);
+        p.read(0);
+        p.read(64 * 1024 * 1024); // far away -> new line
+        let c = p.counters();
+        assert_eq!(c.cache_refs, 3);
+        assert_eq!(c.l1_misses, 2);
+        assert_eq!(c.llc_misses, 2);
+        assert_eq!(c.instructions, 3);
+    }
+
+    #[test]
+    fn fp_attribution_depends_on_avx() {
+        let mut with = PerfProbe::for_machine(&MachineConfig::vcpus(1));
+        with.fp(10, true);
+        with.fp(5, false);
+        let c = with.counters();
+        assert_eq!(c.avx_ops, 10);
+        assert_eq!(c.flops, 5);
+
+        let mut without =
+            PerfProbe::for_machine(&MachineConfig { avx: false, ..MachineConfig::vcpus(1) });
+        without.fp(10, true);
+        let c = without.counters();
+        assert_eq!(c.avx_ops, 0);
+        assert_eq!(c.flops, 10);
+    }
+
+    #[test]
+    fn absorb_merges_worker_counters() {
+        let mut main = probe();
+        let mut worker = probe();
+        worker.instr(50);
+        worker.branch(1, true);
+        main.absorb(worker.counters());
+        assert_eq!(main.counters().instructions, 51);
+        assert_eq!(main.counters().branches, 1);
+    }
+
+    #[test]
+    fn finish_reports_llc() {
+        let mut p = probe();
+        for i in 0..1000u64 {
+            p.read(i * 4096); // pathological stride
+        }
+        let report = p.finish();
+        assert!(report.counters.llc_misses > 0);
+    }
+}

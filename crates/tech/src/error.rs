@@ -1,0 +1,48 @@
+//! Error types for the technology library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when querying a [`crate::Library`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechError {
+    /// No cell with the requested name exists in the library.
+    UnknownCell(String),
+    /// No cell implementing the requested function class exists.
+    UnknownKind(String),
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::UnknownCell(name) => write!(f, "unknown cell `{name}` in library"),
+            TechError::UnknownKind(kind) => {
+                write!(f, "no cell implementing function `{kind}` in library")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TechError::UnknownCell("X".into()).to_string(),
+            "unknown cell `X` in library"
+        );
+        assert!(TechError::UnknownKind("NAND9".into())
+            .to_string()
+            .contains("NAND9"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TechError>();
+    }
+}

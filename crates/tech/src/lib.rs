@@ -1,0 +1,37 @@
+//! Synthetic standard-cell technology library.
+//!
+//! The DATE 2021 paper characterizes a commercial EDA flow on a GF 14nm
+//! technology node. That PDK is proprietary, so this crate provides a
+//! self-contained substitute: a small standard-cell library with areas,
+//! pin capacitances, leakage, and a linear delay model
+//! (`delay = intrinsic + drive_resistance * load_capacitance`).
+//!
+//! Absolute values are loosely modeled on published 14/16nm-class
+//! FinFET libraries; only *relative* behaviour matters for the paper's
+//! experiments (runtime characterization and prediction), which this
+//! library preserves.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_cloud_tech::{Library, CellKind};
+//!
+//! let lib = Library::synthetic_14nm();
+//! let nand = lib.cell_by_kind(CellKind::Nand2).expect("NAND2 exists");
+//! assert!(nand.area_um2 > 0.0);
+//! let delay = nand.delay_ps(2.0 * nand.input_cap_ff);
+//! assert!(delay > nand.intrinsic_delay_ps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod delay;
+mod error;
+mod library;
+
+pub use cell::{CellKind, CellType, PinDirection, PinSpec};
+pub use delay::{DelayModel, LinearDelay};
+pub use error::TechError;
+pub use library::Library;

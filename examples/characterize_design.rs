@@ -1,0 +1,53 @@
+//! Characterize a single design like the paper's Section III-A: counter
+//! signatures (branch misses, cache misses, AVX share) and vCPU scaling
+//! for each of the four EDA applications.
+//!
+//! ```text
+//! cargo run --example characterize_design --release               # aes
+//! cargo run --example characterize_design --release -- l2_bank
+//! ```
+
+use eda_cloud::core::report::{pct, render_table};
+use eda_cloud::core::{recommendation_notes, CharacterizationConfig, Workflow};
+use eda_cloud::netlist::generators;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "aes".to_owned());
+    let design = generators::openpiton_design(&name)
+        .unwrap_or_else(|| panic!("unknown design `{name}`; available: {:?}", generators::OPENPITON_NAMES));
+
+    let workflow = Workflow::with_defaults();
+    let report = workflow.characterize_design(&design, &CharacterizationConfig::paper())?;
+    println!(
+        "characterization of `{}` ({} cells after synthesis)\n",
+        report.design, report.cells
+    );
+
+    let mut rows = Vec::new();
+    for stage in &report.stages {
+        let r1 = &stage.runs.first().expect("swept").report;
+        let speedup = stage.speedups().last().copied().unwrap_or(1.0);
+        rows.push(vec![
+            stage.kind.to_string(),
+            pct(r1.counters.branch_miss_rate()),
+            pct(r1.counters.perf_cache_miss_rate()),
+            pct(r1.counters.avx_share()),
+            format!("{:.2}x", speedup),
+            stage.family.clone(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["stage", "br-miss", "cache-miss", "AVX share", "speedup@8", "recommended family"],
+            &rows
+        )
+    );
+
+    println!("recommendations:");
+    for stage in &report.stages {
+        println!("  {:<9} {}", stage.kind.to_string(), recommendation_notes(stage.kind));
+    }
+    Ok(())
+}

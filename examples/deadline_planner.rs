@@ -1,0 +1,76 @@
+//! Deadline planner: sweep tapeout deadlines for a design and show how
+//! the optimizer trades money for time — the paper's Problem 3 from an
+//! EDA team's point of view ("we must finish the flow by Friday; what is
+//! the cheapest set of machines?").
+//!
+//! ```text
+//! cargo run --example deadline_planner --release
+//! cargo run --example deadline_planner --release -- fpu
+//! ```
+
+use eda_cloud::core::report::render_table;
+use eda_cloud::core::{CharacterizationConfig, StageRuntimes, Workflow};
+use eda_cloud::netlist::generators;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "aes".to_owned());
+    let design = generators::openpiton_design(&name)
+        .unwrap_or_else(|| panic!("unknown design `{name}`"));
+    println!("planning deployments for `{name}`");
+
+    let workflow = Workflow::with_defaults();
+    let report = workflow.characterize_design(&design, &CharacterizationConfig::paper())?;
+    let runtimes: Vec<StageRuntimes> = report
+        .stages
+        .iter()
+        .map(|s| {
+            let mut runtimes_secs = [0.0; 4];
+            for (k, run) in s.runs.iter().take(4).enumerate() {
+                runtimes_secs[k] = run.report.runtime_secs;
+            }
+            StageRuntimes {
+                kind: s.kind,
+                runtimes_secs,
+            }
+        })
+        .collect();
+
+    let problem = workflow.deployment_problem(&runtimes)?;
+    let min_total = problem.min_total_runtime();
+    println!("fastest possible flow: {min_total}s\n");
+
+    let mut rows = Vec::new();
+    for rel in [0.9, 1.0, 1.1, 1.3, 1.6, 2.0, 3.0] {
+        let deadline = (min_total as f64 * rel).round() as u64;
+        match workflow.plan_deployment(&runtimes, deadline)? {
+            Some(plan) => {
+                let machines: Vec<String> = plan
+                    .stages
+                    .iter()
+                    .map(|s| s.instance.clone())
+                    .collect();
+                rows.push(vec![
+                    format!("{deadline}"),
+                    format!("{}", plan.total_runtime_secs),
+                    format!("{:.4}", plan.total_cost_usd),
+                    machines.join(", "),
+                ]);
+            }
+            None => rows.push(vec![
+                format!("{deadline}"),
+                "NA".into(),
+                "NA".into(),
+                "deadline cannot be met — add slack or shard the flow".into(),
+            ]),
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["deadline (s)", "runtime (s)", "cost ($)", "machines (syn, place, route, sta)"],
+            &rows
+        )
+    );
+    Ok(())
+}

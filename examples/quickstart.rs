@@ -1,0 +1,75 @@
+//! Quickstart: run the full EDA-on-cloud workflow on one design.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Steps mirror the paper's Figure 1: generate a design, characterize
+//! the four flow stages on the recommended instance families, then pick
+//! the cheapest deployment that meets a deadline.
+
+use eda_cloud::core::{CharacterizationConfig, StageRuntimes, Workflow};
+use eda_cloud::netlist::generators;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. A design: the AES-like OpenPiton composite (a few thousand
+    //    cells once synthesized).
+    let design = generators::openpiton_design("aes").expect("built-in design");
+    println!("design: {design}");
+
+    // 2. Characterize synthesis / placement / routing / STA at 1-8
+    //    vCPUs on each stage's recommended instance family.
+    let workflow = Workflow::with_defaults();
+    let report = workflow.characterize_design(&design, &CharacterizationConfig::paper())?;
+    println!("\nper-stage runtimes (simulated seconds):");
+    for stage in &report.stages {
+        let times: Vec<String> = stage
+            .runs
+            .iter()
+            .map(|r| format!("{:.2}s@{}v", r.report.runtime_secs, r.vcpus))
+            .collect();
+        println!("  {:<9} on {:<16} {}", stage.kind.to_string(), stage.family, times.join("  "));
+    }
+
+    // 3. Optimize the deployment under a deadline: 25% slack over the
+    //    fastest possible schedule.
+    let runtimes: Vec<StageRuntimes> = report
+        .stages
+        .iter()
+        .map(|s| {
+            let mut runtimes_secs = [0.0; 4];
+            for (k, run) in s.runs.iter().take(4).enumerate() {
+                runtimes_secs[k] = run.report.runtime_secs;
+            }
+            StageRuntimes {
+                kind: s.kind,
+                runtimes_secs,
+            }
+        })
+        .collect();
+    let problem = workflow.deployment_problem(&runtimes)?;
+    let deadline = (problem.min_total_runtime() as f64 * 1.25).round() as u64;
+    let plan = workflow
+        .plan_deployment(&runtimes, deadline)?
+        .expect("a 25%-slack deadline is always feasible");
+
+    println!("\ndeployment plan for a {deadline}s deadline:");
+    for stage in &plan.stages {
+        println!(
+            "  {:<9} -> {:<10} ({} vCPUs): {}s, ${:.4}",
+            stage.kind.to_string(),
+            stage.instance,
+            stage.vcpus,
+            stage.runtime_secs,
+            stage.cost_usd
+        );
+    }
+    println!(
+        "total: {}s, ${:.4}  (saves {:.1}% vs over-provisioning)",
+        plan.total_runtime_secs,
+        plan.total_cost_usd,
+        100.0 * plan.savings.saving_vs_over
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! `eda-cloud` — end-to-end workflow for cost-efficient deployment of EDA
+//! workloads on the cloud.
+//!
+//! This is the umbrella crate of the workspace reproducing
+//! *"Characterizing and Optimizing EDA Flows for the Cloud"* (DATE 2021).
+//! It re-exports every subsystem under one roof so examples and
+//! downstream users need a single dependency:
+//!
+//! * [`tech`] — synthetic standard-cell library.
+//! * [`netlist`] — AIG / netlist substrate and benchmark generators.
+//! * [`flow`] — synthesis, placement, routing, and STA engines.
+//! * [`perf`] — performance-counter and machine-execution models.
+//! * [`cloud`] — instance catalog, pricing, provisioning.
+//! * [`gcn`] — the runtime-prediction Graph Convolutional Network.
+//! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
+//! * [`core`] — the Figure-1 pipeline tying everything together.
+//!
+//! # Quick start
+//!
+//! ```
+//! use eda_cloud::core::{CharacterizationConfig, Workflow};
+//!
+//! let workflow = Workflow::with_defaults();
+//! let design = eda_cloud::netlist::generators::openpiton_design("dynamic_node").unwrap();
+//! let report = workflow.characterize_design(&design, &CharacterizationConfig::fast())?;
+//! assert_eq!(report.stages.len(), 4);
+//! # Ok::<(), eda_cloud::core::WorkflowError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use eda_cloud_cloud as cloud;
+pub use eda_cloud_core as core;
+pub use eda_cloud_flow as flow;
+pub use eda_cloud_gcn as gcn;
+pub use eda_cloud_mckp as mckp;
+pub use eda_cloud_netlist as netlist;
+pub use eda_cloud_perf as perf;
+pub use eda_cloud_tech as tech;

@@ -1,0 +1,60 @@
+//! Determinism guarantees: every pipeline stage is bit-reproducible
+//! given the same inputs — a requirement for reproducible experiments.
+
+use eda_cloud::core::dataset::{DatasetBuilder, DatasetConfig};
+use eda_cloud::core::{CharacterizationConfig, Workflow};
+use eda_cloud::flow::{run_full_flow, ExecContext, Recipe};
+use eda_cloud::gcn::{DatasetSplit, Trainer};
+use eda_cloud::netlist::generators;
+
+#[test]
+fn full_flow_is_deterministic() {
+    let design = generators::openpiton_design("dynamic_node").expect("known design");
+    let ctx = ExecContext::with_vcpus(4);
+    let a = run_full_flow(&design, &Recipe::balanced(), &ctx).expect("flow");
+    let b = run_full_flow(&design, &Recipe::balanced(), &ctx).expect("flow");
+    assert_eq!(a.netlist.cell_count(), b.netlist.cell_count());
+    assert_eq!(a.placement.x, b.placement.x);
+    assert_eq!(a.routing.wirelength, b.routing.wirelength);
+    assert_eq!(a.timing.critical_path_ps, b.timing.critical_path_ps);
+    for (ra, rb) in a.reports.iter().zip(&b.reports) {
+        assert_eq!(ra.counters, rb.counters, "{} counters", ra.kind);
+        assert_eq!(ra.runtime_secs, rb.runtime_secs, "{} runtime", ra.kind);
+    }
+}
+
+#[test]
+fn characterization_is_deterministic() {
+    let workflow = Workflow::with_defaults();
+    let design = generators::adder(10);
+    let cfg = CharacterizationConfig::fast();
+    let a = workflow.characterize_design(&design, &cfg).expect("runs");
+    let b = workflow.characterize_design(&design, &cfg).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn training_is_deterministic() {
+    let workflow = Workflow::with_defaults();
+    let mut cfg = DatasetConfig::smoke();
+    cfg.families = vec!["adder".into(), "parity".into()];
+    cfg.recipes = 2;
+    let data = DatasetBuilder::new(&workflow).build(&cfg).expect("corpus");
+    let mut trainer = Trainer::fast();
+    trainer.epochs = 10;
+    let split = DatasetSplit::by_design(&data.routing, 0.3, 1);
+    let a = trainer.fit(&data.routing, &split);
+    let b = trainer.fit(&data.routing, &split);
+    assert_eq!(a.report.epoch_losses, b.report.epoch_losses);
+    assert_eq!(a.report.test_errors, b.report.test_errors);
+}
+
+#[test]
+fn generators_are_stable_across_calls() {
+    for name in generators::FAMILY_NAMES {
+        let a = generators::build_family(name, 5).expect("family");
+        let b = generators::build_family(name, 5).expect("family");
+        assert_eq!(a.node_count(), b.node_count(), "{name}");
+        assert_eq!(a.outputs(), b.outputs(), "{name}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration: the four-stage flow end to end.
+
+use eda_cloud::flow::{run_full_flow, ExecContext, Recipe, StageKind};
+use eda_cloud::netlist::generators;
+use eda_cloud::tech::Library;
+
+#[test]
+fn full_flow_on_composite_design() {
+    let design = generators::openpiton_design("dynamic_node").expect("known design");
+    let ctx = ExecContext::with_vcpus(2);
+    let out = run_full_flow(&design, &Recipe::balanced(), &ctx).expect("flow completes");
+
+    // Synthesis produced a well-formed netlist of reasonable size.
+    out.netlist.check().expect("netlist well-formed");
+    assert!(out.netlist.cell_count() > 300);
+    let stats = out.netlist.stats(&Library::synthetic_14nm());
+    assert!(stats.area_um2 > 50.0);
+    assert_eq!(stats.inputs, design.input_count());
+    assert_eq!(stats.outputs, design.output_count());
+
+    // Placement covers the die and reports a wirelength.
+    assert_eq!(out.placement.x.len(), out.netlist.cell_count());
+    assert!(out.placement.hpwl_um > 0.0);
+
+    // Routing converged within tolerance.
+    let edges = 2 * out.routing.grid * out.routing.grid;
+    assert!(out.routing.wirelength > 0);
+    assert!((out.routing.overflowed_edges as f64) <= 0.02 * edges as f64);
+
+    // Timing is self-consistent.
+    assert!(out.timing.critical_path_ps > 0.0);
+    assert!(out.timing.endpoints >= out.netlist.primary_outputs().len());
+
+    // Reports are in flow order with populated counters.
+    let kinds: Vec<StageKind> = out.reports.iter().map(|r| r.kind).collect();
+    assert_eq!(kinds, StageKind::ALL.to_vec());
+    for report in &out.reports {
+        assert!(report.runtime_secs > 0.0, "{}", report.kind);
+        assert!(report.counters.instructions > 0, "{}", report.kind);
+    }
+}
+
+#[test]
+fn flow_preserves_function_through_synthesis() {
+    // The synthesized netlist must compute the same function as the AIG
+    // for a non-trivial design (verification is also run inside the
+    // synthesizer; this exercises it through the public API with
+    // explicit vectors).
+    let design = generators::alu(6);
+    let ctx = ExecContext::with_vcpus(1);
+    let out = run_full_flow(&design, &Recipe::balanced(), &ctx).expect("flow completes");
+    let n = design.input_count();
+    for seed in 0..16u64 {
+        let inputs: Vec<bool> = (0..n)
+            .map(|i| (seed.wrapping_mul(0x9E37_79B9) >> (i % 60)) & 1 == 1)
+            .collect();
+        assert_eq!(
+            out.netlist.simulate(&inputs).expect("netlist sim"),
+            design.simulate(&inputs).expect("aig sim"),
+            "mismatch on vector {seed}"
+        );
+    }
+}
+
+#[test]
+fn counter_signatures_match_the_paper_ordering() {
+    // Fig. 2's qualitative claims on a mid-size design:
+    // routing has the highest branch-miss rate; placement the highest
+    // AVX share; placement/routing are the memory-hungry stages.
+    let design = generators::openpiton_design("aes").expect("known design");
+    let ctx = ExecContext::with_vcpus(1);
+    let out = run_full_flow(&design, &Recipe::balanced(), &ctx).expect("flow completes");
+    let by_kind = |k: StageKind| {
+        out.reports
+            .iter()
+            .find(|r| r.kind == k)
+            .expect("report exists")
+    };
+    let routing = by_kind(StageKind::Routing);
+    let placement = by_kind(StageKind::Placement);
+    let synthesis = by_kind(StageKind::Synthesis);
+    let sta = by_kind(StageKind::Sta);
+
+    // (a) routing mispredicts the most.
+    assert!(
+        routing.counters.branch_miss_rate() > placement.counters.branch_miss_rate(),
+        "routing {} vs placement {}",
+        routing.counters.branch_miss_rate(),
+        placement.counters.branch_miss_rate()
+    );
+    assert!(routing.counters.branch_miss_rate() > sta.counters.branch_miss_rate());
+
+    // (c) placement leads in AVX share; STA is second; synthesis and
+    // routing emit (near) zero vector FP.
+    let avx_density = |r: &eda_cloud::flow::StageReport| {
+        r.counters.avx_share() * r.counters.fp_instruction_share()
+    };
+    assert!(avx_density(placement) > avx_density(sta));
+    assert!(avx_density(sta) > avx_density(synthesis));
+    assert!(avx_density(sta) > avx_density(routing));
+
+    // (d) routing has the largest parallel fraction.
+    assert!(routing.parallel_fraction > synthesis.parallel_fraction);
+    assert!(routing.parallel_fraction > sta.parallel_fraction);
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration: characterize → predict → optimize.
+
+use eda_cloud::cloud::{Catalog, InstanceFamily};
+use eda_cloud::core::dataset::{DatasetBuilder, DatasetConfig};
+use eda_cloud::core::predict::StagePredictors;
+use eda_cloud::core::{CharacterizationConfig, StageRuntimes, Workflow};
+use eda_cloud::flow::StageKind;
+use eda_cloud::gcn::Trainer;
+use eda_cloud::netlist::generators;
+
+fn measured_runtimes(workflow: &Workflow, design_name: &str) -> Vec<StageRuntimes> {
+    let design = generators::openpiton_design(design_name).expect("known design");
+    let report = workflow
+        .characterize_design(&design, &CharacterizationConfig::paper())
+        .expect("characterization");
+    report
+        .stages
+        .iter()
+        .map(|s| {
+            let mut runtimes_secs = [0.0; 4];
+            for (k, run) in s.runs.iter().take(4).enumerate() {
+                runtimes_secs[k] = run.report.runtime_secs;
+            }
+            StageRuntimes {
+                kind: s.kind,
+                runtimes_secs,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn characterize_then_optimize_end_to_end() {
+    let workflow = Workflow::with_defaults();
+    let runtimes = measured_runtimes(&workflow, "dynamic_node");
+    let problem = workflow.deployment_problem(&runtimes).expect("problem");
+    let min_total = problem.min_total_runtime();
+
+    // Loose deadline: feasible, cheapest choices win somewhere.
+    let plan = workflow
+        .plan_deployment(&runtimes, min_total * 10)
+        .expect("solves")
+        .expect("feasible");
+    assert_eq!(plan.stages.len(), 4);
+    assert!(plan.total_cost_usd > 0.0);
+
+    // Edge deadline: still feasible by construction.
+    let edge = workflow
+        .plan_deployment(&runtimes, min_total)
+        .expect("solves")
+        .expect("feasible at the exact minimum");
+    assert!(edge.total_runtime_secs <= min_total);
+    assert!(edge.total_cost_usd >= plan.total_cost_usd - 1e-9);
+
+    // Below the edge: NA.
+    assert!(workflow
+        .plan_deployment(&runtimes, min_total.saturating_sub(1))
+        .expect("solves")
+        .is_none());
+}
+
+#[test]
+fn plans_use_recommended_families() {
+    let workflow = Workflow::with_defaults();
+    let runtimes = measured_runtimes(&workflow, "dynamic_node");
+    let plan = workflow
+        .plan_deployment(&runtimes, u64::MAX / 2)
+        .expect("solves")
+        .expect("feasible");
+    let catalog = Catalog::aws_like();
+    for stage in &plan.stages {
+        let instance = catalog.instance(&stage.instance).expect("catalog entry");
+        let expected = match stage.kind {
+            StageKind::Synthesis | StageKind::Sta => InstanceFamily::GeneralPurpose,
+            StageKind::Placement | StageKind::Routing => InstanceFamily::MemoryOptimized,
+        };
+        assert_eq!(instance.family, expected, "{}", stage.kind);
+    }
+}
+
+#[test]
+fn dataset_to_predictor_to_plan() {
+    // The full Figure-1 loop on a tiny corpus: build the dataset, train
+    // the GCNs, predict an unseen design's runtimes, and plan its
+    // deployment.
+    let workflow = Workflow::with_defaults();
+    let mut config = DatasetConfig::smoke();
+    config.recipes = 2;
+    let datasets = DatasetBuilder::new(&workflow).build(&config).expect("corpus");
+    let mut trainer = Trainer::fast();
+    trainer.epochs = 20;
+    let predictors = StagePredictors::train(&datasets, &trainer).expect("training");
+
+    // Unseen design: reuse a corpus sample's graphs as a stand-in
+    // (prediction only needs structure).
+    let predicted = predictors.predict_design(&datasets.synthesis[0], &datasets.routing[0]);
+    assert_eq!(predicted.len(), 4);
+    let problem = workflow.deployment_problem(&predicted).expect("problem");
+    let budget = problem.min_total_runtime().max(1) * 4;
+    let plan = workflow
+        .plan_deployment(&predicted, budget)
+        .expect("solves")
+        .expect("feasible with slack");
+    assert!(plan.total_runtime_secs <= budget);
+}
