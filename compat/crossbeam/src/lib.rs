@@ -1,0 +1,294 @@
+//! Offline stand-in for [`crossbeam`](https://docs.rs/crossbeam),
+//! covering the two surfaces this workspace uses:
+//!
+//! * [`scope`] — scoped threads in the crossbeam 0.8 shape
+//!   (`scope(|s| ...)` returns `thread::Result<R>`, `s.spawn(|_| ...)`
+//!   hands the closure a scope reference), implemented over
+//!   `std::thread::scope`.
+//! * [`channel`] — multi-producer/multi-consumer channels
+//!   (`unbounded()`, cloneable `Sender`/`Receiver`, disconnect on last
+//!   sender drop), implemented with a `Mutex<VecDeque>` + `Condvar`.
+//!   Throughput is far below real crossbeam, but the work items moved
+//!   through these channels are whole EDA stage runs, so channel cost
+//!   is noise.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+/// Result of joining a spawned thread (panic payload on the `Err` side),
+/// mirroring `crossbeam::thread::Result`.
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// Scoped-thread namespace, mirroring `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+    /// Alias matching `crossbeam::thread::Result`.
+    pub type Result<T> = super::ThreadResult<T>;
+}
+
+/// Handle to a thread spawned inside a [`scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result or the panic
+    /// payload.
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+/// Scope passed to the [`scope`] closure; spawns threads that may borrow
+/// from the enclosing stack frame.
+pub struct Scope<'env, 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    _marker: PhantomData<&'env ()>,
+}
+
+impl<'env, 'scope> Scope<'env, 'scope> {
+    /// Spawn a scoped thread. As in crossbeam 0.8, the closure receives
+    /// a scope reference (unused by this workspace, hence `|_| ...` at
+    /// call sites).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Self) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = Scope { inner: self.inner, _marker: PhantomData };
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Create a scope for spawning borrowing threads.
+///
+/// All spawned threads are joined when the closure returns (guaranteed
+/// by `std::thread::scope`). Crossbeam reports an `Err` if any
+/// *unjoined* thread panicked; every call site in this workspace joins
+/// explicitly, so `Ok` is always returned here and unjoined panics
+/// propagate via `std::thread::scope`'s own resume instead.
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s, _marker: PhantomData })))
+}
+
+/// MPMC channels, mirroring the subset of `crossbeam::channel` used by
+/// the sweep job pool.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable. The channel disconnects when the last
+    /// clone is dropped.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (competing consumers steal from the
+    /// same queue).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// The unsent value is returned, as in crossbeam.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty but senders remain.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Push a value. Never blocks (unbounded); errs only if every
+        /// receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or the channel disconnects.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            match state.items.pop_front() {
+                Some(item) => Ok(item),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Iterate until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    /// Blocking iterator over received values; ends on disconnect.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker")).sum::<u64>()
+        })
+        .expect("scope");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn channel_fan_out_fan_in() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let sum = scope(|s| {
+            let workers: Vec<_> = (0..3)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| rx.iter().sum::<u32>())
+                })
+                .collect();
+            for v in 1..=100 {
+                tx.send(v).expect("receiver alive");
+            }
+            drop(tx);
+            drop(rx);
+            workers.into_iter().map(|h| h.join().expect("worker")).sum::<u32>()
+        })
+        .expect("scope");
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn send_fails_after_receivers_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_drains_then_disconnects() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7u8).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! Supports the subset this workspace uses: `proptest!` with an optional
+//! `#![proptest_config(..)]` header, `prop_compose!` (no outer
+//! parameters), `prop_assert!`/`prop_assert_eq!`, range and tuple
+//! strategies, and `proptest::sample::select`.
+//!
+//! Differences from upstream, chosen deliberately for an offline test
+//! stub:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   left to the assertion message; there is no minimization pass.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its
+//!   fully-qualified name, so failures reproduce exactly on every run
+//!   and machine — there is no `PROPTEST_` env handling or regression
+//!   file.
+//! * **32 default cases** (upstream: 256) to keep `cargo test -q` fast;
+//!   tests that want more say so via `ProptestConfig::with_cases`.
+
+pub mod strategy {
+    /// A generator of values for property tests. Unlike upstream there
+    /// is no value-tree/shrinking layer: a strategy just produces a
+    /// value from the deterministic test RNG.
+    pub trait Strategy {
+        /// Type of values this strategy generates.
+        type Value;
+        /// Generate one value.
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy built from a closure over the test RNG; the expansion
+    /// target of `prop_compose!`.
+    pub struct FnStrategy<T, F: Fn(&mut crate::test_runner::TestRng) -> T> {
+        func: F,
+    }
+
+    impl<T, F: Fn(&mut crate::test_runner::TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            (self.func)(rng)
+        }
+    }
+
+    /// Wrap a sampling closure as a [`Strategy`].
+    pub fn from_fn<T, F: Fn(&mut crate::test_runner::TestRng) -> T>(func: F) -> FnStrategy<T, F> {
+        FnStrategy { func }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t; // full-domain u64/i64 range
+                    }
+                    (*self.start() as i128 + rng.below(span as u64) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let v = self.start + rng.unit_f64() as $t * (self.end - self.start);
+                    if v >= self.end { self.start } else { v }
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty strategy range");
+                    self.start() + rng.unit_f64() as $t * (self.end() - self.start())
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    /// `Just`-style constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut crate::test_runner::TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut crate::test_runner::TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+
+    /// Strategy drawing uniformly from a fixed set of options.
+    #[derive(Clone, Debug)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Pick uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-test configuration; only the case count is honored.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs through the property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; the offline stub trades depth
+            // for `cargo test -q` latency.
+            Self { cases: 32 }
+        }
+    }
+
+    /// Deterministic RNG (SplitMix64) seeded from the test's
+    /// fully-qualified name so every run generates the same cases.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from a test name (FNV-1a hash; stable across runs and
+        /// platforms, unlike `DefaultHasher`).
+        pub fn for_test(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..bound` (`bound > 0`), via 128-bit
+        /// widening multiply.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// Uniform f64 in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Everything a property test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, proptest};
+}
+
+/// Assert inside a property; panics with the formatted message (no
+/// shrinking pass, so this is a plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Define property tests: each `fn` runs its body against `cases`
+/// deterministic samples of the argument strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr)
+        $($(#[$attr:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Compose strategies into a named strategy-returning function
+/// (zero-outer-parameter form only, which is all this workspace uses).
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$attr:meta])*
+     $vis:vis fn $name:ident $(<$($lt:lifetime),*>)? ()
+        ($($pat:pat_param in $strat:expr),+ $(,)?)
+        -> $ret:ty $body:block
+    ) => {
+        $(#[$attr])*
+        $vis fn $name $(<$($lt),*>)? () -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                $body
+            })
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..2_000 {
+            let v = Strategy::generate(&(5u32..17), &mut rng);
+            assert!((5..17).contains(&v));
+            let f = Strategy::generate(&(0.25f64..0.75), &mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = Strategy::generate(&(-4i64..=4), &mut rng);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let sample = |name: &str| {
+            let mut rng = crate::test_runner::TestRng::for_test(name);
+            (0..8).map(|_| Strategy::generate(&(0u64..1_000_000), &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample("a"), sample("a"));
+        assert_ne!(sample("a"), sample("b"));
+    }
+
+    #[test]
+    fn select_draws_every_option() {
+        let mut rng = crate::test_runner::TestRng::for_test("select");
+        let s = crate::sample::select(vec!["x", "y", "z"]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            seen.insert(Strategy::generate(&s, &mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    prop_compose! {
+        fn point()(x in 0i32..10, y in 0i32..10) -> (i32, i32) { (x, y) }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn tuple_and_composed_strategies((a, b) in (0u32..5, 10u32..15), p in point()) {
+            prop_assert!(a < 5);
+            prop_assert!((10..15).contains(&b));
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+    }
+}

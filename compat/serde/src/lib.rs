@@ -1,0 +1,47 @@
+//! Offline stand-in for [`serde`](https://docs.rs/serde): the build
+//! environment cannot reach the registry, and nothing in this workspace
+//! actually serializes (there is no `serde_json`/`bincode` consumer) —
+//! the `#[derive(Serialize, Deserialize)]` annotations only declare
+//! intent. This crate keeps those annotations compiling by providing
+//! marker traits that every type satisfies via blanket impls, plus
+//! no-op derive macros re-exported from `serde_derive`.
+//!
+//! If a future PR adds a real serialization consumer, replace this stub
+//! with a vendored upstream `serde` and delete nothing else: the trait
+//! names, derive syntax, and `#[serde(...)]` helper attributes used in
+//! the workspace are all forward-compatible.
+
+/// Marker for types declared serializable. Blanket-implemented for all
+/// types: the workspace never drives an actual serializer through it.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types declared deserializable.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker mirroring serde's blanket rule.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_serialize<T: Serialize>() {}
+    fn assert_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn blanket_impls_cover_everything() {
+        assert_serialize::<Vec<String>>();
+        assert_serialize::<f64>();
+        assert_deserialize::<Vec<u8>>();
+        assert_deserialize::<(u32, String)>();
+    }
+}

@@ -1,0 +1,22 @@
+//! No-op derive macros for the offline `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented
+//! for every type, so the derives have nothing to generate; they exist
+//! so `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes parse exactly as they do with upstream serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` helpers) and
+/// generates nothing — the trait is blanket-implemented in the stub.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` helpers) and
+/// generates nothing — the trait is blanket-implemented in the stub.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

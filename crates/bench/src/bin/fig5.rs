@@ -6,7 +6,11 @@
 //! cargo run -p eda-cloud-bench --bin fig5 --release              # 324 netlists
 //! cargo run -p eda-cloud-bench --bin fig5 --release -- --smoke   # tiny corpus
 //! cargo run -p eda-cloud-bench --bin fig5 --release -- --sweep   # width ablation
+//! cargo run -p eda-cloud-bench --bin fig5 --release -- --workers 4
 //! ```
+//!
+//! `--workers N` sets the corpus-generation fan-out (default: one
+//! worker per core); the corpus is bit-identical for any worker count.
 
 use eda_cloud_bench::Args;
 use eda_cloud_core::dataset::{DatasetBuilder, DatasetConfig};
@@ -23,7 +27,8 @@ fn main() {
         DatasetConfig::smoke()
     } else {
         DatasetConfig::paper_scaled()
-    };
+    }
+    .with_workers(args.workers());
     println!(
         "Figure 5 — runtime prediction errors ({} netlists, {} runtime labels)",
         config.netlist_count(),

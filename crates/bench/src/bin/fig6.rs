@@ -6,7 +6,11 @@
 //! ```text
 //! cargo run -p eda-cloud-bench --bin fig6 --release
 //! cargo run -p eda-cloud-bench --bin fig6 --release -- --paper-runtimes
+//! cargo run -p eda-cloud-bench --bin fig6 --release -- --workers 4
 //! ```
+//!
+//! `--workers N` sets the characterization-sweep fan-out (default: one
+//! worker per core); the report is bit-identical for any worker count.
 
 use eda_cloud_bench::{experiment_design, Args};
 use eda_cloud_core::report::{pct, render_table};
@@ -37,7 +41,10 @@ fn main() {
         let design = experiment_design(&args);
         println!("Figure 6 — savings for measured `{}` runtimes", design.name());
         let report = workflow
-            .characterize_design(&design, &CharacterizationConfig::paper())
+            .characterize_design(
+                &design,
+                &CharacterizationConfig::paper().with_workers(args.workers()),
+            )
             .expect("characterization");
         report
             .stages

@@ -12,7 +12,11 @@
 //! cargo run -p eda-cloud-bench --bin table1 --release
 //! cargo run -p eda-cloud-bench --bin table1 --release -- --paper-runtimes
 //! cargo run -p eda-cloud-bench --bin table1 --release -- --objective   # ablation
+//! cargo run -p eda-cloud-bench --bin table1 --release -- --workers 4
 //! ```
+//!
+//! `--workers N` sets the characterization-sweep fan-out (default: one
+//! worker per core); the table is bit-identical for any worker count.
 
 use eda_cloud_bench::{experiment_design, Args};
 use eda_cloud_core::report::render_table;
@@ -45,7 +49,10 @@ fn main() {
         let design = experiment_design(&args);
         println!("Table I — measured runtimes for `{}`", design.name());
         let report = workflow
-            .characterize_design(&design, &CharacterizationConfig::paper())
+            .characterize_design(
+                &design,
+                &CharacterizationConfig::paper().with_workers(args.workers()),
+            )
             .expect("characterization");
         report
             .stages

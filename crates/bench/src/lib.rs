@@ -57,6 +57,20 @@ impl Args {
             .find(|w| w[0] == key)
             .map(|w| w[1].as_str())
     }
+
+    /// Sweep worker count from `--workers N`; `0` (the default) lets
+    /// the sweep engine pick one worker per available core.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value is not a number.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.value("workers").map_or(0, |v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--workers expects a number, got `{v}`"))
+        })
+    }
 }
 
 /// Resolve the design used by the single-design experiments: the
@@ -91,6 +105,20 @@ mod tests {
         assert!(!a.flag("k2"));
         assert_eq!(a.value("k"), Some("v"));
         assert_eq!(a.value("missing"), None);
+    }
+
+    #[test]
+    fn workers_flag_parses_with_auto_default() {
+        let a = Args::parse(["--workers", "4"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(a.workers(), 4);
+        assert_eq!(Args::default().workers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers expects a number")]
+    fn bad_workers_value_panics() {
+        let a = Args::parse(["--workers".to_owned(), "lots".to_owned()]);
+        let _ = a.workers();
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Problem 1: characterize the four applications across VM sizes.
 
+use crate::sweep::{self, design_fingerprint, resolve_workers, FlowCache, FlowKey};
 use crate::{recommended_family, WorkflowError, Workflow};
 use eda_cloud_flow::{
-    ExecContext, Placer, Recipe, Router, StaEngine, StageKind, StageReport, Synthesizer,
+    Placer, Recipe, Router, StaEngine, StageKind, StageReport, Synthesizer,
 };
 use eda_cloud_netlist::Aig;
 use serde::{Deserialize, Serialize};
@@ -16,6 +17,11 @@ pub struct CharacterizationConfig {
     pub recipe: Recipe,
     /// Whether synthesis runs its equivalence spot-check.
     pub verify: bool,
+    /// Worker threads fanning the sweep out; `0` (the default) means
+    /// one per available core, capped at 8. Results are reduced in
+    /// canonical sweep order, so any worker count yields bit-identical
+    /// output.
+    pub workers: usize,
 }
 
 impl CharacterizationConfig {
@@ -26,6 +32,7 @@ impl CharacterizationConfig {
             vcpu_sweep: vec![1, 2, 4, 8],
             recipe: Recipe::balanced(),
             verify: true,
+            workers: 0,
         }
     }
 
@@ -36,7 +43,15 @@ impl CharacterizationConfig {
             vcpu_sweep: vec![1, 2],
             recipe: Recipe::balanced(),
             verify: false,
+            workers: 0,
         }
+    }
+
+    /// The same sweep pinned to a specific worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 }
 
@@ -108,14 +123,57 @@ impl Workflow {
     /// stage on its recommended instance family, and collect the
     /// counter signatures and runtimes of the paper's Figure 2.
     ///
+    /// The sweep points fan out over `config.workers` threads and the
+    /// synthesis result is computed once per `(design, recipe)` pair
+    /// via [`FlowCache`], then replayed per machine configuration.
+    /// Results are reduced in sweep order (index-keyed, not completion
+    /// order), so the report is bit-identical for any worker count.
+    ///
     /// # Errors
     ///
-    /// Propagates stage failures as [`WorkflowError::Flow`].
+    /// Propagates stage failures as [`WorkflowError::Flow`]; with
+    /// several failing sweep points, the error is the one a serial
+    /// sweep would hit first.
     pub fn characterize_design(
         &self,
         design: &Aig,
         config: &CharacterizationConfig,
     ) -> Result<CharacterizationReport, WorkflowError> {
+        let synthesizer = Synthesizer::new().with_verification(config.verify);
+        let cache = FlowCache::new();
+        let key = FlowKey {
+            design: design_fingerprint(design),
+            recipe: config.recipe.name().to_owned(),
+            verify: config.verify,
+        };
+        let workers = resolve_workers(config.workers);
+
+        type PointResult = Result<(usize, [StageReport; 4]), WorkflowError>;
+        let points = sweep::run_indexed(
+            workers,
+            config.vcpu_sweep.clone(),
+            |_index, vcpus| -> PointResult {
+                let ctx = self.exec_context(StageKind::Synthesis, vcpus);
+                let (netlist, syn_report) =
+                    cache.synthesize(&synthesizer, design, &key, &config.recipe, &ctx)?;
+
+                let ctx = self.exec_context(StageKind::Placement, vcpus);
+                let (placement, place_report) = Placer::new().run(&netlist, &ctx)?;
+
+                let ctx = self.exec_context(StageKind::Routing, vcpus);
+                let (_routing, route_report) = Router::new().run(&netlist, &placement, &ctx)?;
+
+                let ctx = self.exec_context(StageKind::Sta, vcpus);
+                let (_timing, sta_report) = StaEngine::new().run(&netlist, &placement, &ctx)?;
+
+                Ok((
+                    netlist.cell_count(),
+                    [syn_report, place_report, route_report, sta_report],
+                ))
+            },
+        );
+        let points = sweep::reduce_results(points)?;
+
         let mut stages: Vec<StageCharacterization> = StageKind::ALL
             .iter()
             .map(|&kind| {
@@ -127,42 +185,12 @@ impl Workflow {
                 }
             })
             .collect();
-
-        let synthesizer = Synthesizer::new().with_verification(config.verify);
         let mut cells = 0;
-        for &vcpus in &config.vcpu_sweep {
-            let ctx_for = |kind: StageKind| -> ExecContext {
-                self.exec_context(kind, vcpus)
-            };
-
-            let ctx = ctx_for(StageKind::Synthesis);
-            let (netlist, syn_report) = synthesizer.run(design, &config.recipe, &ctx)?;
-            cells = netlist.cell_count();
-            stages[0].runs.push(VcpuRun {
-                vcpus,
-                report: syn_report,
-            });
-
-            let ctx = ctx_for(StageKind::Placement);
-            let (placement, place_report) = Placer::new().run(&netlist, &ctx)?;
-            stages[1].runs.push(VcpuRun {
-                vcpus,
-                report: place_report,
-            });
-
-            let ctx = ctx_for(StageKind::Routing);
-            let (_routing, route_report) = Router::new().run(&netlist, &placement, &ctx)?;
-            stages[2].runs.push(VcpuRun {
-                vcpus,
-                report: route_report,
-            });
-
-            let ctx = ctx_for(StageKind::Sta);
-            let (_timing, sta_report) = StaEngine::new().run(&netlist, &placement, &ctx)?;
-            stages[3].runs.push(VcpuRun {
-                vcpus,
-                report: sta_report,
-            });
+        for (&vcpus, (point_cells, reports)) in config.vcpu_sweep.iter().zip(points) {
+            cells = point_cells;
+            for (stage, report) in stages.iter_mut().zip(reports) {
+                stage.runs.push(VcpuRun { vcpus, report });
+            }
         }
         Ok(CharacterizationReport {
             design: design.name().to_owned(),

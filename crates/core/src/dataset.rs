@@ -8,6 +8,7 @@
 //! 1/2/4/8 vCPUs for every stage.
 
 use crate::optimize::VCPU_SWEEP;
+use crate::sweep::{self, design_fingerprint, resolve_workers, FlowCache, FlowKey};
 use crate::{Workflow, WorkflowError};
 use eda_cloud_flow::{Placer, Recipe, Router, StaEngine, StageKind, Synthesizer};
 use eda_cloud_gcn::GraphSample;
@@ -27,6 +28,11 @@ pub struct DatasetConfig {
     pub recipes: usize,
     /// Run the synthesis equivalence spot-check while generating.
     pub verify: bool,
+    /// Worker threads fanning corpus entries out; `0` (the default)
+    /// means one per available core, capped at 8. Entries are reduced
+    /// in canonical (family, size, recipe) order, so any worker count
+    /// yields a bit-identical corpus.
+    pub workers: usize,
 }
 
 impl DatasetConfig {
@@ -39,6 +45,7 @@ impl DatasetConfig {
             sizes: vec![4, 8, 16],
             recipes: 6,
             verify: false,
+            workers: 0,
         }
     }
 
@@ -53,7 +60,15 @@ impl DatasetConfig {
             sizes: vec![6],
             recipes: 3,
             verify: false,
+            workers: 0,
         }
+    }
+
+    /// The same corpus pinned to a specific worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
     }
 
     /// Expected number of netlists this config generates.
@@ -66,7 +81,7 @@ impl DatasetConfig {
 /// Per-stage sample corpora. Synthesis samples embed the AIG (the stage
 /// input); placement / routing / STA samples embed the star-model
 /// netlist graph.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StageDatasets {
     /// AIG-graph samples labeled with synthesis runtimes.
     pub synthesis: Vec<GraphSample>,
@@ -112,73 +127,106 @@ impl<'a> DatasetBuilder<'a> {
 
     /// Generate the corpus.
     ///
+    /// Corpus entries — one per (family, size, recipe) triple — fan out
+    /// over `config.workers` threads; within each entry the synthesis
+    /// result is computed once and replayed across the 1/2/4/8-vCPU
+    /// sweep via a shared [`FlowCache`]. Entries are reduced in
+    /// canonical triple order regardless of completion order, so the
+    /// corpus is bit-identical for any worker count.
+    ///
     /// # Errors
     ///
-    /// Propagates flow failures; returns
+    /// Propagates flow failures (with several failing entries, the
+    /// error is the one a serial build would hit first); returns
     /// [`WorkflowError::EmptyDataset`] when the config yields nothing.
     pub fn build(&self, config: &DatasetConfig) -> Result<StageDatasets, WorkflowError> {
         let recipes: Vec<Recipe> = Recipe::standard_suite()
             .into_iter()
             .take(config.recipes.max(1))
             .collect();
-        let mut out = StageDatasets::default();
+        let mut jobs: Vec<(String, u32, Recipe)> = Vec::new();
         for family in &config.families {
             for &size in &config.sizes {
-                let Some(aig) = generators::build_family(family, size) else {
-                    continue;
-                };
-                let aig_graph = DesignGraph::from_aig(&aig);
                 for recipe in &recipes {
-                    let synthesizer = Synthesizer::new().with_verification(config.verify);
-                    let mut syn_times = [0.0f64; 4];
-                    let mut place_times = [0.0f64; 4];
-                    let mut route_times = [0.0f64; 4];
-                    let mut sta_times = [0.0f64; 4];
-                    let mut netlist = None;
-                    for (k, &vcpus) in VCPU_SWEEP.iter().enumerate() {
-                        let ctx = self.workflow.exec_context(StageKind::Synthesis, vcpus);
-                        let (nl, rep) = synthesizer.run(&aig, recipe, &ctx)?;
-                        syn_times[k] = rep.runtime_secs;
-
-                        let ctx = self.workflow.exec_context(StageKind::Placement, vcpus);
-                        let (placement, rep) = Placer::new().run(&nl, &ctx)?;
-                        place_times[k] = rep.runtime_secs;
-
-                        let ctx = self.workflow.exec_context(StageKind::Routing, vcpus);
-                        let (_, rep) = Router::new().run(&nl, &placement, &ctx)?;
-                        route_times[k] = rep.runtime_secs;
-
-                        let ctx = self.workflow.exec_context(StageKind::Sta, vcpus);
-                        let (_, rep) = StaEngine::new().run(&nl, &placement, &ctx)?;
-                        sta_times[k] = rep.runtime_secs;
-
-                        netlist = Some(nl);
-                    }
-                    let netlist = netlist.expect("sweep ran at least once");
-                    let base_name = format!("{family}{size}.{}", recipe.name());
-
-                    let mut syn_sample = GraphSample::new(&aig_graph, syn_times);
-                    syn_sample.name = base_name.clone();
-                    out.synthesis.push(syn_sample);
-
-                    let nl_graph = DesignGraph::from_netlist(&netlist);
-                    for (times, bucket) in [
-                        (place_times, &mut out.placement),
-                        (route_times, &mut out.routing),
-                        (sta_times, &mut out.sta),
-                    ] {
-                        let mut sample = GraphSample::new(&nl_graph, times);
-                        sample.name = base_name.clone();
-                        bucket.push(sample);
-                    }
+                    jobs.push((family.clone(), size, recipe.clone()));
                 }
             }
+        }
+
+        let cache = FlowCache::new();
+        let workers = resolve_workers(config.workers);
+        type EntryResult = Result<Option<CorpusEntry>, WorkflowError>;
+        let entries = sweep::run_indexed(workers, jobs, |_index, (family, size, recipe)| -> EntryResult {
+            let Some(aig) = generators::build_family(&family, size) else {
+                return Ok(None);
+            };
+            let aig_graph = DesignGraph::from_aig(&aig);
+            let synthesizer = Synthesizer::new().with_verification(config.verify);
+            let key = FlowKey {
+                design: design_fingerprint(&aig),
+                recipe: recipe.name().to_owned(),
+                verify: config.verify,
+            };
+            let mut syn_times = [0.0f64; 4];
+            let mut place_times = [0.0f64; 4];
+            let mut route_times = [0.0f64; 4];
+            let mut sta_times = [0.0f64; 4];
+            let mut netlist = None;
+            for (k, &vcpus) in VCPU_SWEEP.iter().enumerate() {
+                let ctx = self.workflow.exec_context(StageKind::Synthesis, vcpus);
+                let (nl, rep) = cache.synthesize(&synthesizer, &aig, &key, &recipe, &ctx)?;
+                syn_times[k] = rep.runtime_secs;
+
+                let ctx = self.workflow.exec_context(StageKind::Placement, vcpus);
+                let (placement, rep) = Placer::new().run(&nl, &ctx)?;
+                place_times[k] = rep.runtime_secs;
+
+                let ctx = self.workflow.exec_context(StageKind::Routing, vcpus);
+                let (_, rep) = Router::new().run(&nl, &placement, &ctx)?;
+                route_times[k] = rep.runtime_secs;
+
+                let ctx = self.workflow.exec_context(StageKind::Sta, vcpus);
+                let (_, rep) = StaEngine::new().run(&nl, &placement, &ctx)?;
+                sta_times[k] = rep.runtime_secs;
+
+                netlist = Some(nl);
+            }
+            let netlist = netlist.expect("sweep ran at least once");
+            let base_name = format!("{family}{size}.{}", recipe.name());
+
+            let mut syn_sample = GraphSample::new(&aig_graph, syn_times);
+            syn_sample.name = base_name.clone();
+
+            let nl_graph = DesignGraph::from_netlist(&netlist);
+            let [placement, routing, sta] =
+                [place_times, route_times, sta_times].map(|times| {
+                    let mut sample = GraphSample::new(&nl_graph, times);
+                    sample.name = base_name.clone();
+                    sample
+                });
+            Ok(Some(CorpusEntry { synthesis: syn_sample, placement, routing, sta }))
+        });
+
+        let mut out = StageDatasets::default();
+        for entry in sweep::reduce_results(entries)?.into_iter().flatten() {
+            out.synthesis.push(entry.synthesis);
+            out.placement.push(entry.placement);
+            out.routing.push(entry.routing);
+            out.sta.push(entry.sta);
         }
         if out.synthesis.is_empty() {
             return Err(WorkflowError::EmptyDataset { stage: "synthesis" });
         }
         Ok(out)
     }
+}
+
+/// The four samples one (family, size, recipe) triple contributes.
+struct CorpusEntry {
+    synthesis: GraphSample,
+    placement: GraphSample,
+    routing: GraphSample,
+    sta: GraphSample,
 }
 
 #[cfg(test)]
@@ -217,6 +265,7 @@ mod tests {
             sizes: vec![4],
             recipes: 2,
             verify: false,
+            workers: 0,
         };
         assert!(matches!(
             DatasetBuilder::new(&wf).build(&cfg).unwrap_err(),

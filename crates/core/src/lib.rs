@@ -42,6 +42,7 @@ mod optimize;
 pub mod predict;
 mod recommend;
 pub mod report;
+pub mod sweep;
 mod workflow;
 
 pub use characterize::{
@@ -50,4 +51,5 @@ pub use characterize::{
 pub use error::WorkflowError;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
 pub use recommend::{recommended_family, recommendation_notes};
+pub use sweep::{design_fingerprint, resolve_workers, FlowCache, FlowKey};
 pub use workflow::{stage_work_scale, Workflow};

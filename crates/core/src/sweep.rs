@@ -1,0 +1,334 @@
+//! The parallel sweep engine: a shared-queue job pool with canonical
+//! (index-keyed) result reduction, plus a keyed flow-result cache.
+//!
+//! Characterization sweeps and dataset generation fan the same shape of
+//! work out many times: run the four-stage flow for every point of a
+//! `(design, recipe, vcpus)` grid. Two properties make that grid cheap
+//! to parallelize *without* giving up the repository's determinism
+//! guarantees:
+//!
+//! 1. **Canonical reduction.** Jobs are numbered up front and results
+//!    land in index-keyed slots, so the reduced output is a function of
+//!    the job list alone — never of thread scheduling. Parallel runs
+//!    are bit-identical to serial runs (`workers = 1`), and when
+//!    several jobs fail, the error reported is the one the serial loop
+//!    would have hit first.
+//! 2. **Synthesis is machine-independent.** The synthesis engine's
+//!    probe event stream depends only on `(design, recipe, verify)`, so
+//!    [`FlowCache`] records it once ([`Synthesizer::run_traced`]) and
+//!    replays it per machine configuration — the 1/2/4/8-vCPU sweep
+//!    performs the expensive structural work once instead of four
+//!    times, with counters bit-identical to a fresh run at each vCPU
+//!    count. Placement, routing, and STA genuinely depend on the
+//!    machine (thread partitioning, coherence traffic), so they run per
+//!    sweep point on the cached netlist.
+
+use crossbeam::channel;
+use eda_cloud_flow::{ExecContext, FlowError, Recipe, StageReport, SynthesisTrace, Synthesizer};
+use eda_cloud_netlist::{Aig, AigNode, Netlist};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Resolve a `workers` knob to a concrete worker count: `0` (the
+/// configs' default) asks for one worker per available core, capped at
+/// 8 — the widest useful fan-out for a 1/2/4/8-vCPU sweep grid row.
+#[must_use]
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8)
+}
+
+/// Run `f` over every `(index, item)` pair on a pool of `workers`
+/// scoped threads and return the results **in item order**.
+///
+/// Workers pull jobs from a shared queue (fast items steal the slack
+/// left by slow ones) and push `(index, result)` pairs back; the
+/// reducer writes each result into its index's slot, so the output
+/// order — and therefore every downstream artifact — is independent of
+/// completion order. With `workers <= 1` (or one item) the pool is
+/// bypassed entirely and `f` runs on the caller's thread.
+///
+/// A panicking job propagates: remaining jobs may or may not run, and
+/// the panic resurfaces when the thread scope closes — the same
+/// observable outcome as a panic in a serial loop.
+pub(crate) fn run_indexed<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let n = items.len();
+    let workers = workers.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let result_tx = result_tx.clone();
+            let f = &f;
+            scope.spawn(move |_| {
+                while let Ok((index, item)) = job_rx.recv() {
+                    let result = f(index, item);
+                    if result_tx.send((index, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // Only the workers' clones keep the channels alive now; when
+        // the queue drains, workers exit and the result stream ends.
+        drop(job_rx);
+        drop(result_tx);
+        for pair in items.into_iter().enumerate() {
+            job_tx.send(pair).expect("job queue open while workers run");
+        }
+        drop(job_tx);
+        for (index, result) in result_rx.iter() {
+            slots[index] = Some(result);
+        }
+    })
+    .expect("sweep worker scope");
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job reduced exactly once"))
+        .collect()
+}
+
+/// Reduce per-job `Result`s canonically: return all successes in order,
+/// or the error the lowest-indexed failing job produced — exactly what
+/// a serial loop with `?` would have returned.
+pub(crate) fn reduce_results<T, E>(results: Vec<Result<T, E>>) -> Result<Vec<T>, E> {
+    results.into_iter().collect()
+}
+
+/// Key identifying one synthesis computation: the design's structural
+/// fingerprint plus the recipe and verification toggle. Machine
+/// configuration is deliberately absent — that is the point of the
+/// cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// [`design_fingerprint`] of the input AIG.
+    pub design: u64,
+    /// Recipe name (recipes in a suite are name-unique).
+    pub recipe: String,
+    /// Whether synthesis runs its equivalence spot-check.
+    pub verify: bool,
+}
+
+struct CachedSynthesis {
+    netlist: Arc<Netlist>,
+    trace: SynthesisTrace,
+}
+
+/// A keyed cache of synthesis results shared across the points of a
+/// sweep.
+///
+/// The first lookup for a key runs [`Synthesizer::run_traced`] and
+/// stores the mapped netlist plus the machine-independent probe trace;
+/// later lookups — the remaining vCPU counts of the sweep, on any
+/// worker thread — replay the trace against their machine
+/// configuration, which is bit-identical to a fresh run there (see
+/// [`Synthesizer::report_from_trace`]). The cache is exactly
+/// transparent: no output of a sweep changes by routing synthesis
+/// through it.
+pub struct FlowCache {
+    entries: Mutex<HashMap<FlowKey, Arc<CachedSynthesis>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl FlowCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Synthesize `aig` under `recipe` for `ctx`, computing the
+    /// structural work at most once per [`FlowKey`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates synthesis failures; errors are not cached (the next
+    /// lookup retries, matching the serial loop's behavior of failing
+    /// at its own sweep point).
+    pub fn synthesize(
+        &self,
+        synthesizer: &Synthesizer,
+        aig: &Aig,
+        key: &FlowKey,
+        recipe: &Recipe,
+        ctx: &ExecContext,
+    ) -> Result<(Arc<Netlist>, StageReport), FlowError> {
+        if let Some(entry) = self.entries.lock().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let report = Synthesizer::report_from_trace(&entry.trace, ctx);
+            return Ok((entry.netlist.clone(), report));
+        }
+
+        // Miss: run outside the lock (synthesis is the expensive part).
+        // Two workers racing on the same key both compute — identical,
+        // deterministic results; first insert wins and both share it.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let (netlist, report, trace) = synthesizer.run_traced(aig, recipe, ctx)?;
+        let entry = Arc::new(CachedSynthesis { netlist: Arc::new(netlist), trace });
+        let entry = self
+            .entries
+            .lock()
+            .entry(key.clone())
+            .or_insert(entry)
+            .clone();
+        Ok((entry.netlist.clone(), report))
+    }
+
+    /// Lookups served from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the synthesizer.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for FlowCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A structural fingerprint of an AIG (FNV-1a over name, nodes, and
+/// outputs), used as the design component of a [`FlowKey`].
+#[must_use]
+pub fn design_fingerprint(aig: &Aig) -> u64 {
+    fn mix(h: &mut u64, byte: u8) {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    fn mix_u64(h: &mut u64, v: u64) {
+        for byte in v.to_le_bytes() {
+            mix(h, byte);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in aig.name().bytes() {
+        mix(&mut h, byte);
+    }
+    mix(&mut h, 0xFF); // name/body separator
+    for node in aig.nodes() {
+        match node {
+            AigNode::Const0 => mix_u64(&mut h, 0),
+            AigNode::Pi(pos) => {
+                mix_u64(&mut h, 1);
+                mix_u64(&mut h, u64::from(*pos));
+            }
+            AigNode::And(a, b) => {
+                mix_u64(&mut h, 2);
+                mix_u64(&mut h, u64::from(a.raw()));
+                mix_u64(&mut h, u64::from(b.raw()));
+            }
+        }
+    }
+    for (name, lit) in aig.outputs() {
+        for byte in name.bytes() {
+            mix(&mut h, byte);
+        }
+        mix_u64(&mut h, u64::from(lit.raw()));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_netlist::generators;
+
+    #[test]
+    fn run_indexed_preserves_item_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let expected: Vec<u64> = items.iter().map(|v| v * v).collect();
+        for workers in [1, 2, 4, 9] {
+            let got = run_indexed(workers, items.clone(), |i, v| {
+                assert_eq!(i as u64, v);
+                // Stagger completion so out-of-order arrival is real.
+                if v % 3 == 0 {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                v * v
+            });
+            assert_eq!(got, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_empty_and_single() {
+        let none: Vec<u32> = run_indexed(4, Vec::new(), |_, v: u32| v);
+        assert!(none.is_empty());
+        assert_eq!(run_indexed(4, vec![7u32], |_, v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn reduce_results_picks_first_error_canonically() {
+        let all: Vec<Result<u32, &str>> = vec![Ok(1), Err("second"), Ok(3), Err("fourth")];
+        assert_eq!(reduce_results(all), Err("second"));
+        let ok: Vec<Result<u32, &str>> = vec![Ok(1), Ok(2)];
+        assert_eq!(reduce_results(ok), Ok(vec![1, 2]));
+    }
+
+    #[test]
+    fn fingerprint_separates_structures_and_names() {
+        let a = generators::adder(6);
+        let b = generators::adder(7);
+        let c = generators::parity(6);
+        assert_eq!(design_fingerprint(&a), design_fingerprint(&generators::adder(6)));
+        assert_ne!(design_fingerprint(&a), design_fingerprint(&b));
+        assert_ne!(design_fingerprint(&a), design_fingerprint(&c));
+    }
+
+    #[test]
+    fn cache_replays_identical_reports() {
+        let aig = generators::multiplier(6);
+        let recipe = Recipe::balanced();
+        let synthesizer = Synthesizer::new();
+        let cache = FlowCache::new();
+        let key = FlowKey {
+            design: design_fingerprint(&aig),
+            recipe: recipe.name().to_owned(),
+            verify: true,
+        };
+        for vcpus in [1u32, 2, 4, 8] {
+            let ctx = ExecContext::with_vcpus(vcpus);
+            let (nl, cached) = cache
+                .synthesize(&synthesizer, &aig, &key, &recipe, &ctx)
+                .expect("cached synthesis");
+            let (fresh_nl, fresh) = synthesizer.run(&aig, &recipe, &ctx).expect("fresh synthesis");
+            assert_eq!(cached, fresh, "report mismatch at {vcpus} vCPUs");
+            assert_eq!(nl.cell_count(), fresh_nl.cell_count());
+        }
+        assert_eq!(cache.misses(), 1, "one structural run for the whole sweep");
+        assert_eq!(cache.hits(), 3);
+    }
+
+    #[test]
+    fn workers_resolve_to_positive_counts() {
+        assert_eq!(resolve_workers(3), 3);
+        let auto = resolve_workers(0);
+        assert!((1..=8).contains(&auto));
+    }
+}

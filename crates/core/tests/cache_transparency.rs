@@ -1,0 +1,63 @@
+//! Property test: the flow-result cache is exactly transparent.
+//!
+//! For an arbitrary (design family, recipe, vCPU count) pick, a stage
+//! report replayed from the cache's recorded probe trace must be
+//! identical to one computed by a fresh synthesis run on the same
+//! machine — the invariant that lets the sweep engine compute each
+//! (design, recipe) pair once and reuse it across the 1/2/4/8-vCPU
+//! sweep without changing any output.
+
+use eda_cloud_core::{design_fingerprint, FlowCache, FlowKey, Workflow};
+use eda_cloud_flow::{Recipe, StageKind, Synthesizer};
+use eda_cloud_netlist::generators;
+use proptest::prelude::*;
+use proptest::sample::select;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cached_and_fresh_synthesis_reports_are_identical(
+        family in select(generators::FAMILY_NAMES.to_vec()),
+        size in 4u32..9,
+        recipe_index in 0usize..6,
+        vcpus in select(vec![1u32, 2, 4, 8]),
+        verify in select(vec![false, true]),
+    ) {
+        let aig = generators::build_family(family, size).expect("known family");
+        let recipe: Recipe = Recipe::standard_suite()
+            .into_iter()
+            .nth(recipe_index)
+            .expect("suite has six recipes");
+        let workflow = Workflow::with_defaults();
+        let synthesizer = Synthesizer::new().with_verification(verify);
+
+        let cache = FlowCache::new();
+        let key = FlowKey {
+            design: design_fingerprint(&aig),
+            recipe: recipe.name().to_owned(),
+            verify,
+        };
+        // Prime the cache on a machine the sweep would visit first …
+        let prime_ctx = workflow.exec_context(StageKind::Synthesis, 1);
+        let _ = cache
+            .synthesize(&synthesizer, &aig, &key, &recipe, &prime_ctx)
+            .expect("priming run");
+        // … then serve the arbitrary pick from the cache and compare
+        // against a fresh run on that machine.
+        let ctx = workflow.exec_context(StageKind::Synthesis, vcpus);
+        let (cached_nl, cached) = cache
+            .synthesize(&synthesizer, &aig, &key, &recipe, &ctx)
+            .expect("cached run");
+        let (fresh_nl, fresh) = synthesizer
+            .run(&aig, &recipe, &ctx)
+            .expect("fresh run");
+
+        prop_assert_eq!(&cached, &fresh);
+        prop_assert_eq!(cached.counters, fresh.counters);
+        prop_assert_eq!(cached.runtime_secs, fresh.runtime_secs);
+        prop_assert_eq!(cached_nl.cell_count(), fresh_nl.cell_count());
+        prop_assert_eq!(cache.misses(), 1);
+        prop_assert!(cache.hits() >= 1);
+    }
+}

@@ -226,7 +226,10 @@ impl Router {
             let background = state.usage.clone();
             let history = state.history.clone();
             let routed_view = &routed;
-            let mut results: Vec<(Vec<(usize, Vec<u32>)>, GridDelta, CounterSet)> = Vec::new();
+            // One bucket's round output: routed (net index, path) pairs,
+            // its private usage delta, and its probe counters.
+            type BucketOutcome = (Vec<(usize, Vec<u32>)>, GridDelta, CounterSet);
+            let mut results: Vec<BucketOutcome> = Vec::new();
             crossbeam::scope(|scope| {
                 let handles: Vec<_> = buckets
                     .iter()

@@ -14,7 +14,7 @@
 
 use crate::{ExecContext, FlowError, StageKind, StageReport};
 use eda_cloud_netlist::{Aig, AigNode, Lit, NetId, Netlist};
-use eda_cloud_perf::{PerfProbe, StageWork};
+use eda_cloud_perf::{CounterSet, PerfProbe, ProbeTrace, StageWork};
 use eda_cloud_tech::{CellKind, Library};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -214,51 +214,143 @@ impl Synthesizer {
         recipe: &Recipe,
         ctx: &ExecContext,
     ) -> Result<(Netlist, StageReport), FlowError> {
+        let mut probe = ctx.probe();
+        let netlist = self.execute(aig, recipe, &mut probe)?;
+        let report = self.finalize(probe.counters(), recipe, ctx);
+        Ok((netlist, report))
+    }
+
+    /// Like [`Synthesizer::run`], additionally recording the probe
+    /// event stream into a replayable [`SynthesisTrace`].
+    ///
+    /// The engine never reads probe state back, so the event stream is
+    /// a pure function of `(aig, recipe, verify-mode)` — machine-
+    /// independent. Calling [`Synthesizer::report_from_trace`] with the
+    /// trace and another context yields a report bit-identical to
+    /// re-running synthesis under that context, without re-doing the
+    /// structural work.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Synthesizer::run`].
+    pub fn run_traced(
+        &self,
+        aig: &Aig,
+        recipe: &Recipe,
+        ctx: &ExecContext,
+    ) -> Result<(Netlist, StageReport, SynthesisTrace), FlowError> {
+        let mut probe = PerfProbe::for_machine_traced(&ctx.machine);
+        let netlist = self.execute(aig, recipe, &mut probe)?;
+        let (counters, events) = probe.into_traced();
+        let report = self.finalize(counters, recipe, ctx);
+        let trace = SynthesisTrace {
+            events,
+            sync_cycles: sync_overhead(recipe),
+            parallel_fraction: self.parallel_fraction,
+        };
+        Ok((netlist, report, trace))
+    }
+
+    /// Recompute the stage report a fresh [`Synthesizer::run`] under
+    /// `ctx` would produce, from a recorded trace instead of a re-run.
+    #[must_use]
+    pub fn report_from_trace(trace: &SynthesisTrace, ctx: &ExecContext) -> StageReport {
+        let counters = trace.events.replay(&ctx.machine);
+        let work =
+            StageWork::from_counters(&counters, trace.parallel_fraction, trace.sync_cycles, &ctx.model);
+        let runtime_secs = ctx.model.runtime_secs(&work, &ctx.machine);
+        StageReport {
+            kind: StageKind::Synthesis,
+            runtime_secs,
+            counters,
+            work,
+            parallel_fraction: trace.parallel_fraction,
+        }
+    }
+
+    /// The structural pipeline: passes, mapping, verification.
+    fn execute(
+        &self,
+        aig: &Aig,
+        recipe: &Recipe,
+        probe: &mut PerfProbe,
+    ) -> Result<Netlist, FlowError> {
         if aig.output_count() == 0 {
             return Err(FlowError::EmptyDesign);
         }
         aig.check()?;
-        let mut probe = ctx.probe();
 
         // Optimization passes.
         let mut working = aig.clone();
         probe.instr(working.node_count() as u64); // initial strash sweep
         for pass in recipe.passes() {
             working = match pass {
-                Pass::Balance => balance(&working, &mut probe),
-                Pass::Rewrite => rewrite(&working, &mut probe),
-                Pass::Refactor(seed) => refactor(&working, *seed, &mut probe),
-                Pass::Sweep => sweep(&working, &mut probe),
+                Pass::Balance => balance(&working, probe),
+                Pass::Rewrite => rewrite(&working, probe),
+                Pass::Refactor(seed) => refactor(&working, *seed, probe),
+                Pass::Sweep => sweep(&working, probe),
             };
         }
 
         // Technology mapping.
-        let netlist = map_to_cells(&working, &self.library, aig.name(), recipe, &mut probe);
+        let netlist = map_to_cells(&working, &self.library, aig.name(), recipe, probe);
 
         // Equivalence checking.
         match self.verify {
             VerifyMode::Off => {}
-            VerifyMode::Random => verify_equivalence(aig, &netlist, &mut probe)?,
+            VerifyMode::Random => verify_equivalence(aig, &netlist, probe)?,
             VerifyMode::Sat => {
-                verify_equivalence(aig, &netlist, &mut probe)?;
-                verify_equivalence_sat(aig, &netlist, &mut probe)?;
+                verify_equivalence(aig, &netlist, probe)?;
+                verify_equivalence_sat(aig, &netlist, probe)?;
             }
         }
+        Ok(netlist)
+    }
 
-        let counters = probe.counters();
-        let sync = 600.0 * recipe.passes().len().max(1) as f64;
-        let work = StageWork::from_counters(&counters, self.parallel_fraction, sync, &ctx.model);
+    /// Turn final counters into the stage report for `ctx`.
+    fn finalize(&self, counters: CounterSet, recipe: &Recipe, ctx: &ExecContext) -> StageReport {
+        let work = StageWork::from_counters(
+            &counters,
+            self.parallel_fraction,
+            sync_overhead(recipe),
+            &ctx.model,
+        );
         let runtime_secs = ctx.model.runtime_secs(&work, &ctx.machine);
-        Ok((
-            netlist,
-            StageReport {
-                kind: StageKind::Synthesis,
-                runtime_secs,
-                counters,
-                work,
-                parallel_fraction: self.parallel_fraction,
-            },
-        ))
+        StageReport {
+            kind: StageKind::Synthesis,
+            runtime_secs,
+            counters,
+            work,
+            parallel_fraction: self.parallel_fraction,
+        }
+    }
+}
+
+/// Synchronization overhead attributed to a recipe's pass pipeline.
+fn sync_overhead(recipe: &Recipe) -> f64 {
+    600.0 * recipe.passes().len().max(1) as f64
+}
+
+/// A replayable recording of one synthesis run: the machine-independent
+/// probe event stream plus the report parameters that depend only on
+/// the recipe and engine (not the machine).
+///
+/// Produced by [`Synthesizer::run_traced`]; consumed by
+/// [`Synthesizer::report_from_trace`] to re-cost the same run on other
+/// machine configurations without repeating the structural work — the
+/// basis of the sweep engine's flow-result cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisTrace {
+    events: ProbeTrace,
+    sync_cycles: f64,
+    parallel_fraction: f64,
+}
+
+impl SynthesisTrace {
+    /// Number of recorded probe events.
+    #[must_use]
+    pub fn event_count(&self) -> usize {
+        self.events.len()
     }
 }
 
@@ -532,7 +624,10 @@ fn map_to_cells(
         net_plain[pi as usize] = Some(net);
     }
 
-    // Fetch (or synthesize via INV / TIE) the net for a literal.
+    // Fetch (or synthesize via INV / TIE) the net for a literal. The
+    // argument list is the full memo state of the conversion; bundling
+    // it into a struct would only rename the problem.
+    #[allow(clippy::too_many_arguments)]
     fn literal_net(
         l: Lit,
         nl: &mut Netlist,
@@ -924,6 +1019,35 @@ mod tests {
         assert!(report.counters.branches > 0);
         assert!(report.counters.cache_refs > 0);
         assert_eq!(report.kind, StageKind::Synthesis);
+    }
+
+    #[test]
+    fn traced_run_matches_plain_run() {
+        let aig = generators::multiplier(6);
+        let syn = Synthesizer::new();
+        let ctx = ctx();
+        let (nl_plain, rep_plain) = syn.run(&aig, &Recipe::balanced(), &ctx).expect("run");
+        let (nl_traced, rep_traced, trace) =
+            syn.run_traced(&aig, &Recipe::balanced(), &ctx).expect("traced run");
+        assert_eq!(nl_plain.cell_count(), nl_traced.cell_count());
+        assert_eq!(format!("{nl_plain:?}"), format!("{nl_traced:?}"));
+        assert_eq!(rep_plain, rep_traced);
+        assert!(trace.event_count() > 0);
+    }
+
+    #[test]
+    fn trace_replays_bit_identical_reports_across_machines() {
+        let aig = generators::multiplier(6);
+        let syn = Synthesizer::new();
+        let (_, _, trace) = syn
+            .run_traced(&aig, &Recipe::balanced(), &ExecContext::with_vcpus(1))
+            .expect("traced run");
+        for vcpus in [1u32, 2, 4, 8] {
+            let ctx = ExecContext::with_vcpus(vcpus);
+            let (_, fresh) = syn.run(&aig, &Recipe::balanced(), &ctx).expect("fresh run");
+            let replayed = Synthesizer::report_from_trace(&trace, &ctx);
+            assert_eq!(fresh, replayed, "mismatch at {vcpus} vCPUs");
+        }
     }
 
     #[test]

@@ -104,8 +104,8 @@ impl Solver {
                     continue;
                 }
                 let s = score(choice.cost_usd);
-                for prev_t in 0..=(budget - t) {
-                    let Some(prev) = dp[prev_t] else { continue };
+                for (prev_t, &slot_score) in dp.iter().enumerate().take(budget - t + 1) {
+                    let Some(prev) = slot_score else { continue };
                     let cand = prev + s;
                     let slot = prev_t + t;
                     if next[slot].is_none_or(|best| cand > best) {

@@ -231,7 +231,9 @@ pub fn read_blif(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
     let mut name = String::from("blif");
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
-    let mut gates: Vec<(usize, String, Vec<(String, String)>)> = Vec::new();
+    // (source line, cell name, [(formal, actual)] pin bindings).
+    type BlifGate = (usize, String, Vec<(String, String)>);
+    let mut gates: Vec<BlifGate> = Vec::new();
     for (lno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {

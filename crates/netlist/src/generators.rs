@@ -794,7 +794,7 @@ mod tests {
         // idx bits (3) then valid.
         assert_eq!(bits_to_u64(&out[..3]), 2);
         assert!(out[3]);
-        let out = aig.simulate(&vec![false; 8]).unwrap();
+        let out = aig.simulate(&[false; 8]).unwrap();
         assert!(!out[3], "no request -> invalid");
     }
 

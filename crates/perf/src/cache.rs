@@ -73,7 +73,7 @@ impl Cache {
     /// Total capacity in bytes.
     #[must_use]
     pub fn capacity_bytes(&self) -> usize {
-        self.sets * self.ways << self.line_shift
+        (self.sets * self.ways) << self.line_shift
     }
 
     /// Simulate one access; returns `true` on hit. Misses install the

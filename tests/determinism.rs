@@ -50,6 +50,40 @@ fn training_is_deterministic() {
 }
 
 #[test]
+fn characterization_is_identical_across_worker_counts() {
+    // The sweep engine's canonical (index-keyed) reduction contract:
+    // fanning the vCPU sweep out over 4 workers produces output
+    // bit-identical to the serial (1-worker) sweep.
+    let workflow = Workflow::with_defaults();
+    let design = generators::openpiton_design("dynamic_node").expect("known design");
+    let cfg = CharacterizationConfig::paper();
+    let serial = workflow
+        .characterize_design(&design, &cfg.clone().with_workers(1))
+        .expect("serial sweep");
+    for workers in [2, 4] {
+        let parallel = workflow
+            .characterize_design(&design, &cfg.clone().with_workers(workers))
+            .expect("parallel sweep");
+        assert_eq!(serial, parallel, "workers={workers}");
+    }
+}
+
+#[test]
+fn dataset_build_is_identical_across_worker_counts() {
+    // Corpus entries are reduced in canonical (family, size, recipe)
+    // order, so the corpus must not depend on the worker count either.
+    let workflow = Workflow::with_defaults();
+    let cfg = DatasetConfig::smoke();
+    let serial = DatasetBuilder::new(&workflow)
+        .build(&cfg.clone().with_workers(1))
+        .expect("serial corpus");
+    let parallel = DatasetBuilder::new(&workflow)
+        .build(&cfg.with_workers(4))
+        .expect("parallel corpus");
+    assert_eq!(serial, parallel);
+}
+
+#[test]
 fn generators_are_stable_across_calls() {
     for name in generators::FAMILY_NAMES {
         let a = generators::build_family(name, 5).expect("family");
