@@ -7,15 +7,20 @@
 //! cargo run -p eda-cloud-bench --bin fig6 --release
 //! cargo run -p eda-cloud-bench --bin fig6 --release -- --paper-runtimes
 //! cargo run -p eda-cloud-bench --bin fig6 --release -- --workers 4
+//! cargo run -p eda-cloud-bench --bin fig6 --release -- --spot
 //! ```
 //!
 //! `--workers N` sets the characterization-sweep fan-out (default: one
 //! worker per core); the report is bit-identical for any worker count.
+//! `--spot` adds the expected-spot cost of each optimized deployment
+//! (typical market: 70% discount, 5%/hour interruption).
 
 use eda_cloud_bench::{experiment_design, Args};
+use eda_cloud_cloud::SpotMarket;
 use eda_cloud_core::report::{pct, render_table};
 use eda_cloud_core::{CharacterizationConfig, StageRuntimes, Workflow};
 use eda_cloud_flow::StageKind;
+use eda_cloud_mckp::spot_savings_vs_baselines;
 
 const PAPER_RUNTIMES: [(StageKind, [f64; 4]); 4] = [
     (StageKind::Synthesis, [6100.0, 4342.0, 3449.0, 3352.0]),
@@ -64,6 +69,8 @@ fn main() {
 
     let problem = workflow.deployment_problem(&runtimes).expect("problem");
     let min_total = problem.min_total_runtime();
+    let spot = args.flag("spot").then(SpotMarket::typical);
+    let pricing = *workflow.catalog().pricing();
 
     // Sweep deadlines from the feasibility edge up to fully relaxed.
     let mut rows = Vec::new();
@@ -75,7 +82,7 @@ fn main() {
         };
         let s = plan.savings;
         savings_acc.push(s.average_saving());
-        rows.push(vec![
+        let mut row = vec![
             format!("{budget}"),
             format!("{:.2}", s.optimized_usd),
             format!("{:.2}", s.over_provision_usd),
@@ -83,23 +90,29 @@ fn main() {
             pct(s.saving_vs_over),
             pct(s.saving_vs_under),
             format!("{}", s.runtime_overhead_secs),
-        ]);
+        ];
+        if let Some(market) = &spot {
+            let (_, cmp) = spot_savings_vs_baselines(&problem, budget, &pricing, market)
+                .expect("feasible budget already solved");
+            row.push(format!("{:.2}", cmp.expected_spot_usd));
+            row.push(pct(cmp.saving_vs_on_demand));
+        }
+        rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "deadline (s)",
-                "optimized ($)",
-                "over-prov ($)",
-                "under-prov ($)",
-                "saving vs over",
-                "saving vs under",
-                "runtime overhead (s)",
-            ],
-            &rows
-        )
-    );
+    let mut headers = vec![
+        "deadline (s)",
+        "optimized ($)",
+        "over-prov ($)",
+        "under-prov ($)",
+        "saving vs over",
+        "saving vs under",
+        "runtime overhead (s)",
+    ];
+    if spot.is_some() {
+        headers.push("E[spot] ($)");
+        headers.push("spot saving");
+    }
+    println!("{}", render_table(&headers, &rows));
     let avg = savings_acc.iter().sum::<f64>() / savings_acc.len().max(1) as f64;
     println!(
         "average saving across constraints: {}   (paper: 35.29%)",

@@ -63,6 +63,47 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_jobs_bill_the_minimum() {
+        let c = Catalog::aws_like();
+        let i = c.instance("m5.large").unwrap();
+        let p = c.pricing();
+        assert_eq!(p.billed_secs(0.0), 60);
+        let floor = 60.0 / 3600.0 * i.price_per_hour;
+        assert!((p.cost_usd(i, 0.0) - floor).abs() < 1e-12);
+        // Negative and NaN runtimes clamp to zero length, not panic.
+        assert!((p.cost_usd(i, -30.0) - floor).abs() < 1e-12);
+        assert_eq!(p.billed_secs(f64::NAN), 60);
+    }
+
+    #[test]
+    fn sub_minute_jobs_all_cost_the_same() {
+        let c = Catalog::aws_like();
+        let i = c.instance("c5.xlarge").unwrap();
+        let p = c.pricing();
+        let floor = p.cost_usd(i, 60.0);
+        for secs in [0.001, 1.0, 30.0, 59.0, 59.999, 60.0] {
+            assert!(
+                (p.cost_usd(i, secs) - floor).abs() < 1e-12,
+                "{secs}s must bill exactly the 60s minimum"
+            );
+        }
+        // The first second past the minimum is where cost starts moving.
+        assert_eq!(p.billed_secs(60.000_1), 61);
+        assert!(p.cost_usd(i, 60.01) > floor);
+    }
+
+    #[test]
+    fn fractional_seconds_round_up_without_drift() {
+        let p = Pricing::per_second();
+        // ceil never rounds a whole-second runtime up an extra second.
+        for whole in [60u64, 61, 100, 3600, 86_400] {
+            assert_eq!(p.billed_secs(whole as f64), whole);
+        }
+        assert_eq!(p.billed_secs(100.000_000_001), 101);
+        assert_eq!(p.billed_secs(99.999_999_999), 100);
+    }
+
+    #[test]
     fn hour_costs_hourly_price() {
         let c = Catalog::aws_like();
         let i = c.instance("r5.xlarge").unwrap();
@@ -146,6 +187,21 @@ impl Pricing {
             self.cost_usd(instance, runtime_secs / 2.0) * market.price_fraction * failed_attempts;
         successful_run + failed_cost
     }
+
+    /// Ratio of the expected spot cost to the on-demand cost for a job of
+    /// the given length. Instance-independent (hourly rates cancel), so
+    /// optimizers that already priced their choices on demand — e.g. the
+    /// MCKP choices in `eda-cloud-mckp` — can convert by multiplication
+    /// without re-deriving the instance. Under 1.0 the spot discount
+    /// wins; above it interruption re-runs dominate.
+    #[must_use]
+    pub fn expected_spot_multiplier(&self, runtime_secs: f64, market: &SpotMarket) -> f64 {
+        let p = market.completion_probability(runtime_secs).max(1e-9);
+        let failed_attempts = (1.0 - p) / p;
+        let full = self.billed_secs(runtime_secs) as f64;
+        let half = self.billed_secs(runtime_secs / 2.0) as f64;
+        market.price_fraction * (full + half * failed_attempts) / full
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +235,29 @@ mod spot_tests {
             expected > on_demand,
             "interruption-dominated jobs cost more than on-demand"
         );
+    }
+
+    #[test]
+    fn multiplier_agrees_with_expected_cost_and_is_instance_free() {
+        let c = Catalog::aws_like();
+        let spot = SpotMarket::typical();
+        for secs in [45.0, 1800.0, 3600.0, 36_000.0] {
+            let mult = c.pricing().expected_spot_multiplier(secs, &spot);
+            for name in ["m5.large", "r5.xlarge", "c5.2xlarge"] {
+                let i = c.instance(name).unwrap();
+                let direct = c.pricing().expected_spot_cost_usd(i, secs, &spot);
+                let via_mult = c.pricing().cost_usd(i, secs) * mult;
+                assert!(
+                    (direct - via_mult).abs() < 1e-9 * direct.max(1.0),
+                    "{name} at {secs}s: {direct} vs {via_mult}"
+                );
+            }
+        }
+        // Short jobs keep most of the discount; hostile jobs lose it.
+        assert!(c.pricing().expected_spot_multiplier(600.0, &spot) < 0.35);
+        let hostile = SpotMarket { price_fraction: 0.3, interruption_per_hour: 0.9 };
+        let week = 7.0 * 24.0 * 3600.0;
+        assert!(c.pricing().expected_spot_multiplier(week, &hostile) > 1.0);
     }
 
     #[test]

@@ -119,6 +119,87 @@ impl Provisioner {
         }
     }
 
+    /// Advance the virtual clock to an absolute time (no-op when `t_secs`
+    /// is in the past — the clock never moves backwards).
+    pub fn advance_to(&mut self, t_secs: f64) {
+        if t_secs > self.clock {
+            self.advance(t_secs - self.clock);
+        }
+    }
+
+    /// Look up a VM by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownVm`] for a bad id.
+    pub fn vm(&self, vm_id: u64) -> Result<&Vm, CloudError> {
+        usize::try_from(vm_id)
+            .ok()
+            .and_then(|idx| self.vms.get(idx))
+            .ok_or(CloudError::UnknownVm(vm_id))
+    }
+
+    /// Assert the VM can accept work *now*: it must exist, be past its
+    /// boot interval, and not be terminated. Event-driven callers (the
+    /// fleet simulator) use this instead of [`Provisioner::run_job`],
+    /// which owns the clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownVm`] for a bad id and
+    /// [`CloudError::InvalidState`] when the VM already terminated or is
+    /// still booting (a job submitted before `ready_at`).
+    pub fn begin_job(&mut self, vm_id: u64) -> Result<(), CloudError> {
+        let now = self.clock;
+        let idx = usize::try_from(vm_id).map_err(|_| CloudError::UnknownVm(vm_id))?;
+        let vm = self.vms.get_mut(idx).ok_or(CloudError::UnknownVm(vm_id))?;
+        match vm.state {
+            VmState::Terminated => Err(CloudError::InvalidState {
+                vm: vm_id,
+                operation: "begin_job after terminate",
+            }),
+            VmState::Pending if now < vm.ready_at => Err(CloudError::InvalidState {
+                vm: vm_id,
+                operation: "begin_job before ready_at",
+            }),
+            VmState::Pending | VmState::Running => {
+                vm.state = VmState::Running;
+                Ok(())
+            }
+        }
+    }
+
+    /// Terminate the VM at the current clock and return its billing
+    /// record. Billing runs from launch to now (boot is billed), floored
+    /// at the pricing minimum; `runtime_secs` reports the post-boot time
+    /// the VM was available for work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CloudError::UnknownVm`] for a bad id and
+    /// [`CloudError::InvalidState`] on a double-terminate.
+    pub fn terminate(&mut self, vm_id: u64) -> Result<JobRecord, CloudError> {
+        let now = self.clock;
+        let idx = usize::try_from(vm_id).map_err(|_| CloudError::UnknownVm(vm_id))?;
+        let vm = self.vms.get_mut(idx).ok_or(CloudError::UnknownVm(vm_id))?;
+        if vm.state == VmState::Terminated {
+            return Err(CloudError::InvalidState {
+                vm: vm_id,
+                operation: "terminate twice",
+            });
+        }
+        vm.state = VmState::Terminated;
+        vm.terminated_at = Some(now);
+        let billed_wall = now - vm.launched_at;
+        Ok(JobRecord {
+            vm_id,
+            instance: vm.instance.name.clone(),
+            runtime_secs: (now - vm.ready_at).max(0.0),
+            billed_secs: self.pricing.billed_secs(billed_wall),
+            cost_usd: self.pricing.cost_usd(&vm.instance, billed_wall),
+        })
+    }
+
     /// Run a job of `runtime_secs` on the VM, waiting for boot first,
     /// then terminate it and return the billing record.
     ///
@@ -127,36 +208,22 @@ impl Provisioner {
     /// Returns [`CloudError::UnknownVm`] for a bad id or
     /// [`CloudError::InvalidState`] if the VM already terminated.
     pub fn run_job(&mut self, vm_id: u64, runtime_secs: f64) -> Result<JobRecord, CloudError> {
-        let idx = usize::try_from(vm_id).map_err(|_| CloudError::UnknownVm(vm_id))?;
-        let ready_at = {
-            let vm = self.vms.get(idx).ok_or(CloudError::UnknownVm(vm_id))?;
-            if vm.state == VmState::Terminated {
-                return Err(CloudError::InvalidState {
-                    vm: vm_id,
-                    operation: "run_job",
-                });
-            }
-            vm.ready_at
-        };
-        if self.clock < ready_at {
-            let dt = ready_at - self.clock;
-            self.advance(dt);
+        let vm = self.vm(vm_id)?;
+        if vm.state == VmState::Terminated {
+            return Err(CloudError::InvalidState {
+                vm: vm_id,
+                operation: "run_job",
+            });
         }
+        let ready_at = vm.ready_at;
+        self.advance_to(ready_at);
+        self.begin_job(vm_id)?;
         self.advance(runtime_secs.max(0.0));
-        let vm = &mut self.vms[idx];
-        vm.state = VmState::Terminated;
-        vm.terminated_at = Some(self.clock);
-        // Billing runs from launch to termination (boot is billed).
-        let billed_wall = self.clock - vm.launched_at;
-        let billed_secs = self.pricing.billed_secs(billed_wall);
-        let cost_usd = self.pricing.cost_usd(&vm.instance, billed_wall);
-        Ok(JobRecord {
-            vm_id,
-            instance: vm.instance.name.clone(),
-            runtime_secs,
-            billed_secs,
-            cost_usd,
-        })
+        let mut record = self.terminate(vm_id)?;
+        // The record reports the job's own runtime (excluding boot and
+        // any pre-existing idle time on the VM).
+        record.runtime_secs = runtime_secs;
+        Ok(record)
     }
 }
 
@@ -206,6 +273,74 @@ mod tests {
     fn unknown_vm_rejected() {
         let (_, mut cloud) = setup();
         assert_eq!(cloud.run_job(7, 1.0).unwrap_err(), CloudError::UnknownVm(7));
+    }
+
+    #[test]
+    fn begin_job_before_ready_at_is_invalid_state() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("m5.large").unwrap().clone());
+        // Still booting: submitting work must error, not panic.
+        let err = cloud.begin_job(id).unwrap_err();
+        assert!(matches!(err, CloudError::InvalidState { vm, .. } if vm == id));
+        assert!(err.to_string().contains("before ready_at"));
+        // After the boot interval it succeeds.
+        cloud.advance(30.0);
+        cloud.begin_job(id).expect("ready VM accepts work");
+        assert_eq!(cloud.vm(id).unwrap().state, VmState::Running);
+    }
+
+    #[test]
+    fn double_terminate_is_invalid_state() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("c5.large").unwrap().clone());
+        cloud.advance(40.0);
+        cloud.terminate(id).expect("first terminate");
+        let err = cloud.terminate(id).unwrap_err();
+        assert!(matches!(err, CloudError::InvalidState { vm, .. } if vm == id));
+        assert_eq!(cloud.terminate(99).unwrap_err(), CloudError::UnknownVm(99));
+    }
+
+    #[test]
+    fn billing_after_termination_is_invalid_state() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("m5.large").unwrap().clone());
+        cloud.advance(45.0);
+        cloud.terminate(id).expect("terminates");
+        // Neither a new job nor a work submission may bill a dead VM.
+        assert!(matches!(
+            cloud.run_job(id, 10.0).unwrap_err(),
+            CloudError::InvalidState { .. }
+        ));
+        assert!(matches!(
+            cloud.begin_job(id).unwrap_err(),
+            CloudError::InvalidState { .. }
+        ));
+    }
+
+    #[test]
+    fn terminate_bills_launch_to_now_with_minimum() {
+        let (c, mut cloud) = setup();
+        let id = cloud.launch(c.instance("m5.large").unwrap().clone());
+        // Terminated 10 s after launch, mid-boot: minimum still applies.
+        cloud.advance(10.0);
+        let rec = cloud.terminate(id).expect("terminates");
+        assert_eq!(rec.billed_secs, 60);
+        assert_eq!(rec.runtime_secs, 0.0, "never became available for work");
+        // A longer life bills wall-clock from launch.
+        let id2 = cloud.launch(c.instance("m5.large").unwrap().clone());
+        cloud.advance(200.0);
+        let rec2 = cloud.terminate(id2).expect("terminates");
+        assert_eq!(rec2.billed_secs, 200);
+        assert!((rec2.runtime_secs - 170.0).abs() < 1e-9, "200s life - 30s boot");
+    }
+
+    #[test]
+    fn advance_to_never_rewinds() {
+        let (_, mut cloud) = setup();
+        cloud.advance_to(100.0);
+        assert!((cloud.now() - 100.0).abs() < 1e-12);
+        cloud.advance_to(50.0);
+        assert!((cloud.now() - 100.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Workflow errors.
 
 use eda_cloud_cloud::CloudError;
+use eda_cloud_fleet::FleetError;
 use eda_cloud_flow::FlowError;
 use eda_cloud_mckp::MckpError;
 use std::error::Error;
@@ -15,6 +16,8 @@ pub enum WorkflowError {
     Cloud(CloudError),
     /// The optimizer instance was malformed.
     Mckp(MckpError),
+    /// The fleet simulator rejected the workload.
+    Fleet(FleetError),
     /// The dataset builder produced no samples for a stage.
     EmptyDataset {
         /// The stage whose corpus came out empty.
@@ -28,6 +31,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::Flow(e) => write!(f, "flow stage failed: {e}"),
             WorkflowError::Cloud(e) => write!(f, "cloud substrate error: {e}"),
             WorkflowError::Mckp(e) => write!(f, "optimizer error: {e}"),
+            WorkflowError::Fleet(e) => write!(f, "fleet simulator error: {e}"),
             WorkflowError::EmptyDataset { stage } => {
                 write!(f, "dataset for stage `{stage}` is empty")
             }
@@ -41,6 +45,7 @@ impl Error for WorkflowError {
             WorkflowError::Flow(e) => Some(e),
             WorkflowError::Cloud(e) => Some(e),
             WorkflowError::Mckp(e) => Some(e),
+            WorkflowError::Fleet(e) => Some(e),
             WorkflowError::EmptyDataset { .. } => None,
         }
     }
@@ -64,6 +69,12 @@ impl From<MckpError> for WorkflowError {
     }
 }
 
+impl From<FleetError> for WorkflowError {
+    fn from(e: FleetError) -> Self {
+        WorkflowError::Fleet(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,6 +86,9 @@ mod tests {
         assert!(e.to_string().contains("flow stage"));
         let e: WorkflowError = MckpError::NoStages.into();
         assert!(e.to_string().contains("optimizer"));
+        let e: WorkflowError = FleetError::InvalidConfig("no stages").into();
+        assert!(e.to_string().contains("fleet simulator"));
+        assert!(e.source().is_some());
         let e = WorkflowError::EmptyDataset { stage: "routing" };
         assert!(e.to_string().contains("routing"));
         assert!(e.source().is_none());

@@ -17,6 +17,10 @@
 //! 4. [`Workflow::plan_deployment`] — map predicted runtimes and the
 //!    AWS-like pricing catalog to an MCKP instance and solve it
 //!    (Problem 3, Table I and Figure 6).
+//! 5. [`Workflow::simulate_fleet`] — plan a seeded stream of flow jobs
+//!    and serve it on the simulated cloud with warm pools, spot
+//!    interruptions, and retries, reporting deadline-hit rate and cost
+//!    (the fleet-scale extension of the paper's single-flow analysis).
 //!
 //! # Examples
 //!
@@ -38,6 +42,7 @@
 mod characterize;
 pub mod dataset;
 mod error;
+mod fleet_service;
 mod optimize;
 pub mod predict;
 mod recommend;
@@ -49,6 +54,7 @@ pub use characterize::{
     CharacterizationConfig, CharacterizationReport, StageCharacterization, VcpuRun,
 };
 pub use error::WorkflowError;
+pub use fleet_service::FleetScenario;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
 pub use recommend::{recommended_family, recommendation_notes};
 pub use sweep::{design_fingerprint, resolve_workers, FlowCache, FlowKey};

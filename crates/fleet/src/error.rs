@@ -1,0 +1,61 @@
+//! Fleet-simulator errors.
+
+use eda_cloud_cloud::CloudError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the fleet simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The cloud substrate rejected a request (unknown instance name in
+    /// a plan, or a lifecycle violation — the latter indicates a
+    /// scheduler bug and is surfaced, never panicked on).
+    Cloud(CloudError),
+    /// A job plan or configuration value is unusable.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Cloud(e) => write!(f, "cloud substrate error: {e}"),
+            FleetError::InvalidConfig(what) => write!(f, "invalid fleet configuration: {what}"),
+        }
+    }
+}
+
+impl Error for FleetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FleetError::Cloud(e) => Some(e),
+            FleetError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<CloudError> for FleetError {
+    fn from(e: CloudError) -> Self {
+        FleetError::Cloud(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let e: FleetError = CloudError::UnknownVm(3).into();
+        assert!(e.to_string().contains("no vm with id 3"));
+        assert!(e.source().is_some());
+        let e = FleetError::InvalidConfig("job 2 has no stages");
+        assert!(e.to_string().contains("no stages"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<FleetError>();
+    }
+}

@@ -1,0 +1,270 @@
+//! Fleet metrics: counters, fixed-bucket histograms, and the
+//! [`FleetReport`] with its deterministic JSON rendering.
+//!
+//! The workspace's `serde` is an offline marker stub, so the report
+//! writes its own JSON: keys in fixed order, floats printed with six
+//! decimal places, no whitespace variation — two reports are equal iff
+//! their JSON strings are byte-identical, which is what the determinism
+//! tests and the CI same-seed diff assert.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A histogram over fixed, caller-chosen bucket edges. A value lands in
+/// the first bucket whose upper edge is `>=` the value; values beyond
+/// the last edge land in the overflow bucket, so `counts` has
+/// `edges.len() + 1` entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram over ascending bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must ascend"
+        );
+        let counts = vec![0; edges.len() + 1];
+        Self { edges, counts }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        let bucket = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Bucket upper edges.
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn to_json(&self) -> String {
+        let edges: Vec<String> = self.edges.iter().map(|e| fmt_f64(*e)).collect();
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"edges\":[{}],\"counts\":[{}]}}",
+            edges.join(","),
+            counts.join(",")
+        )
+    }
+}
+
+/// Monotone event counters accumulated over one simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetCounters {
+    /// Jobs that arrived.
+    pub jobs_submitted: u64,
+    /// Jobs that ran every stage to completion.
+    pub jobs_completed: u64,
+    /// Completed jobs whose latency met their deadline.
+    pub deadline_hits: u64,
+    /// VMs requested from the provisioner (all kinds).
+    pub vms_launched: u64,
+    /// Stage placements that booted a fresh on-demand VM.
+    pub cold_starts: u64,
+    /// Stage placements served instantly from the warm pool.
+    pub warm_reuses: u64,
+    /// Warm VMs reaped after sitting idle past the configured bound.
+    pub idle_reaped: u64,
+    /// Spot VMs reclaimed by the market mid-stage.
+    pub interruptions: u64,
+    /// Stage attempts re-run after an interruption.
+    pub retries: u64,
+    /// Stages that exhausted their spot attempts and fell back to
+    /// on-demand capacity.
+    pub spot_fallbacks: u64,
+}
+
+/// The per-run report: counters, cost, latency statistics, and
+/// histograms. Produced by `FleetSimulator::run`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Seed the run was driven by.
+    pub seed: u64,
+    /// Event counters.
+    pub counters: FleetCounters,
+    /// Fraction of completed jobs that met their deadline (0 when no
+    /// job completed).
+    pub deadline_hit_rate: f64,
+    /// Everything the fleet was billed, USD: every VM from launch to
+    /// termination (boots, warm idle, and reclaimed partial runs
+    /// included), spot VMs at the discounted rate.
+    pub total_cost_usd: f64,
+    /// Mean per-job attributed cost, USD (busy time only).
+    pub mean_job_cost_usd: f64,
+    /// Mean completed-job latency (arrival to last stage done), seconds.
+    pub mean_latency_secs: f64,
+    /// Median completed-job latency, seconds.
+    pub p50_latency_secs: f64,
+    /// 95th-percentile completed-job latency, seconds.
+    pub p95_latency_secs: f64,
+    /// Time of the last job completion, seconds.
+    pub makespan_secs: f64,
+    /// Latency distribution of completed jobs.
+    pub latency_hist: Histogram,
+    /// Attributed-cost distribution of completed jobs.
+    pub cost_hist: Histogram,
+}
+
+impl FleetReport {
+    /// Render the report as a single JSON object with a fixed key order
+    /// and fixed float formatting — byte-identical across same-seed
+    /// runs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        let _ = write!(s, "\"seed\":{},", self.seed);
+        let _ = write!(
+            s,
+            "\"counters\":{{\"jobs_submitted\":{},\"jobs_completed\":{},\"deadline_hits\":{},\
+             \"vms_launched\":{},\"cold_starts\":{},\"warm_reuses\":{},\"idle_reaped\":{},\
+             \"interruptions\":{},\"retries\":{},\"spot_fallbacks\":{}}},",
+            c.jobs_submitted,
+            c.jobs_completed,
+            c.deadline_hits,
+            c.vms_launched,
+            c.cold_starts,
+            c.warm_reuses,
+            c.idle_reaped,
+            c.interruptions,
+            c.retries,
+            c.spot_fallbacks
+        );
+        let _ = write!(s, "\"deadline_hit_rate\":{},", fmt_f64(self.deadline_hit_rate));
+        let _ = write!(s, "\"total_cost_usd\":{},", fmt_f64(self.total_cost_usd));
+        let _ = write!(s, "\"mean_job_cost_usd\":{},", fmt_f64(self.mean_job_cost_usd));
+        let _ = write!(s, "\"mean_latency_secs\":{},", fmt_f64(self.mean_latency_secs));
+        let _ = write!(s, "\"p50_latency_secs\":{},", fmt_f64(self.p50_latency_secs));
+        let _ = write!(s, "\"p95_latency_secs\":{},", fmt_f64(self.p95_latency_secs));
+        let _ = write!(s, "\"makespan_secs\":{},", fmt_f64(self.makespan_secs));
+        let _ = write!(s, "\"latency_hist\":{},", self.latency_hist.to_json());
+        let _ = write!(s, "\"cost_hist\":{}", self.cost_hist.to_json());
+        s.push('}');
+        s
+    }
+}
+
+/// Fixed-precision float rendering for the JSON report (6 decimal
+/// places covers sub-cent costs and microsecond-rounded latencies).
+fn fmt_f64(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Running latency/cost samples; turned into mean/percentile scalars
+/// for the report.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    pub(crate) fn record(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    pub(crate) fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            0.0
+        } else {
+            self.values.iter().sum::<f64>() / self.values.len() as f64
+        }
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`); 0 when empty.
+    pub(crate) fn percentile(&self, q: f64) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(vec![10.0, 100.0]);
+        for v in [5.0, 10.0, 11.0, 250.0] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.to_json(), "{\"edges\":[10.000000,100.000000],\"counts\":[2,1,1]}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must ascend")]
+    fn histogram_rejects_unsorted_edges() {
+        let _ = Histogram::new(vec![10.0, 5.0]);
+    }
+
+    #[test]
+    fn samples_statistics() {
+        let mut s = Samples::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(0.95), 0.0);
+        for v in [4.0, 1.0, 3.0, 2.0] {
+            s.record(v);
+        }
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(s.percentile(0.5), 2.0);
+        assert_eq!(s.percentile(0.95), 4.0);
+        assert_eq!(s.percentile(0.0), 1.0);
+    }
+
+    #[test]
+    fn report_json_is_stable_and_ordered() {
+        let report = FleetReport {
+            seed: 7,
+            counters: FleetCounters { jobs_submitted: 2, jobs_completed: 2, ..Default::default() },
+            deadline_hit_rate: 1.0,
+            total_cost_usd: 1.25,
+            mean_job_cost_usd: 0.625,
+            mean_latency_secs: 100.0,
+            p50_latency_secs: 90.0,
+            p95_latency_secs: 110.0,
+            makespan_secs: 500.0,
+            latency_hist: Histogram::new(vec![60.0]),
+            cost_hist: Histogram::new(vec![1.0]),
+        };
+        let a = report.to_json();
+        assert_eq!(a, report.clone().to_json());
+        assert!(a.starts_with("{\"seed\":7,\"counters\":{\"jobs_submitted\":2,"));
+        assert!(a.contains("\"total_cost_usd\":1.250000"));
+        assert!(a.ends_with("\"cost_hist\":{\"edges\":[1.000000],\"counts\":[0,0]}}"));
+    }
+}

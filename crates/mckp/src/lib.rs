@@ -51,4 +51,7 @@ mod savings;
 pub use dp::{Objective, Selection, Solver};
 pub use error::MckpError;
 pub use problem::{Choice, Problem, Stage};
-pub use savings::{savings_of, savings_vs_baselines, CostSavings};
+pub use savings::{
+    savings_of, savings_vs_baselines, spot_comparison, spot_savings_vs_baselines, CostSavings,
+    SpotComparison,
+};

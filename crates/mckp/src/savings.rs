@@ -1,6 +1,7 @@
 //! Cost-savings accounting for Figure 6.
 
 use crate::{baselines, Problem, Selection, Solver};
+use eda_cloud_cloud::{Pricing, SpotMarket};
 use serde::{Deserialize, Serialize};
 
 /// Savings of an optimized deployment relative to the naive baselines.
@@ -61,6 +62,76 @@ pub fn savings_of(problem: &Problem, optimized: &Selection) -> CostSavings {
     }
 }
 
+/// On-demand vs expected-spot cost of one selection: what the same
+/// MCKP-optimized deployment would cost on spot capacity, accounting for
+/// interruption re-runs (see
+/// [`Pricing::expected_spot_multiplier`](eda_cloud_cloud::Pricing::expected_spot_multiplier)).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpotComparison {
+    /// The selection's on-demand cost in USD (what the DP optimized).
+    pub on_demand_usd: f64,
+    /// Expected cost of the same selection on spot capacity, USD.
+    pub expected_spot_usd: f64,
+    /// Fractional saving of spot vs on-demand (negative when
+    /// interruption re-runs make spot a net loss).
+    pub saving_vs_on_demand: f64,
+}
+
+/// Price an existing selection on the spot market: each chosen stage's
+/// on-demand cost is scaled by the length-dependent expected-spot
+/// multiplier (longer stages are likelier to be reclaimed and re-run, so
+/// they keep less of the discount).
+///
+/// # Panics
+///
+/// Panics if the selection does not match the problem's shape.
+#[must_use]
+pub fn spot_comparison(
+    problem: &Problem,
+    selection: &Selection,
+    pricing: &Pricing,
+    market: &SpotMarket,
+) -> SpotComparison {
+    assert_eq!(selection.picks.len(), problem.stages().len());
+    let expected_spot_usd: f64 = selection
+        .picks
+        .iter()
+        .zip(problem.stages())
+        .map(|(&j, stage)| {
+            let choice = &stage.choices[j];
+            choice.cost_usd * pricing.expected_spot_multiplier(choice.runtime_secs as f64, market)
+        })
+        .sum();
+    let on_demand_usd = selection.total_cost_usd;
+    let saving_vs_on_demand = if on_demand_usd > 0.0 {
+        (on_demand_usd - expected_spot_usd) / on_demand_usd
+    } else {
+        0.0
+    };
+    SpotComparison {
+        on_demand_usd,
+        expected_spot_usd,
+        saving_vs_on_demand,
+    }
+}
+
+/// Solve at `budget_secs` and report both the on-demand savings vs the
+/// naive baselines *and* the spot comparison for the optimized
+/// selection — the Figure 6 extension. Returns `None` when the deadline
+/// is infeasible.
+#[must_use]
+pub fn spot_savings_vs_baselines(
+    problem: &Problem,
+    budget_secs: u64,
+    pricing: &Pricing,
+    market: &SpotMarket,
+) -> Option<(CostSavings, SpotComparison)> {
+    let optimized = Solver::new().solve_min_cost(problem, budget_secs)?;
+    let savings = savings_of(problem, &optimized);
+    let spot = spot_comparison(problem, &optimized, pricing, market);
+    Some((savings, spot))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +175,60 @@ mod tests {
     #[test]
     fn infeasible_deadline_gives_none() {
         assert!(savings_vs_baselines(&problem(), 100).is_none());
+        let pricing = Pricing::per_second();
+        let market = SpotMarket::typical();
+        assert!(spot_savings_vs_baselines(&problem(), 100, &pricing, &market).is_none());
+    }
+
+    #[test]
+    fn typical_spot_market_beats_on_demand_for_these_stages() {
+        let p = problem();
+        let pricing = Pricing::per_second();
+        let market = SpotMarket::typical();
+        let (_, spot) =
+            spot_savings_vs_baselines(&p, 10_000, &pricing, &market).expect("feasible");
+        assert!(spot.expected_spot_usd > 0.0);
+        assert!(
+            spot.expected_spot_usd < spot.on_demand_usd,
+            "hour-scale stages at 5%/h interruption keep most of the discount: {spot:?}"
+        );
+        assert!(spot.saving_vs_on_demand > 0.5, "{spot:?}");
+    }
+
+    #[test]
+    fn hostile_spot_market_flips_the_sign() {
+        let p = problem();
+        let optimized = Solver::new().solve_min_cost(&p, 10_000).expect("feasible");
+        let pricing = Pricing::per_second();
+        let hostile = SpotMarket {
+            price_fraction: 0.9,
+            interruption_per_hour: 0.95,
+        };
+        let spot = spot_comparison(&p, &optimized, &pricing, &hostile);
+        assert!(
+            spot.expected_spot_usd > spot.on_demand_usd,
+            "tiny discount + constant reclaims must cost more: {spot:?}"
+        );
+        assert!(spot.saving_vs_on_demand < 0.0);
+    }
+
+    #[test]
+    fn spot_scaling_is_per_stage_length() {
+        // Two stages with equal on-demand cost but different lengths: the
+        // longer one must contribute a larger expected-spot share.
+        let p = Problem::new(vec![
+            Stage::new("short", vec![Choice::new("x", 600, 1.0)]),
+            Stage::new("long", vec![Choice::new("x", 36_000, 1.0)]),
+        ])
+        .unwrap();
+        let sel = Solver::new().solve_min_cost(&p, 100_000).expect("feasible");
+        let pricing = Pricing::per_second();
+        let market = SpotMarket::typical();
+        let spot = spot_comparison(&p, &sel, &pricing, &market);
+        let short_mult = pricing.expected_spot_multiplier(600.0, &market);
+        let long_mult = pricing.expected_spot_multiplier(36_000.0, &market);
+        assert!(long_mult > short_mult);
+        assert!((spot.expected_spot_usd - (short_mult + long_mult)).abs() < 1e-9);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! * [`cloud`] — instance catalog, pricing, provisioning.
 //! * [`gcn`] — the runtime-prediction Graph Convolutional Network.
 //! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
+//! * [`fleet`] — deterministic discrete-event fleet simulator.
 //! * [`core`] — the Figure-1 pipeline tying everything together.
 //!
 //! # Quick start
@@ -32,6 +33,7 @@
 
 pub use eda_cloud_cloud as cloud;
 pub use eda_cloud_core as core;
+pub use eda_cloud_fleet as fleet;
 pub use eda_cloud_flow as flow;
 pub use eda_cloud_gcn as gcn;
 pub use eda_cloud_mckp as mckp;
