@@ -11,8 +11,11 @@
 //!
 //! `--workers N` sets the corpus-generation fan-out (default: one
 //! worker per core); the corpus is bit-identical for any worker count.
+//! `--trace <path>` / `--chrome-trace <path>` export the corpus
+//! build's span trace; `--metrics <path>` snapshots sweep-pool
+//! occupancy and queue waits.
 
-use eda_cloud_bench::Args;
+use eda_cloud_bench::{Args, Observability};
 use eda_cloud_core::dataset::{DatasetBuilder, DatasetConfig};
 use eda_cloud_core::predict::StagePredictors;
 use eda_cloud_core::report::{pct, render_table};
@@ -22,7 +25,8 @@ use eda_cloud_gcn::{DatasetSplit, ModelConfig, Trainer};
 
 fn main() {
     let args = Args::from_env();
-    let workflow = Workflow::with_defaults();
+    let obs = Observability::from_args(&args);
+    let workflow = obs.instrument(Workflow::with_defaults());
     let config = if args.flag("smoke") {
         DatasetConfig::smoke()
     } else {
@@ -38,6 +42,9 @@ fn main() {
     let datasets = DatasetBuilder::new(&workflow)
         .build(&config)
         .expect("corpus generation");
+    // Spans and pool metrics all come from the corpus build; export
+    // here so the `--sweep` early return below still writes them.
+    obs.export();
 
     let trainer = if args.flag("smoke") {
         Trainer::fast()

@@ -14,8 +14,11 @@
 //! worker per core); the report is bit-identical for any worker count.
 //! `--spot` adds the expected-spot cost of each optimized deployment
 //! (typical market: 70% discount, 5%/hour interruption).
+//! `--trace <path>` / `--chrome-trace <path>` export the
+//! characterization sweep's span trace; `--metrics <path>` snapshots
+//! sweep-pool occupancy and queue waits.
 
-use eda_cloud_bench::{experiment_design, Args};
+use eda_cloud_bench::{experiment_design, Args, Observability};
 use eda_cloud_cloud::SpotMarket;
 use eda_cloud_core::report::{pct, render_table};
 use eda_cloud_core::{CharacterizationConfig, StageRuntimes, Workflow};
@@ -31,7 +34,8 @@ const PAPER_RUNTIMES: [(StageKind, [f64; 4]); 4] = [
 
 fn main() {
     let args = Args::from_env();
-    let workflow = Workflow::with_defaults();
+    let obs = Observability::from_args(&args);
+    let workflow = obs.instrument(Workflow::with_defaults());
 
     let runtimes: Vec<StageRuntimes> = if args.flag("paper-runtimes") {
         println!("Figure 6 — savings with the paper's exact runtimes");
@@ -118,4 +122,5 @@ fn main() {
         "average saving across constraints: {}   (paper: 35.29%)",
         pct(avg)
     );
+    obs.export();
 }

@@ -10,13 +10,16 @@
 //! cargo run -p eda-cloud-bench --bin fleet --release -- --jobs 50 --seed 7 --spot
 //! cargo run -p eda-cloud-bench --bin fleet --release -- --jobs 50 --seed 7 --json
 //! cargo run -p eda-cloud-bench --bin fleet --release -- --jobs 200 --rate 120 --workers 4
+//! cargo run -p eda-cloud-bench --bin fleet --release -- --jobs 50 --trace trace.json
 //! ```
 //!
 //! The run is deterministic: the same `--jobs/--seed/--rate/--slack/
-//! --spot` produce a byte-identical report (and `--json` line) at any
-//! `--workers` count.
+//! --spot` produce a byte-identical report (and `--json` line, and
+//! `--trace` file) at any `--workers` count. `--chrome-trace <path>`
+//! exports the same spans for `chrome://tracing`; `--metrics <path>`
+//! snapshots pool occupancy and queue waits (scheduling-dependent).
 
-use eda_cloud_bench::Args;
+use eda_cloud_bench::{Args, Observability};
 use eda_cloud_core::report::{pct, render_table};
 use eda_cloud_core::{FleetScenario, Workflow};
 use eda_cloud_fleet::{FleetReport, SpotPolicy};
@@ -38,9 +41,12 @@ fn main() {
         scenario.spot = Some(SpotPolicy::typical());
     }
 
-    let report = Workflow::with_defaults()
+    let obs = Observability::from_args(&args);
+    let report = obs
+        .instrument(Workflow::with_defaults())
         .simulate_fleet(&scenario)
         .expect("fleet simulation");
+    obs.export();
 
     if args.flag("json") {
         println!("{}", report.to_json());

@@ -17,8 +17,11 @@
 //!
 //! `--workers N` sets the characterization-sweep fan-out (default: one
 //! worker per core); the table is bit-identical for any worker count.
+//! `--trace <path>` / `--chrome-trace <path>` export the
+//! characterization sweep's span trace; `--metrics <path>` snapshots
+//! sweep-pool occupancy and queue waits.
 
-use eda_cloud_bench::{experiment_design, Args};
+use eda_cloud_bench::{experiment_design, Args, Observability};
 use eda_cloud_core::report::render_table;
 use eda_cloud_core::{CharacterizationConfig, StageRuntimes, Workflow};
 use eda_cloud_flow::StageKind;
@@ -34,7 +37,8 @@ const PAPER_RUNTIMES: [(StageKind, [f64; 4]); 4] = [
 
 fn main() {
     let args = Args::from_env();
-    let workflow = Workflow::with_defaults();
+    let obs = Observability::from_args(&args);
+    let workflow = obs.instrument(Workflow::with_defaults());
 
     let runtimes: Vec<StageRuntimes> = if args.flag("paper-runtimes") {
         println!("Table I — using the paper's exact runtime measurements");
@@ -147,4 +151,5 @@ fn main() {
             render_table(&["constraint (s)", "max Σ1/p cost ($)", "min Σp cost ($)"], &rows)
         );
     }
+    obs.export();
 }

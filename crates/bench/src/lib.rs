@@ -8,7 +8,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use eda_cloud_core::Workflow;
 use eda_cloud_netlist::{generators, Aig};
+use eda_cloud_trace::{Metrics, Tracer};
+use std::path::PathBuf;
 
 /// Minimal flag parser for the reproduction binaries: `--flag` booleans
 /// and `--key value` strings.
@@ -70,6 +73,88 @@ impl Args {
             v.parse()
                 .unwrap_or_else(|_| panic!("--workers expects a number, got `{v}`"))
         })
+    }
+}
+
+/// Observability sinks requested on the command line:
+///
+/// * `--trace <path>` — canonical span trace (deterministic JSON,
+///   byte-identical across runs and `--workers` counts),
+/// * `--chrome-trace <path>` — the same spans on a synthetic timeline
+///   in Chrome trace format (load in `chrome://tracing` or Perfetto),
+/// * `--metrics <path>` — counter/gauge/histogram snapshot (stable
+///   rendering; values such as queue waits are scheduling-dependent).
+///
+/// When none of the flags are passed, both the tracer and the metrics
+/// registry stay disabled and instrumented code paths are near-no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Observability {
+    trace_path: Option<PathBuf>,
+    chrome_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+    tracer: Tracer,
+    metrics: Metrics,
+}
+
+impl Observability {
+    /// Read the observability flags from parsed arguments.
+    #[must_use]
+    pub fn from_args(args: &Args) -> Self {
+        let trace_path = args.value("trace").map(PathBuf::from);
+        let chrome_path = args.value("chrome-trace").map(PathBuf::from);
+        let metrics_path = args.value("metrics").map(PathBuf::from);
+        let tracer = if trace_path.is_some() || chrome_path.is_some() {
+            Tracer::new()
+        } else {
+            Tracer::disabled()
+        };
+        let metrics = if metrics_path.is_some() {
+            Metrics::new()
+        } else {
+            Metrics::disabled()
+        };
+        Self {
+            trace_path,
+            chrome_path,
+            metrics_path,
+            tracer,
+            metrics,
+        }
+    }
+
+    /// Attach the requested sinks to a workflow.
+    #[must_use]
+    pub fn instrument(&self, workflow: Workflow) -> Workflow {
+        workflow
+            .with_tracer(self.tracer.clone())
+            .with_metrics(self.metrics.clone())
+    }
+
+    /// Write every requested file. Call once, after the run; spans
+    /// recorded after this are lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when a file cannot be written (the
+    /// binaries treat an unwritable sink path as a usage error).
+    pub fn export(&self) {
+        let write = |path: &PathBuf, what: &str, contents: &str| {
+            std::fs::write(path, contents)
+                .unwrap_or_else(|e| panic!("cannot write {what} to {}: {e}", path.display()));
+            eprintln!("{what} written to {}", path.display());
+        };
+        if self.trace_path.is_some() || self.chrome_path.is_some() {
+            let trace = self.tracer.drain();
+            if let Some(path) = &self.trace_path {
+                write(path, "trace", &trace.to_json());
+            }
+            if let Some(path) = &self.chrome_path {
+                write(path, "chrome trace", &trace.to_chrome_json());
+            }
+        }
+        if let Some(path) = &self.metrics_path {
+            write(path, "metrics", &self.metrics.to_json());
+        }
     }
 }
 

@@ -149,21 +149,36 @@ impl Workflow {
         let workers = resolve_workers(config.workers);
 
         type PointResult = Result<(usize, [StageReport; 4]), WorkflowError>;
-        let points = sweep::run_indexed(
+        let points = sweep::run_indexed_metered(
             workers,
             config.vcpu_sweep.clone(),
-            |_index, vcpus| -> PointResult {
-                let ctx = self.exec_context(StageKind::Synthesis, vcpus);
+            self.metrics(),
+            |index, vcpus| -> PointResult {
+                // Span identity comes from the sweep index — canonical
+                // data, never scheduling — so the drained trace is
+                // byte-identical at any worker count.
+                let point_span = self.tracer().root_at(index as u64, &format!("point/{index:04}"));
+                point_span.attr("vcpus", vcpus);
+
+                let ctx = self
+                    .exec_context(StageKind::Synthesis, vcpus)
+                    .with_span(point_span.clone());
                 let (netlist, syn_report) =
                     cache.synthesize(&synthesizer, design, &key, &config.recipe, &ctx)?;
 
-                let ctx = self.exec_context(StageKind::Placement, vcpus);
+                let ctx = self
+                    .exec_context(StageKind::Placement, vcpus)
+                    .with_span(point_span.child("placement"));
                 let (placement, place_report) = Placer::new().run(&netlist, &ctx)?;
 
-                let ctx = self.exec_context(StageKind::Routing, vcpus);
+                let ctx = self
+                    .exec_context(StageKind::Routing, vcpus)
+                    .with_span(point_span.child("routing"));
                 let (_routing, route_report) = Router::new().run(&netlist, &placement, &ctx)?;
 
-                let ctx = self.exec_context(StageKind::Sta, vcpus);
+                let ctx = self
+                    .exec_context(StageKind::Sta, vcpus)
+                    .with_span(point_span.child("sta"));
                 let (_timing, sta_report) = StaEngine::new().run(&netlist, &placement, &ctx)?;
 
                 Ok((

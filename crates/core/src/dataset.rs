@@ -156,10 +156,18 @@ impl<'a> DatasetBuilder<'a> {
         let cache = FlowCache::new();
         let workers = resolve_workers(config.workers);
         type EntryResult = Result<Option<CorpusEntry>, WorkflowError>;
-        let entries = sweep::run_indexed(workers, jobs, |_index, (family, size, recipe)| -> EntryResult {
+        let entries = sweep::run_indexed_metered(workers, jobs, self.workflow.metrics(), |index, (family, size, recipe)| -> EntryResult {
             let Some(aig) = generators::build_family(&family, size) else {
                 return Ok(None);
             };
+            // Span identity comes from the canonical job index, so the
+            // drained trace is byte-identical at any worker count.
+            let entry_span = self
+                .workflow
+                .tracer()
+                .root_at(index as u64, &format!("corpus/{index:04}"));
+            entry_span.attr("design", format_args!("{family}{size}"));
+            entry_span.attr("recipe", recipe.name());
             let aig_graph = DesignGraph::from_aig(&aig);
             let synthesizer = Synthesizer::new().with_verification(config.verify);
             let key = FlowKey {
@@ -173,19 +181,32 @@ impl<'a> DatasetBuilder<'a> {
             let mut sta_times = [0.0f64; 4];
             let mut netlist = None;
             for (k, &vcpus) in VCPU_SWEEP.iter().enumerate() {
-                let ctx = self.workflow.exec_context(StageKind::Synthesis, vcpus);
+                let point_span = entry_span.child(&format!("vcpus/{vcpus}"));
+                let ctx = self
+                    .workflow
+                    .exec_context(StageKind::Synthesis, vcpus)
+                    .with_span(point_span.clone());
                 let (nl, rep) = cache.synthesize(&synthesizer, &aig, &key, &recipe, &ctx)?;
                 syn_times[k] = rep.runtime_secs;
 
-                let ctx = self.workflow.exec_context(StageKind::Placement, vcpus);
+                let ctx = self
+                    .workflow
+                    .exec_context(StageKind::Placement, vcpus)
+                    .with_span(point_span.child("placement"));
                 let (placement, rep) = Placer::new().run(&nl, &ctx)?;
                 place_times[k] = rep.runtime_secs;
 
-                let ctx = self.workflow.exec_context(StageKind::Routing, vcpus);
+                let ctx = self
+                    .workflow
+                    .exec_context(StageKind::Routing, vcpus)
+                    .with_span(point_span.child("routing"));
                 let (_, rep) = Router::new().run(&nl, &placement, &ctx)?;
                 route_times[k] = rep.runtime_secs;
 
-                let ctx = self.workflow.exec_context(StageKind::Sta, vcpus);
+                let ctx = self
+                    .workflow
+                    .exec_context(StageKind::Sta, vcpus)
+                    .with_span(point_span.child("sta"));
                 let (_, rep) = StaEngine::new().run(&nl, &placement, &ctx)?;
                 sta_times[k] = rep.runtime_secs;
 

@@ -12,7 +12,7 @@
 //! reduction, so the workload (and therefore the report) is
 //! byte-identical at any worker count.
 
-use crate::sweep::{reduce_results, resolve_workers, run_indexed};
+use crate::sweep::{reduce_results, resolve_workers, run_indexed_metered};
 use crate::{StageRuntimes, Workflow, WorkflowError};
 use eda_cloud_flow::StageKind;
 use eda_cloud_fleet::{
@@ -130,9 +130,18 @@ impl Workflow {
 
         let slack = scenario.deadline_slack.max(1.0);
         let workers = resolve_workers(scenario.workers);
-        let planned = run_indexed(workers, sized, |index, (arrival_secs, runtimes)| {
-            self.plan_fleet_job(index as u64, arrival_secs, &runtimes, slack)
-        });
+        let planned =
+            run_indexed_metered(workers, sized, self.metrics(), |index, (arrival_secs, runtimes)| {
+                // Keyed by job index, so planning spans merge into the
+                // same canonical order at any worker count.
+                let span = self.tracer().root_at(index as u64, &format!("plan/{index:04}"));
+                let job = self.plan_fleet_job(index as u64, arrival_secs, &runtimes, slack);
+                if let Ok(job) = &job {
+                    span.counter("deadline_secs", job.plan.deadline_secs);
+                    span.counter("planned_runtime_secs", job.plan.planned_runtime_secs());
+                }
+                job
+            });
         reduce_results(planned)
     }
 
@@ -200,7 +209,9 @@ impl Workflow {
         let jobs = self.fleet_workload(scenario)?;
         let mut config = FleetConfig::on_demand(scenario.seed);
         config.spot = scenario.spot;
-        let report = FleetSimulator::new(self.catalog().clone()).run(&jobs, &config)?;
+        let report = FleetSimulator::new(self.catalog().clone())
+            .with_tracer(self.tracer().clone())
+            .run(&jobs, &config)?;
         Ok(report)
     }
 }

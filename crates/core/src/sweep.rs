@@ -26,10 +26,12 @@
 use crossbeam::channel;
 use eda_cloud_flow::{ExecContext, FlowError, Recipe, StageReport, SynthesisTrace, Synthesizer};
 use eda_cloud_netlist::{Aig, AigNode, Netlist};
+use eda_cloud_trace::Metrics;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Resolve a `workers` knob to a concrete worker count: `0` (the
 /// configs' default) asks for one worker per available core, capped at
@@ -52,51 +54,108 @@ pub fn resolve_workers(requested: usize) -> usize {
 /// completion order. With `workers <= 1` (or one item) the pool is
 /// bypassed entirely and `f` runs on the caller's thread.
 ///
-/// A panicking job propagates: remaining jobs may or may not run, and
-/// the panic resurfaces when the thread scope closes — the same
-/// observable outcome as a panic in a serial loop.
+/// A panicking job propagates with its **original payload**: remaining
+/// jobs may or may not run, and the worker's panic resurfaces from the
+/// explicit joins below — the same observable outcome as a panic in a
+/// serial loop (a send-side `expect` must never shadow it).
+// Production sweeps all go through the metered variant; this plain
+// wrapper stays as the pool's minimal contract (and its test surface).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn run_indexed<I, T, F>(workers: usize, items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    run_indexed_metered(workers, items, &Metrics::disabled(), f)
+}
+
+/// [`run_indexed`] plus pool observability: counts jobs, samples each
+/// job's queue wait into a histogram, and reports aggregate worker
+/// occupancy (busy time / pool wall time) as a gauge. All recording
+/// goes through [`Metrics`], which is scheduling-dependent by contract
+/// — nothing here touches the deterministic trace.
+pub(crate) fn run_indexed_metered<I, T, F>(
+    workers: usize,
+    items: Vec<I>,
+    metrics: &Metrics,
+    f: F,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
     let n = items.len();
+    metrics.add("sweep.jobs", n as u64);
     let workers = workers.max(1).min(n.max(1));
     if workers <= 1 {
+        metrics.set_gauge("sweep.worker_occupancy", 1.0);
         return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<(usize, I)>();
+    let pool_start = Instant::now();
+    let (job_tx, job_rx) = channel::unbounded::<(usize, I, Instant)>();
     let (result_tx, result_rx) = channel::unbounded::<(usize, T)>();
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            let job_rx = job_rx.clone();
-            let result_tx = result_tx.clone();
-            let f = &f;
-            scope.spawn(move |_| {
-                while let Ok((index, item)) = job_rx.recv() {
-                    let result = f(index, item);
-                    if result_tx.send((index, result)).is_err() {
-                        break;
+    let busy_secs = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let job_rx = job_rx.clone();
+                let result_tx = result_tx.clone();
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut busy = 0.0f64;
+                    while let Ok((index, item, enqueued)) = job_rx.recv() {
+                        metrics.observe(
+                            "sweep.queue_wait_secs",
+                            enqueued.elapsed().as_secs_f64(),
+                        );
+                        let job_start = Instant::now();
+                        let result = f(index, item);
+                        busy += job_start.elapsed().as_secs_f64();
+                        if result_tx.send((index, result)).is_err() {
+                            break;
+                        }
                     }
-                }
-            });
-        }
+                    busy
+                })
+            })
+            .collect();
         // Only the workers' clones keep the channels alive now; when
         // the queue drains, workers exit and the result stream ends.
         drop(job_rx);
         drop(result_tx);
-        for pair in items.into_iter().enumerate() {
-            job_tx.send(pair).expect("job queue open while workers run");
+        for (index, item) in items.into_iter().enumerate() {
+            // A failed send means every worker is gone — one panicked
+            // and the rest drained out behind it. Stop feeding and fall
+            // through to the joins, which re-raise the worker's own
+            // panic; an `expect` here would mask it with a send error.
+            if job_tx.send((index, item, Instant::now())).is_err() {
+                break;
+            }
         }
         drop(job_tx);
         for (index, result) in result_rx.iter() {
             slots[index] = Some(result);
         }
+        let mut busy_total = 0.0f64;
+        for handle in handles {
+            match handle.join() {
+                Ok(busy) => busy_total += busy,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        busy_total
     })
     .expect("sweep worker scope");
+    let wall = pool_start.elapsed().as_secs_f64();
+    if wall > 0.0 {
+        metrics.set_gauge(
+            "sweep.worker_occupancy",
+            (busy_secs / (wall * workers as f64)).clamp(0.0, 1.0),
+        );
+    }
     slots
         .into_iter()
         .map(|slot| slot.expect("every job reduced exactly once"))
@@ -173,9 +232,19 @@ impl FlowCache {
         recipe: &Recipe,
         ctx: &ExecContext,
     ) -> Result<(Arc<Netlist>, StageReport), FlowError> {
+        // The cache is trace-transparent: hit/miss is scheduling-
+        // dependent, so the engine-internal pass spans (which only a
+        // miss would produce) are suppressed and one uniform stage span
+        // is recorded from the report — identical on either path, since
+        // replayed reports are bit-identical to fresh runs.
+        let record_span = |report: &StageReport| {
+            let span = ctx.span.child("synthesis");
+            span.counter("instructions", report.counters.instructions);
+        };
         if let Some(entry) = self.entries.lock().get(key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             let report = Synthesizer::report_from_trace(&entry.trace, ctx);
+            record_span(&report);
             return Ok((entry.netlist.clone(), report));
         }
 
@@ -183,7 +252,7 @@ impl FlowCache {
         // Two workers racing on the same key both compute — identical,
         // deterministic results; first insert wins and both share it.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let (netlist, report, trace) = synthesizer.run_traced(aig, recipe, ctx)?;
+        let (netlist, report, trace) = synthesizer.run_traced(aig, recipe, &ctx.without_span())?;
         let entry = Arc::new(CachedSynthesis { netlist: Arc::new(netlist), trace });
         let entry = self
             .entries
@@ -191,6 +260,7 @@ impl FlowCache {
             .entry(key.clone())
             .or_insert(entry)
             .clone();
+        record_span(&report);
         Ok((entry.netlist.clone(), report))
     }
 
@@ -281,6 +351,38 @@ mod tests {
         let none: Vec<u32> = run_indexed(4, Vec::new(), |_, v: u32| v);
         assert!(none.is_empty());
         assert_eq!(run_indexed(4, vec![7u32], |_, v| v + 1), vec![8]);
+    }
+
+    #[test]
+    fn panicking_job_resurfaces_original_payload() {
+        // The pool must re-raise the worker's own panic, not a
+        // send-side "job queue open" expect (the bug this guards).
+        let result = std::panic::catch_unwind(|| {
+            run_indexed(4, (0..64u32).collect(), |_, v| {
+                if v == 5 {
+                    panic!("job 5 exploded");
+                }
+                v
+            })
+        });
+        let payload = result.expect_err("pool must propagate the panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "job 5 exploded");
+    }
+
+    #[test]
+    fn metered_pool_records_jobs_and_occupancy() {
+        let metrics = Metrics::new();
+        let got = run_indexed_metered(4, (0..32u64).collect(), &metrics, |_, v| v);
+        assert_eq!(got.len(), 32);
+        assert_eq!(metrics.counter("sweep.jobs"), 32);
+        let occupancy = metrics.gauge("sweep.worker_occupancy");
+        assert!(occupancy.is_some_and(|o| (0.0..=1.0).contains(&o)));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::recommended_family;
 use eda_cloud_cloud::Catalog;
 use eda_cloud_flow::{ExecContext, StageKind};
 use eda_cloud_perf::MachineModel;
+use eda_cloud_trace::{Metrics, Tracer};
 
 /// Base calibration constant bridging this reproduction's lightweight
 /// engines to commercial-flow runtimes (see `DESIGN.md`).
@@ -43,6 +44,8 @@ pub fn stage_work_scale(stage: StageKind) -> f64 {
 pub struct Workflow {
     catalog: Catalog,
     model: MachineModel,
+    tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl Workflow {
@@ -52,6 +55,8 @@ impl Workflow {
         Self {
             catalog: Catalog::aws_like(),
             model: MachineModel::with_work_scale(DEFAULT_WORK_SCALE),
+            tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -79,6 +84,35 @@ impl Workflow {
     #[must_use]
     pub fn model(&self) -> &MachineModel {
         &self.model
+    }
+
+    /// Attach a tracer; characterization and fleet runs record spans
+    /// into it. Pass [`Tracer::new`] to enable, then
+    /// [`Tracer::drain`] after the run to export.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Attach a metrics registry; the sweep pool records queue-wait
+    /// and occupancy into it.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The tracer in use (disabled by default).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The metrics registry in use (disabled by default).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Execution context for running `stage` at `vcpus` on the stage's

@@ -22,18 +22,60 @@ use crate::metrics::{FleetCounters, FleetReport, Histogram, Samples};
 use crate::spot::{SpotInjector, SpotPolicy};
 use crate::{FleetError, FleetJob};
 use eda_cloud_cloud::{Catalog, InstanceType, Provisioner, VmState};
+use eda_cloud_trace::{Span, Tracer};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
 const MICROS: f64 = 1e6;
 
-fn to_us(secs: f64) -> u64 {
-    (secs * MICROS).round() as u64
+/// Largest microsecond value convertible from `f64` without the
+/// saturating-cast cliff: beyond 2^63, `as u64` silently pins to
+/// `u64::MAX` and event times stop being meaningful.
+const MAX_US: f64 = 9.2e18;
+
+/// Convert seconds to integer microseconds, rejecting values a
+/// saturating `as` cast would silently mangle: NaN (casts to 0),
+/// negatives (cast to 0), and times beyond the microsecond clock's
+/// range (pin to `u64::MAX`, reordering the event heap).
+fn to_us(secs: f64) -> Result<u64, FleetError> {
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(FleetError::InvalidConfig("time must be finite and >= 0"));
+    }
+    let us = (secs * MICROS).round();
+    if us > MAX_US {
+        return Err(FleetError::InvalidConfig("time overflows the microsecond clock"));
+    }
+    Ok(us as u64)
 }
 
 fn to_secs(us: u64) -> f64 {
     us as f64 / MICROS
+}
+
+/// A planned stage runtime in microseconds, or an error when the
+/// multiply would wrap `u64` (a >292-millennium stage is a bad plan,
+/// not a schedulable event).
+fn stage_duration_us(runtime_secs: u64) -> Result<u64, FleetError> {
+    runtime_secs
+        .checked_mul(1_000_000)
+        .ok_or(FleetError::InvalidConfig("stage runtime overflows the microsecond clock"))
+}
+
+/// Histogram bucket edges must be non-empty, finite, and strictly
+/// ascending — checked here so a bad config surfaces as an error
+/// instead of a panic inside [`Histogram::new`].
+fn validate_edges(edges: &[f64], what: &'static str) -> Result<(), FleetError> {
+    if edges.is_empty() {
+        return Err(FleetError::InvalidConfig(what));
+    }
+    if edges.iter().any(|e| !e.is_finite()) {
+        return Err(FleetError::InvalidConfig(what));
+    }
+    if edges.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(FleetError::InvalidConfig(what));
+    }
+    Ok(())
 }
 
 /// How to run a fleet simulation.
@@ -108,13 +150,23 @@ impl FleetConfig {
 #[derive(Debug, Clone)]
 pub struct FleetSimulator {
     catalog: Catalog,
+    tracer: Tracer,
 }
 
 impl FleetSimulator {
     /// A simulator buying from `catalog`.
     #[must_use]
     pub fn new(catalog: Catalog) -> Self {
-        Self { catalog }
+        Self { catalog, tracer: Tracer::disabled() }
+    }
+
+    /// Attach a tracer; each run records an event-loop span tree into
+    /// it (one root per run, one child per job, autoscaler decisions as
+    /// counters). Simulated time is deterministic, so the spans are too.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Serve the job stream and return the run's metrics.
@@ -128,6 +180,11 @@ impl FleetSimulator {
     /// non-finite arrival times, and [`FleetError::Cloud`] when a plan
     /// names an instance the catalog does not sell.
     pub fn run(&self, jobs: &[FleetJob], config: &FleetConfig) -> Result<FleetReport, FleetError> {
+        validate_edges(&config.latency_edges, "latency histogram edges")?;
+        validate_edges(&config.cost_edges, "cost histogram edges")?;
+        if !config.autoscale.max_idle_secs.is_finite() {
+            return Err(FleetError::InvalidConfig("autoscale idle bound must be finite"));
+        }
         for job in jobs {
             if job.plan.stages.is_empty() {
                 return Err(FleetError::InvalidConfig("job plan has no stages"));
@@ -136,11 +193,13 @@ impl FleetSimulator {
                 return Err(FleetError::InvalidConfig("job arrival must be finite and >= 0"));
             }
             for stage in &job.plan.stages {
-                // Fail fast on bad instance names, before any event runs.
+                // Fail fast on bad instance names or runtimes that
+                // overflow the microsecond clock, before any event runs.
                 self.catalog.instance(&stage.instance)?;
+                stage_duration_us(stage.runtime_secs)?;
             }
         }
-        Engine::new(&self.catalog, jobs, config).run()
+        Engine::new(&self.catalog, jobs, config, &self.tracer)?.run()
     }
 }
 
@@ -225,22 +284,41 @@ struct Engine<'a> {
     latency_hist: Histogram,
     cost_hist: Histogram,
     makespan_us: u64,
+    /// Root span of this run's event loop.
+    sim_span: Span,
+    /// One child span per job, indexed like `states`; spans close (and
+    /// record) when the engine is consumed by [`Engine::report`].
+    job_spans: Vec<Span>,
 }
 
 impl<'a> Engine<'a> {
-    fn new(catalog: &'a Catalog, jobs: &'a [FleetJob], config: &'a FleetConfig) -> Self {
+    fn new(
+        catalog: &'a Catalog,
+        jobs: &'a [FleetJob],
+        config: &'a FleetConfig,
+        tracer: &Tracer,
+    ) -> Result<Self, FleetError> {
         let states = jobs
             .iter()
-            .map(|j| JobState {
-                plan_stage_count: j.plan.stages.len(),
-                arrival_us: to_us(j.arrival_secs),
-                deadline_secs: j.plan.deadline_secs,
-                stage: 0,
-                attempt: 0,
-                cost_usd: 0.0,
+            .map(|j| {
+                Ok(JobState {
+                    plan_stage_count: j.plan.stages.len(),
+                    arrival_us: to_us(j.arrival_secs)?,
+                    deadline_secs: j.plan.deadline_secs,
+                    stage: 0,
+                    attempt: 0,
+                    cost_usd: 0.0,
+                })
             })
+            .collect::<Result<Vec<_>, FleetError>>()?;
+        // Spans are created in job order here — canonical data — so the
+        // trace does not depend on anything the event loop does.
+        let sim_span = tracer.root("fleet/sim");
+        let job_spans = jobs
+            .iter()
+            .map(|j| sim_span.child(&format!("job/{:04}", j.plan.id)))
             .collect();
-        Self {
+        Ok(Self {
             catalog,
             config,
             jobs,
@@ -261,7 +339,9 @@ impl<'a> Engine<'a> {
             latency_hist: Histogram::new(config.latency_edges.clone()),
             cost_hist: Histogram::new(config.cost_edges.clone()),
             makespan_us: 0,
-        }
+            sim_span,
+            job_spans,
+        })
     }
 
     fn push(&mut self, t: u64, event: Event) {
@@ -271,12 +351,13 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<FleetReport, FleetError> {
-        for (index, job) in self.jobs.iter().enumerate() {
-            let t = to_us(job.arrival_secs);
+        for index in 0..self.jobs.len() {
+            let t = self.states[index].arrival_us;
             self.push(t, Event::Arrival { job: index });
         }
         while let Some(HeapEntry { t, event, .. }) = self.heap.pop() {
             self.provisioner.advance_to(to_secs(t));
+            self.sim_span.counter("events", 1);
             match event {
                 Event::Arrival { job } => {
                     self.counters.jobs_submitted += 1;
@@ -285,7 +366,7 @@ impl<'a> Engine<'a> {
                 }
                 Event::VmReady { job, vm } => {
                     self.provisioner.begin_job(vm)?;
-                    self.start_execution(job, vm, t);
+                    self.start_execution(job, vm, t)?;
                 }
                 Event::StageDone { job, vm } => self.on_stage_done(job, vm, t)?,
                 Event::Reclaim { job, vm } => self.on_reclaim(job, vm, t)?,
@@ -329,17 +410,27 @@ impl<'a> Engine<'a> {
             // capacity when available (skipping the boot interval).
             if let Some(vm) = self.take_warm(&instance_name) {
                 self.counters.warm_reuses += 1;
+                self.sim_span.counter("autoscale/warm_reuses", 1);
                 self.provisioner.begin_job(vm)?;
-                self.start_execution(job, vm, now);
+                self.start_execution(job, vm, now)?;
                 return Ok(());
             }
             self.counters.cold_starts += 1;
+            self.sim_span.counter("autoscale/cold_starts", 1);
         }
         let instance = self.catalog.instance(&instance_name)?.clone();
         let vm = self.launch(instance, on_spot);
         // The provisioner's boot interval gates readiness; +1 us of
         // slack absorbs float-to-integer rounding of `ready_at`.
-        let ready = (self.provisioner.vm(vm)?.ready_at * MICROS).ceil() as u64 + 1;
+        let ready_secs = self.provisioner.vm(vm)?.ready_at;
+        if !ready_secs.is_finite() || ready_secs < 0.0 {
+            return Err(FleetError::InvalidConfig("vm ready time must be finite and >= 0"));
+        }
+        let ready_us = (ready_secs * MICROS).ceil();
+        if ready_us > MAX_US {
+            return Err(FleetError::InvalidConfig("time overflows the microsecond clock"));
+        }
+        let ready = ready_us as u64 + 1;
         self.push(ready, Event::VmReady { job, vm });
         Ok(())
     }
@@ -358,20 +449,36 @@ impl<'a> Engine<'a> {
 
     /// The stage is on a ready VM now: decide completion vs reclaim and
     /// schedule exactly one of the two outcomes.
-    fn start_execution(&mut self, job: usize, vm: u64, now: u64) {
+    fn start_execution(&mut self, job: usize, vm: u64, now: u64) -> Result<(), FleetError> {
         let state = &self.states[job];
         let runtime_secs = self.jobs[job].plan.stages[state.stage].runtime_secs;
-        let duration_us = runtime_secs * 1_000_000;
+        let duration_us = stage_duration_us(runtime_secs)?;
         let on_spot = self.vm_fraction[vm as usize] < 1.0;
         if on_spot {
             let market = self.config.spot.as_ref().expect("spot VM implies policy").market;
             if let Some(fraction) = self.injector.reclaim_fraction(runtime_secs as f64, &market) {
-                let reclaim_at = now + (duration_us as f64 * fraction) as u64;
+                // The reclaim point is a fraction of the stage, so it
+                // inherits the stage's own range checks; the guards
+                // reject a NaN/out-of-range draw instead of letting the
+                // cast collapse it to 0 or `u64::MAX`.
+                let offset = duration_us as f64 * fraction;
+                if !offset.is_finite() || !(0.0..=MAX_US).contains(&offset) {
+                    return Err(FleetError::InvalidConfig(
+                        "reclaim point must be a finite fraction of the stage",
+                    ));
+                }
+                let reclaim_at = now
+                    .checked_add(offset as u64)
+                    .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
                 self.push(reclaim_at, Event::Reclaim { job, vm });
-                return;
+                return Ok(());
             }
         }
-        self.push(now + duration_us, Event::StageDone { job, vm });
+        let done_at = now
+            .checked_add(duration_us)
+            .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+        self.push(done_at, Event::StageDone { job, vm });
+        Ok(())
     }
 
     fn on_stage_done(&mut self, job: usize, vm: u64, now: u64) -> Result<(), FleetError> {
@@ -387,6 +494,7 @@ impl<'a> Engine<'a> {
         let state = &mut self.states[job];
         state.stage += 1;
         state.attempt = 0;
+        self.job_spans[job].counter("stages_completed", 1);
         if state.stage == state.plan_stage_count {
             self.complete_job(job, now);
         } else {
@@ -398,6 +506,7 @@ impl<'a> Engine<'a> {
     fn on_reclaim(&mut self, job: usize, vm: u64, now: u64) -> Result<(), FleetError> {
         self.counters.interruptions += 1;
         self.counters.retries += 1;
+        self.job_spans[job].counter("reclaims", 1);
         // Pay for the partial run (the reclaimed VM's whole life bills
         // at the spot rate through `bill`); attribute the lost busy
         // time to the job as well.
@@ -406,7 +515,10 @@ impl<'a> Engine<'a> {
         self.bill(vm)?;
         let policy = self.config.spot.as_ref().expect("reclaim implies policy");
         let backoff = policy.backoff_secs(self.states[job].attempt);
-        self.push(now + to_us(backoff), Event::Retry { job });
+        let retry_at = now
+            .checked_add(to_us(backoff)?)
+            .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+        self.push(retry_at, Event::Retry { job });
         Ok(())
     }
 
@@ -424,6 +536,7 @@ impl<'a> Engine<'a> {
         }
         if reaped {
             self.counters.idle_reaped += 1;
+            self.sim_span.counter("autoscale/idle_reaped", 1);
             self.bill(vm)?;
         }
         Ok(())
@@ -453,15 +566,19 @@ impl<'a> Engine<'a> {
     fn release_or_bill(&mut self, vm: u64, now: u64) -> Result<(), FleetError> {
         let target = self.autoscaler.target(now);
         if self.warm_count < target && self.warm_count < self.config.autoscale.max_warm {
+            self.sim_span.counter("autoscale/kept_warm", 1);
             let name = self.provisioner.vm(vm)?.instance.name.clone();
             let stamp = self.stamp;
             self.stamp += 1;
             self.warm.entry(name).or_default().push((vm, stamp));
             self.warm_count += 1;
-            let reap_at = now + to_us(self.config.autoscale.max_idle_secs.max(0.0));
+            let reap_at = now
+                .checked_add(to_us(self.config.autoscale.max_idle_secs.max(0.0))?)
+                .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
             self.push(reap_at, Event::IdleReap { vm, stamp });
             Ok(())
         } else {
+            self.sim_span.counter("autoscale/terminated", 1);
             self.bill(vm)
         }
     }
@@ -486,8 +603,12 @@ impl<'a> Engine<'a> {
         let state = &self.states[job];
         let latency_secs = to_secs(now - state.arrival_us);
         self.counters.jobs_completed += 1;
+        // Simulated time, not wall-clock — deterministic, so safe to
+        // record on the span.
+        self.job_spans[job].counter("latency_us", now - state.arrival_us);
         if latency_secs <= state.deadline_secs as f64 + 1e-9 {
             self.counters.deadline_hits += 1;
+            self.job_spans[job].counter("deadline_hit", 1);
         }
         self.latencies.record(latency_secs);
         self.latency_hist.record(latency_secs);
@@ -769,6 +890,93 @@ mod tests {
             sim().run(&[bad_arrival], &FleetConfig::on_demand(1)).unwrap_err(),
             FleetError::InvalidConfig(_)
         ));
+    }
+
+    #[test]
+    fn time_conversion_rejects_nan_negative_and_huge() {
+        assert_eq!(to_us(1.5), Ok(1_500_000));
+        assert_eq!(to_us(0.0), Ok(0));
+        assert!(to_us(f64::NAN).is_err(), "NaN must not cast to 0");
+        assert!(to_us(-1.0).is_err(), "negative must not cast to 0");
+        assert!(to_us(f64::INFINITY).is_err());
+        assert!(to_us(1e20).is_err(), "beyond the clock must not saturate");
+        assert!(stage_duration_us(600).is_ok());
+        assert!(stage_duration_us(u64::MAX / 2).is_err(), "u64 wrap must error");
+    }
+
+    #[test]
+    fn numeric_edge_cases_error_instead_of_mangling_time() {
+        // Arrival beyond the microsecond clock: previously saturated to
+        // u64::MAX and scrambled the event heap.
+        let late = FleetJob {
+            plan: JobPlan {
+                id: 0,
+                stages: vec![stage("syn", "m5.large", 10)],
+                deadline_secs: 10,
+            },
+            arrival_secs: 1e20,
+        };
+        assert!(matches!(
+            sim().run(&[late], &FleetConfig::on_demand(1)).unwrap_err(),
+            FleetError::InvalidConfig(_)
+        ));
+        // Stage runtime whose microsecond conversion wraps u64.
+        let forever = FleetJob {
+            plan: JobPlan {
+                id: 0,
+                stages: vec![stage("syn", "m5.large", u64::MAX / 1000)],
+                deadline_secs: 10,
+            },
+            arrival_secs: 0.0,
+        };
+        assert!(matches!(
+            sim().run(&[forever], &FleetConfig::on_demand(1)).unwrap_err(),
+            FleetError::InvalidConfig(_)
+        ));
+    }
+
+    #[test]
+    fn bad_histogram_edges_error_instead_of_panicking() {
+        let job = two_stage_job(0, 0.0, 2000);
+        for edges in [vec![], vec![1.0, f64::NAN], vec![2.0, 1.0], vec![1.0, 1.0]] {
+            let mut cfg = FleetConfig::on_demand(1);
+            cfg.latency_edges = edges.clone();
+            assert!(
+                matches!(
+                    sim().run(std::slice::from_ref(&job), &cfg).unwrap_err(),
+                    FleetError::InvalidConfig(_)
+                ),
+                "edges {edges:?} must be rejected"
+            );
+        }
+        let mut cfg = FleetConfig::on_demand(1);
+        cfg.autoscale.max_idle_secs = f64::INFINITY;
+        assert!(sim().run(&[job], &cfg).is_err());
+    }
+
+    #[test]
+    fn tracer_records_one_span_per_job_deterministically() {
+        let jobs: Vec<FleetJob> =
+            (0..3).map(|k| two_stage_job(k, 100.0 * k as f64, 4000)).collect();
+        let cfg = FleetConfig::on_demand(9);
+        let tracer = eda_cloud_trace::Tracer::new();
+        let report = FleetSimulator::new(Catalog::aws_like())
+            .with_tracer(tracer.clone())
+            .run(&jobs, &cfg)
+            .expect("runs");
+        assert_eq!(report.counters.jobs_completed, 3);
+        let trace = tracer.drain();
+        let paths: Vec<&str> = trace.records().iter().map(|r| r.path.as_str()).collect();
+        assert!(paths.contains(&"fleet/sim"));
+        assert!(paths.contains(&"fleet/sim/job/0000"));
+        assert!(paths.contains(&"fleet/sim/job/0002"));
+        // Same run again: byte-identical trace.
+        let tracer2 = eda_cloud_trace::Tracer::new();
+        FleetSimulator::new(Catalog::aws_like())
+            .with_tracer(tracer2.clone())
+            .run(&jobs, &cfg)
+            .expect("runs");
+        assert_eq!(tracer2.drain().to_json(), trace.to_json());
     }
 
     #[test]

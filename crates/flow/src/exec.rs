@@ -1,6 +1,7 @@
 //! Execution context shared by all stages.
 
 use eda_cloud_perf::{MachineConfig, MachineModel, PerfProbe};
+use eda_cloud_trace::Span;
 
 /// Where and how a flow stage executes: the target machine configuration
 /// plus the calibrated cost model converting counted work into seconds.
@@ -13,7 +14,7 @@ use eda_cloud_perf::{MachineConfig, MachineModel, PerfProbe};
 /// let ctx = ExecContext::with_vcpus(4);
 /// assert_eq!(ctx.machine.vcpus, 4);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ExecContext {
     /// The VM configuration the job runs on.
     pub machine: MachineConfig,
@@ -22,6 +23,18 @@ pub struct ExecContext {
     /// Number of OS threads stages may really spawn for measured
     /// parallelism (capped at `machine.vcpus`).
     pub real_threads: usize,
+    /// Parent trace span the stage hangs its phase spans under.
+    /// Disabled by default; instrumentation is a no-op then.
+    pub span: Span,
+}
+
+// `span` is a recording handle, not part of the context's identity.
+impl PartialEq for ExecContext {
+    fn eq(&self, other: &Self) -> bool {
+        self.machine == other.machine
+            && self.model == other.model
+            && self.real_threads == other.real_threads
+    }
 }
 
 impl ExecContext {
@@ -38,6 +51,7 @@ impl ExecContext {
             machine,
             model: MachineModel::default(),
             real_threads: machine.vcpus as usize,
+            span: Span::disabled(),
         }
     }
 
@@ -46,6 +60,20 @@ impl ExecContext {
     pub fn with_model(mut self, model: MachineModel) -> Self {
         self.model = model;
         self
+    }
+
+    /// Attach a parent span; stages open phase children under it.
+    #[must_use]
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// The same context with tracing detached (used by caches so the
+    /// trace shape cannot depend on hit/miss patterns).
+    #[must_use]
+    pub fn without_span(&self) -> Self {
+        self.clone().with_span(Span::disabled())
     }
 
     /// A fresh probe wired to this machine's cache hierarchy and AVX

@@ -158,7 +158,9 @@ impl Placer {
         let c_base = 0x9000_0000u64;
         let g_base = 0xD000_0000u64;
         let pin_base = 0x1_2000_0000u64;
+        let gd_span = ctx.span.child("gradient_descent");
         for iter in 0..self.iterations {
+            let iter_span = gd_span.child(&format!("iter/{iter}"));
             // 1) Net centroids (reads of scattered cell coordinates).
             for (ni, ep) in endpoints.iter().enumerate() {
                 let mut sx = 0.0;
@@ -214,12 +216,14 @@ impl Placer {
                 load[by * bins + bx] += 1;
                 probe.read(0x4000_0000 + (by * bins + bx) as u64 * 4);
             }
+            let mut overfull_cells = 0u64;
             for cell in 0..n {
                 let bx = ((x[cell] / side) * bins as f64).clamp(0.0, bins as f64 - 1.0) as usize;
                 let by = ((y[cell] / side) * bins as f64).clamp(0.0, bins as f64 - 1.0) as usize;
                 let overfull = f64::from(load[by * bins + bx]) > cap;
                 probe.branch(0xB000 + (by * bins + bx) as u64, overfull);
                 if overfull {
+                    overfull_cells += 1;
                     // Jitter toward the die center scaled by overflow.
                     let push = 0.12 * side / bins as f64;
                     x[cell] += rng.gen_range(-push..push) + (side / 2.0 - x[cell]) * 0.01;
@@ -236,6 +240,7 @@ impl Placer {
             //    neighborhoods) is kept, but the distribution is pulled
             //    toward uniform die coverage.
             if iter % 3 == 2 {
+                iter_span.counter("quantile_spread", 1);
                 for coords in [&mut x, &mut y] {
                     let mut order: Vec<usize> = (0..n).collect();
                     order.sort_by(|&a, &b| coords[a].total_cmp(&coords[b]));
@@ -248,13 +253,18 @@ impl Placer {
                     }
                 }
             }
+            iter_span.counter("overfull_cells", overfull_cells);
         }
+        drop(gd_span);
         if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
             return Err(FlowError::PlacementDiverged);
         }
 
         // Legalization: snap to rows (sequential sort-based).
-        legalize(&mut x, &mut y, side, &mut probe);
+        {
+            let _legalize_span = ctx.span.child("legalize");
+            legalize(&mut x, &mut y, side, &mut probe);
+        }
 
         // Detailed placement: greedy swap refinement. Walk seeded random
         // cell pairs and swap whenever the half-perimeter wirelength of
@@ -272,6 +282,7 @@ impl Placer {
             }
             total
         };
+        let detailed_span = ctx.span.child("detailed");
         let swaps = (n * 2).min(40_000);
         let mut improved = 0u32;
         for _ in 0..swaps {
@@ -298,7 +309,9 @@ impl Placer {
                 y.swap(a, b);
             }
         }
-        let _ = improved;
+        detailed_span.counter("swaps_tried", swaps as u64);
+        detailed_span.counter("swaps_improved", u64::from(improved));
+        drop(detailed_span);
 
         // Final HPWL.
         let mut hpwl = 0.0;

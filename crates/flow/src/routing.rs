@@ -214,8 +214,11 @@ impl Router {
         let mut pending: Vec<usize> = (0..routed.len()).collect();
         let mut worker_counters: Vec<CounterSet> = Vec::new();
         let mut iterations = 0usize;
-        for _ in 0..self.max_iterations.max(1) {
+        let negotiate_span = ctx.span.child("negotiate");
+        for round in 0..self.max_iterations.max(1) {
             iterations += 1;
+            let round_span = negotiate_span.child(&format!("round/{round}"));
+            round_span.counter("pending", pending.len() as u64);
             // Partition pending connections by source strip.
             let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); regions];
             for &i in &pending {
@@ -265,13 +268,16 @@ impl Router {
             // Serial phase: overflow scan + history bump + rip-up.
             let mut over = vec![false; state.usage.len()];
             let mut any = false;
+            let mut over_edges = 0u64;
             for (e, &u) in state.usage.iter().enumerate() {
                 if u > state.capacity {
                     over[e] = true;
                     state.history[e] += 1.0;
                     any = true;
+                    over_edges += 1;
                 }
             }
+            round_span.counter("overflowed_edges", over_edges);
             probe.instr(state.usage.len() as u64 / 16);
             probe.branch(0xD0, any);
             if !any {
@@ -295,6 +301,9 @@ impl Router {
                 }
             }
         }
+        drop(negotiate_span);
+        // Wall-clock stays out of the span tree: only logical counters
+        // go in, so the trace is byte-identical across machines.
         let measured_wall_secs = wall_start.elapsed().as_secs_f64();
         let parallel_counters = worker_counters
             .iter()
@@ -302,6 +311,8 @@ impl Router {
         probe.absorb(parallel_counters);
 
         let wirelength: u64 = routed.iter().map(|(_, p)| p.len() as u64).sum();
+        ctx.span.counter("ripup_rounds", iterations as u64);
+        ctx.span.counter("wirelength", wirelength);
         let overflowed_edges = state.overflow_count();
         let total_edges = state.usage.len().max(1);
         if overflowed_edges as f64 / total_edges as f64 > self.overflow_tolerance {

@@ -152,7 +152,10 @@ impl StaEngine {
         // this also gives the memory system the re-reference behaviour a
         // real timer exhibits).
         let mut net_arrival = vec![0.0f64; n_nets];
+        ctx.span.counter("levelized_cells", order.len() as u64);
         for corner in 0..self.corners {
+            let corner_span = ctx.span.child(&format!("corner/{corner}"));
+            corner_span.counter("nets", n_nets as u64);
             let derate = 1.0 + 0.08 * corner as f64;
             // Forward arrival propagation.
             let arr_base = 0x8000_0000u64;

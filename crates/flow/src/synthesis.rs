@@ -215,7 +215,7 @@ impl Synthesizer {
         ctx: &ExecContext,
     ) -> Result<(Netlist, StageReport), FlowError> {
         let mut probe = ctx.probe();
-        let netlist = self.execute(aig, recipe, &mut probe)?;
+        let netlist = self.execute(aig, recipe, &ctx.span, &mut probe)?;
         let report = self.finalize(probe.counters(), recipe, ctx);
         Ok((netlist, report))
     }
@@ -240,7 +240,7 @@ impl Synthesizer {
         ctx: &ExecContext,
     ) -> Result<(Netlist, StageReport, SynthesisTrace), FlowError> {
         let mut probe = PerfProbe::for_machine_traced(&ctx.machine);
-        let netlist = self.execute(aig, recipe, &mut probe)?;
+        let netlist = self.execute(aig, recipe, &ctx.span, &mut probe)?;
         let (counters, events) = probe.into_traced();
         let report = self.finalize(counters, recipe, ctx);
         let trace = SynthesisTrace {
@@ -273,6 +273,7 @@ impl Synthesizer {
         &self,
         aig: &Aig,
         recipe: &Recipe,
+        span: &eda_cloud_trace::Span,
         probe: &mut PerfProbe,
     ) -> Result<Netlist, FlowError> {
         if aig.output_count() == 0 {
@@ -284,22 +285,40 @@ impl Synthesizer {
         let mut working = aig.clone();
         probe.instr(working.node_count() as u64); // initial strash sweep
         for pass in recipe.passes() {
+            let label = match pass {
+                Pass::Balance => "pass/balance",
+                Pass::Rewrite => "pass/rewrite",
+                Pass::Refactor(_) => "pass/refactor",
+                Pass::Sweep => "pass/sweep",
+            };
+            let pass_span = span.child(label);
+            pass_span.counter("nodes_in", working.node_count() as u64);
             working = match pass {
                 Pass::Balance => balance(&working, probe),
                 Pass::Rewrite => rewrite(&working, probe),
                 Pass::Refactor(seed) => refactor(&working, *seed, probe),
                 Pass::Sweep => sweep(&working, probe),
             };
+            pass_span.counter("nodes_out", working.node_count() as u64);
         }
 
         // Technology mapping.
-        let netlist = map_to_cells(&working, &self.library, aig.name(), recipe, probe);
+        let netlist = {
+            let map_span = span.child("map");
+            let netlist = map_to_cells(&working, &self.library, aig.name(), recipe, probe);
+            map_span.counter("cells", netlist.cell_count() as u64);
+            netlist
+        };
 
         // Equivalence checking.
         match self.verify {
             VerifyMode::Off => {}
-            VerifyMode::Random => verify_equivalence(aig, &netlist, probe)?,
+            VerifyMode::Random => {
+                let _v = span.child("verify/random");
+                verify_equivalence(aig, &netlist, probe)?;
+            }
             VerifyMode::Sat => {
+                let _v = span.child("verify/sat");
                 verify_equivalence(aig, &netlist, probe)?;
                 verify_equivalence_sat(aig, &netlist, probe)?;
             }

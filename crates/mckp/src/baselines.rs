@@ -20,7 +20,9 @@ pub fn over_provision(problem: &Problem) -> Selection {
         problem
             .stages()
             .iter()
-            .map(|s| s.choices.len() - 1)
+            // saturating: a Problem never has empty stages, but this
+            // keeps the baseline underflow-proof regardless.
+            .map(|s| s.choices.len().saturating_sub(1))
             .collect(),
     )
 }

@@ -1,6 +1,6 @@
 //! The pseudo-polynomial dynamic program.
 
-use crate::Problem;
+use crate::{MckpError, Problem, Stage};
 use serde::{Deserialize, Serialize};
 
 /// Which objective the DP optimizes under the runtime budget.
@@ -64,14 +64,58 @@ impl Solver {
         budget_secs: u64,
         objective: Objective,
     ) -> Option<Selection> {
-        let stages = problem.stages();
+        // `Problem` is validated at construction, so the DP core's
+        // preconditions hold by type.
+        Self::solve_core(problem.stages(), budget_secs, objective)
+    }
+
+    /// Solve over raw stages, without requiring a pre-validated
+    /// [`Problem`].
+    ///
+    /// This is the entry point for callers assembling stages on the fly
+    /// (e.g. from streamed predictions): malformed input surfaces as a
+    /// typed [`MckpError`] instead of a panic deep inside the DP.
+    /// `Ok(None)` still means "valid but infeasible under the budget".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MckpError::NoStages`], [`MckpError::EmptyStage`], or
+    /// [`MckpError::InvalidCost`] when the stages are malformed.
+    pub fn solve_stages(
+        &self,
+        stages: &[Stage],
+        budget_secs: u64,
+        objective: Objective,
+    ) -> Result<Option<Selection>, MckpError> {
+        if stages.is_empty() {
+            return Err(MckpError::NoStages);
+        }
+        for stage in stages {
+            if stage.choices.is_empty() {
+                return Err(MckpError::EmptyStage(stage.name.clone()));
+            }
+            for choice in &stage.choices {
+                if !choice.cost_usd.is_finite() || choice.cost_usd < 0.0 {
+                    return Err(MckpError::InvalidCost {
+                        stage: stage.name.clone(),
+                        choice: choice.label.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Self::solve_core(stages, budget_secs, objective))
+    }
+
+    fn solve_core(stages: &[Stage], budget_secs: u64, objective: Objective) -> Option<Selection> {
         // Any budget beyond the slowest possible schedule is equivalent
         // to it; clamp so the DP table stays proportional to the
-        // problem, not to the caller's (possibly huge) deadline.
+        // problem, not to the caller's (possibly huge) deadline. The
+        // sum saturates so absurd per-stage runtimes cannot overflow
+        // the clamp itself.
         let max_useful: u64 = stages
             .iter()
             .map(|s| s.choices.iter().map(|c| c.runtime_secs).max().unwrap_or(0))
-            .sum();
+            .fold(0u64, u64::saturating_add);
         let budget = usize::try_from(budget_secs.min(max_useful)).ok()?;
         // score(choice): larger is better for the DP max.
         let score = |cost: f64| -> f64 {
@@ -125,11 +169,14 @@ impl Solver {
             .filter_map(|(t, v)| v.map(|v| (t, v)))
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))?;
 
-        // Reconstruct.
+        // Reconstruct. Every reachable cell was written together with
+        // its parent pointer, so the chain is complete by construction;
+        // `?` keeps the solver panic-free even if that invariant were
+        // ever broken.
         let mut picks = vec![0usize; stages.len()];
         let mut t = best_t;
         for (l, parent) in parents.iter().enumerate().rev() {
-            let (j, prev_t) = parent[t].expect("parent chain is complete");
+            let (j, prev_t) = parent[t]?;
             picks[l] = j;
             t = prev_t;
         }
@@ -213,7 +260,12 @@ mod tests {
             .expect("feasible");
         // With unlimited time, the min-cost solver picks each stage's
         // cheapest configuration.
-        let cheapest: f64 = p.stages().iter().map(|s| s.cheapest().unwrap().cost_usd).sum();
+        let cheapest: f64 = p
+            .stages()
+            .iter()
+            .filter_map(|s| s.cheapest())
+            .map(|c| c.cost_usd)
+            .sum();
         assert!((sel.total_cost_usd - cheapest).abs() < 1e-9);
     }
 
@@ -283,5 +335,67 @@ mod tests {
         let sel = Solver::new().solve_min_cost(&p, 42).expect("feasible");
         assert_eq!(sel.total_runtime_secs, 42);
         assert!(Solver::new().solve_min_cost(&p, 41).is_none());
+    }
+
+    #[test]
+    fn empty_stage_is_a_typed_error_not_a_panic() {
+        use crate::MckpError;
+        let solver = Solver::new();
+        assert_eq!(
+            solver.solve_stages(&[], 100, Objective::MinCost).unwrap_err(),
+            MckpError::NoStages
+        );
+        let stages = vec![
+            Stage::new("syn", vec![Choice::new("1v", 10, 0.1)]),
+            Stage::new("route", vec![]),
+        ];
+        assert_eq!(
+            solver
+                .solve_stages(&stages, 100, Objective::MinCost)
+                .unwrap_err(),
+            MckpError::EmptyStage("route".to_owned())
+        );
+        let stages = vec![Stage::new("syn", vec![Choice::new("1v", 10, f64::NAN)])];
+        assert!(matches!(
+            solver
+                .solve_stages(&stages, 100, Objective::MinCost)
+                .unwrap_err(),
+            MckpError::InvalidCost { .. }
+        ));
+    }
+
+    #[test]
+    fn single_choice_stages_solve_through_the_raw_entry() {
+        // One choice per stage: the DP has nothing to trade off but
+        // must still reconstruct a complete parent chain.
+        let stages = vec![
+            Stage::new("syn", vec![Choice::new("only", 10, 0.10)]),
+            Stage::new("route", vec![Choice::new("only", 7, 0.05)]),
+        ];
+        let sel = Solver::new()
+            .solve_stages(&stages, 17, Objective::MinCost)
+            .expect("valid stages")
+            .expect("feasible");
+        assert_eq!(sel.picks, vec![0, 0]);
+        assert_eq!(sel.total_runtime_secs, 17);
+        let infeasible = Solver::new()
+            .solve_stages(&stages, 16, Objective::MinCost)
+            .expect("valid stages");
+        assert!(infeasible.is_none());
+    }
+
+    #[test]
+    fn absurd_runtimes_saturate_the_budget_clamp() {
+        // Two near-u64::MAX runtimes used to overflow the max-useful
+        // sum (a debug-build panic); the clamp now saturates and the
+        // solve stays a clean "infeasible".
+        let stages = vec![
+            Stage::new("a", vec![Choice::new("x", u64::MAX - 1, 0.1)]),
+            Stage::new("b", vec![Choice::new("x", u64::MAX - 1, 0.1)]),
+        ];
+        let sel = Solver::new()
+            .solve_stages(&stages, 1_000, Objective::MinCost)
+            .expect("valid stages");
+        assert!(sel.is_none());
     }
 }

@@ -17,6 +17,10 @@
 //!   two (they agree on which deadlines are feasible but can pick
 //!   different configurations; minimizing cost is never worse in USD).
 //!
+//! Callers assembling stages on the fly can use
+//! [`Solver::solve_stages`], which validates raw stages and reports
+//! malformed input as a typed [`MckpError`] instead of panicking.
+//!
 //! Baselines for Figure 6 live in [`baselines`]: over-provisioning
 //! (largest machine everywhere), under-provisioning (smallest machine
 //! everywhere), a greedy ratio heuristic, and an exhaustive enumerator

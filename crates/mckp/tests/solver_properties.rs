@@ -83,6 +83,59 @@ proptest! {
         }
     }
 
+    /// Solving the same instance twice yields byte-identical picks,
+    /// even when many costs tie: every float comparison in the solver
+    /// is a `total_cmp` with a deterministic index tie-break, so there
+    /// is no scheduling- or NaN-dependent ordering to drift.
+    #[test]
+    fn solver_is_deterministic_under_ties(
+        seed in 0u64..10_000,
+        stages in 1usize..4,
+        choices in 2usize..5,
+        budget in 1u64..800,
+    ) {
+        // Quantize costs to just three values so ties are the common
+        // case, not the corner case.
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s >> 33
+        };
+        let stages: Vec<Stage> = (0..stages)
+            .map(|i| Stage::new(
+                format!("s{i}"),
+                (0..choices)
+                    .map(|j| Choice::new(
+                        format!("c{j}"),
+                        1 + next() % 50,
+                        (next() % 3) as f64 * 0.25,
+                    ))
+                    .collect(),
+            ))
+            .collect();
+        let solver = Solver::new();
+        for objective in [Objective::MinCost, Objective::MaxInverseCost] {
+            let a = solver.solve_stages(&stages, budget, objective).expect("valid");
+            let b = solver.solve_stages(&stages, budget, objective).expect("valid");
+            prop_assert_eq!(a.clone().map(|s| s.picks), b.map(|s| s.picks));
+            // The raw-stage entry agrees with the validated-Problem one.
+            let via_problem = solver.solve(
+                &Problem::new(stages.clone()).expect("valid"),
+                budget,
+                objective,
+            );
+            prop_assert_eq!(a.map(|s| s.picks), via_problem.map(|s| s.picks));
+        }
+    }
+
+    /// Greedy never panics and is deterministic on tied ratios.
+    #[test]
+    fn greedy_is_deterministic_under_ties(problem in arbitrary_problem(), budget in 1u64..800) {
+        let a = baselines::greedy(&problem, budget);
+        let b = baselines::greedy(&problem, budget);
+        prop_assert_eq!(a.map(|s| s.picks), b.map(|s| s.picks));
+    }
+
     /// Baseline selections bracket every feasible optimum in runtime.
     #[test]
     fn baselines_bracket_runtime(problem in arbitrary_problem(), budget in 1u64..800) {

@@ -1,0 +1,61 @@
+//! Deterministic structured tracing and metrics for the EDA-on-cloud
+//! workspace.
+//!
+//! The paper's characterization methodology instruments flow stages
+//! with performance counters and attributes runtime to algorithmic
+//! phases; this crate gives the reproduction the same power over *its
+//! own* execution — the flow engines, the sweep pool, and the fleet
+//! simulator — without giving up the workspace's determinism
+//! guarantees.
+//!
+//! Two deliberately separate facilities:
+//!
+//! * [`Tracer`] / [`Span`] — hierarchical spans keyed by a **logical
+//!   clock**, not wall-clock time. A span's identity is its ordinal
+//!   key: the root ordinal followed by one child ordinal per nesting
+//!   level (stage → phase → iteration). Spans record counters and
+//!   key/value attributes into per-span buffers; [`Tracer::drain`]
+//!   merges all buffers in canonical `(key, path)` order, so the
+//!   exported trace is **byte-identical across worker counts and
+//!   repeated runs** — thread scheduling can reorder span *completion*
+//!   but never span *identity*.
+//! * [`Metrics`] — an operational registry (counters, gauges,
+//!   fixed-bucket histograms) for quantities that are genuinely
+//!   wall-clock- or scheduling-dependent, such as sweep queue-wait and
+//!   worker occupancy. Metrics render byte-stable JSON (fixed key
+//!   order, six-decimal floats) but are *not* expected to be identical
+//!   across worker counts; that is exactly why they are not part of the
+//!   trace.
+//!
+//! Both are zero-dependency (std only) and cheap when disabled: the
+//! handles are a single `Option<Arc<..>>`, so every instrumentation
+//! call on a disabled [`Tracer`]/[`Span`]/[`Metrics`] is one branch on
+//! `None`.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_cloud_trace::Tracer;
+//!
+//! let tracer = Tracer::new();
+//! {
+//!     let job = tracer.root_at(0, "job/0000");
+//!     let stage = job.child("routing");
+//!     stage.counter("ripup_rounds", 3);
+//!     stage.attr("instance", "c5.xlarge");
+//! }
+//! let trace = tracer.drain();
+//! assert_eq!(trace.records().len(), 2);
+//! assert_eq!(trace.records()[1].path, "job/0000/routing");
+//! assert!(trace.to_json().starts_with("{\"version\":1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod span;
+
+pub use metrics::{Histogram, Metrics};
+pub use span::{Span, SpanRecord, Trace, Tracer};

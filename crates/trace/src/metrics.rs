@@ -1,0 +1,277 @@
+//! Operational metrics: counters, gauges, and fixed-bucket histograms.
+//!
+//! Metrics capture quantities that legitimately depend on wall-clock
+//! and scheduling — sweep queue-wait, worker occupancy — and are
+//! therefore kept out of the deterministic trace. The JSON rendering
+//! itself is byte-stable (BTree key order, six-decimal floats), so a
+//! metrics dump diffs cleanly; only the *values* may vary between runs.
+
+use crate::json::{escape, fmt_f64};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Default histogram bucket edges (log-spaced), used when a histogram
+/// is observed before being registered with explicit edges.
+const DEFAULT_EDGES: [f64; 8] = [0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// A histogram over fixed, ascending bucket edges. A value lands in the
+/// first bucket whose upper edge is `>=` the value; values beyond the
+/// last edge — and NaN, which compares greater than nothing — land in
+/// the overflow bucket, so `counts` has `edges.len() + 1` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// A histogram over the given edges. Non-finite edges are dropped
+    /// and the rest sorted and deduplicated; an empty edge list falls
+    /// back to the default log-spaced buckets (this constructor never
+    /// panics — bad edges cannot take down an instrumented run).
+    #[must_use]
+    pub fn new(edges: Vec<f64>) -> Self {
+        let mut edges: Vec<f64> = edges.into_iter().filter(|e| e.is_finite()).collect();
+        edges.sort_by(f64::total_cmp);
+        edges.dedup();
+        if edges.is_empty() {
+            edges = DEFAULT_EDGES.to_vec();
+        }
+        let counts = vec![0; edges.len() + 1];
+        Self { edges, counts }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        let bucket = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[bucket] += 1;
+    }
+
+    /// Bucket upper edges.
+    #[must_use]
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    fn to_json(&self) -> String {
+        let edges: Vec<String> = self.edges.iter().map(|e| fmt_f64(*e)).collect();
+        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"edges\":[{}],\"counts\":[{}]}}",
+            edges.join(","),
+            counts.join(",")
+        )
+    }
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A shared metrics registry. Cheap to clone (one `Arc`); a disabled
+/// registry makes every recording call a single branch.
+#[derive(Clone)]
+pub struct Metrics {
+    inner: Option<Arc<Mutex<MetricsInner>>>,
+}
+
+impl Metrics {
+    /// An enabled, empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { inner: Some(Arc::new(Mutex::new(MetricsInner::default()))) }
+    }
+
+    /// A registry that records nothing.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether recording calls do anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Add `delta` to a named counter.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            let mut m = inner.lock().expect("metrics registry");
+            *m.counters.entry(name.to_owned()).or_insert(0) += delta;
+        }
+    }
+
+    /// Set a named gauge (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.lock().expect("metrics registry").gauges.insert(name.to_owned(), value);
+        }
+    }
+
+    /// Pre-register a histogram with explicit bucket edges. Replaces
+    /// any same-named histogram (and its counts).
+    pub fn register_histogram(&self, name: &str, edges: Vec<f64>) {
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .expect("metrics registry")
+                .histograms
+                .insert(name.to_owned(), Histogram::new(edges));
+        }
+    }
+
+    /// Record one observation into a named histogram, creating it with
+    /// the default log-spaced edges if it was never registered.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner
+                .lock()
+                .expect("metrics registry")
+                .histograms
+                .entry(name.to_owned())
+                .or_insert_with(|| Histogram::new(Vec::new()))
+                .record(value);
+        }
+    }
+
+    /// Current value of a counter (0 when absent or disabled).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.lock().expect("metrics registry").counters.get(name).copied().unwrap_or(0)
+        })
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.lock().expect("metrics registry").gauges.get(name).copied())
+    }
+
+    /// Byte-stable JSON dump: counters, gauges, then histograms, each
+    /// sorted by name.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let Some(inner) = &self.inner else {
+            return "{\"counters\":{},\"gauges\":{},\"histograms\":{}}".to_owned();
+        };
+        let m = inner.lock().expect("metrics registry");
+        for (i, (k, v)) in m.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(k), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in m.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(k), fmt_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in m.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape(k), h.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics").field("enabled", &self.is_enabled()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing_includes_edges_and_overflow() {
+        let mut h = Histogram::new(vec![1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 1.5, 10.0, 99.9, 100.0, 100.1, f64::NAN] {
+            h.record(v);
+        }
+        // <=1: {0.5, 1.0}; <=10: {1.5, 10.0}; <=100: {99.9, 100.0};
+        // overflow: {100.1, NaN}.
+        assert_eq!(h.counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.total(), 8);
+    }
+
+    #[test]
+    fn histogram_sanitizes_edges_instead_of_panicking() {
+        let h = Histogram::new(vec![10.0, f64::NAN, 1.0, 10.0]);
+        assert_eq!(h.edges(), &[1.0, 10.0]);
+        let d = Histogram::new(Vec::new());
+        assert_eq!(d.edges().len(), DEFAULT_EDGES.len());
+    }
+
+    #[test]
+    fn registry_round_trips_byte_stable_json() {
+        let m = Metrics::new();
+        m.add("jobs", 2);
+        m.add("jobs", 3);
+        m.set_gauge("occupancy", 0.75);
+        m.register_histogram("wait", vec![1.0, 2.0]);
+        m.observe("wait", 1.5);
+        assert_eq!(m.counter("jobs"), 5);
+        assert_eq!(m.gauge("occupancy"), Some(0.75));
+        assert_eq!(
+            m.to_json(),
+            "{\"counters\":{\"jobs\":5},\"gauges\":{\"occupancy\":0.750000},\"histograms\":{\"wait\":{\"edges\":[1.000000,2.000000],\"counts\":[0,1,0]}}}"
+        );
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let m = Metrics::disabled();
+        m.add("jobs", 1);
+        m.observe("wait", 1.0);
+        m.set_gauge("g", 1.0);
+        assert_eq!(m.counter("jobs"), 0);
+        assert_eq!(m.gauge("g"), None);
+        assert_eq!(m.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+    }
+
+    #[test]
+    fn unregistered_histogram_gets_default_edges() {
+        let m = Metrics::new();
+        m.observe("adhoc", 5.0);
+        assert!(m.to_json().contains("\"adhoc\""));
+    }
+}

@@ -1,0 +1,67 @@
+//! Golden-file test for the deterministic trace subsystem.
+//!
+//! The span trace of a fleet run is a pure function of the scenario:
+//! span identity comes from canonical job indices and logical child
+//! ordinals, never from thread scheduling, so the drained JSON must be
+//! byte-identical across worker counts, across repeated runs, and
+//! against the checked-in golden file. If an intentional change to the
+//! simulator or the tracer shifts the trace, regenerate the golden with
+//! the command in `tests/golden/README.md`.
+
+use eda_cloud_core::{FleetScenario, Workflow};
+use eda_cloud_trace::Tracer;
+
+/// The scenario pinned by `tests/golden/fleet_trace.json`.
+fn golden_scenario(workers: usize) -> FleetScenario {
+    let mut scenario = FleetScenario::new(6, 11);
+    scenario.workers = workers;
+    scenario
+}
+
+fn traced_fleet_json(workers: usize) -> String {
+    let tracer = Tracer::new();
+    Workflow::with_defaults()
+        .with_tracer(tracer.clone())
+        .simulate_fleet(&golden_scenario(workers))
+        .expect("fleet simulation");
+    tracer.drain().to_json()
+}
+
+#[test]
+fn fleet_trace_is_byte_identical_across_worker_counts() {
+    let serial = traced_fleet_json(1);
+    assert_eq!(serial, traced_fleet_json(2), "1 vs 2 workers");
+    assert_eq!(serial, traced_fleet_json(8), "1 vs 8 workers");
+}
+
+#[test]
+fn fleet_trace_is_byte_identical_across_runs() {
+    assert_eq!(traced_fleet_json(4), traced_fleet_json(4));
+}
+
+#[test]
+fn fleet_trace_matches_checked_in_golden() {
+    let got = traced_fleet_json(2);
+    let golden = include_str!("golden/fleet_trace.json");
+    assert_eq!(
+        got.trim_end(),
+        golden.trim_end(),
+        "fleet trace drifted from tests/golden/fleet_trace.json; if the \
+         change is intentional, regenerate it (see tests/golden/README.md)"
+    );
+}
+
+#[test]
+fn chrome_trace_is_derived_deterministically() {
+    let chrome = |workers: usize| {
+        let tracer = Tracer::new();
+        Workflow::with_defaults()
+            .with_tracer(tracer.clone())
+            .simulate_fleet(&golden_scenario(workers))
+            .expect("fleet simulation");
+        tracer.drain().to_chrome_json()
+    };
+    let serial = chrome(1);
+    assert_eq!(serial, chrome(8));
+    assert!(serial.contains("\"traceEvents\""));
+}
