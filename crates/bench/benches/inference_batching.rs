@@ -1,0 +1,79 @@
+//! Criterion benches for the serving tier's micro-batching: one padded
+//! chunked GCN forward over N designs vs N per-request forwards, vs the
+//! naive monolithic batch (one giant block-diagonal matrix), plus the
+//! batch-packing overhead itself.
+//!
+//! The interesting comparison is the three-way one. A monolithic batch
+//! streams a multi-hundred-KiB activation matrix through every layer,
+//! evicting itself between operations, and lands well *behind* the
+//! per-request loop. Chunked packing (cache-sized block-diagonal
+//! slices, see `eda_cloud_gcn::CHUNK_TARGET_ROWS`) recovers that loss:
+//! batched inference runs at per-request speed while keeping the
+//! amortized dispatch, alloc-free steady state, and deterministic
+//! worker fan-out the serving tier batches for. `EXPERIMENTS.md`
+//! records the measured numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_cloud_gcn::{GraphBatch, GraphSample, ModelConfig, RuntimePredictor};
+use eda_cloud_netlist::{generators, DesignGraph};
+use std::hint::black_box;
+
+/// A pool of distinct small designs, cycled to fill a batch.
+fn pool() -> Vec<GraphSample> {
+    let mut samples = Vec::new();
+    for family in ["adder", "parity", "comparator", "max", "gray2bin", "hamming"] {
+        for size in [4u32, 6, 8] {
+            let aig = generators::build_family(family, size).expect("known family");
+            samples.push(GraphSample::new(&DesignGraph::from_aig(&aig), [1.0; 4]));
+        }
+    }
+    samples
+}
+
+fn bench_batched_vs_sequential(c: &mut Criterion) {
+    let samples = pool();
+    let model = RuntimePredictor::new(&ModelConfig::fast(), 7);
+    let mut group = c.benchmark_group("inference");
+    for n in [1usize, 8, 32] {
+        let picked: Vec<&GraphSample> =
+            (0..n).map(|i| &samples[i % samples.len()]).collect();
+        let chunked = GraphBatch::pack_padded(&picked, 8);
+        let monolithic = GraphBatch::pack_chunked(&picked, 8, usize::MAX);
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, _| {
+            b.iter(|| black_box(model.predict_secs_batch(black_box(&chunked))));
+        });
+        group.bench_with_input(BenchmarkId::new("monolithic", n), &n, |b, _| {
+            b.iter(|| black_box(model.predict_secs_batch(black_box(&monolithic))));
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+            b.iter(|| {
+                for s in &picked {
+                    black_box(model.predict_secs(black_box(s)));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let samples = pool();
+    let picked: Vec<&GraphSample> = samples.iter().collect();
+    c.bench_function("pack_padded_18", |b| {
+        b.iter(|| black_box(GraphBatch::pack_padded(black_box(&picked), 8)));
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_batched_vs_sequential, bench_packing
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Plays an open-loop stream of predict/plan requests through the
+//! deterministic simulated-time serving tier: seeded Poisson arrivals
+//! over the synthetic design pool, micro-batched GCN inference, EDF
+//! admission control with load shedding, an LRU result cache, and
+//! catalog-backed MCKP planning for the plan-kind requests.
+//!
+//! ```text
+//! cargo run -p eda-cloud-bench --bin serve --release -- --requests 64 --seed 7
+//! cargo run -p eda-cloud-bench --bin serve --release -- --requests 64 --seed 7 --json
+//! cargo run -p eda-cloud-bench --bin serve --release -- --requests 256 --rate 800 --queue 16
+//! cargo run -p eda-cloud-bench --bin serve --release -- --requests 64 --workers 4 --batch 16
+//! cargo run -p eda-cloud-bench --bin serve --release -- --requests 64 --trace trace.json
+//! ```
+//!
+//! The run is deterministic: the same `--requests/--seed/--rate/
+//! --batch/--queue/--cache` produce a byte-identical report (and
+//! `--json` line, and `--trace` file) at any `--workers` count — the
+//! only parallelism is the per-stage fan-out of the batched forward,
+//! joined by stage index.
+
+use eda_cloud_bench::{Args, Observability};
+use eda_cloud_core::report::{pct, render_table};
+use eda_cloud_core::{ServeScenario, Workflow, WorkflowPlanner};
+use eda_cloud_gcn::ModelConfig;
+use eda_cloud_serve::{ModelSnapshot, ServeConfig, ServeReport, Server};
+
+fn numeric<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> T {
+    args.value(name).map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--{name} expects a number, got `{v}`"))
+    })
+}
+
+fn main() {
+    let args = Args::from_env();
+    let mut scenario =
+        ServeScenario::new(numeric(&args, "requests", 64), numeric(&args, "seed", 7));
+    scenario.rate_per_sec = numeric(&args, "rate", 200.0);
+    scenario.workers = args.workers();
+    let config = ServeConfig {
+        max_batch: numeric(&args, "batch", 8),
+        queue_capacity: numeric(&args, "queue", 32),
+        cache_capacity: numeric(&args, "cache", 32),
+        workers: scenario.workers,
+        ..ServeConfig::default()
+    };
+
+    let obs = Observability::from_args(&args);
+    let workflow = obs.instrument(Workflow::with_defaults());
+    let requests = workflow.serve_workload(&scenario);
+    let snapshot = ModelSnapshot::seeded(&ModelConfig::fast(), scenario.seed);
+    let server = Server::new(
+        snapshot,
+        Box::new(WorkflowPlanner::new(workflow.clone())),
+        config,
+    )
+    .with_tracer(workflow.tracer().clone());
+    let (report, _outcomes) = server.run(scenario.seed, &requests).expect("serving run");
+    obs.export();
+
+    if args.flag("json") {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    println!(
+        "Serve — {} requests at {}/s, seed {}, batch {}, queue {}",
+        scenario.requests,
+        scenario.rate_per_sec,
+        scenario.seed,
+        server.config().max_batch,
+        server.config().queue_capacity,
+    );
+    print_report(&report);
+}
+
+fn print_report(report: &ServeReport) {
+    let c = report.counters;
+    let rows = vec![
+        vec!["requests completed".into(), format!("{} / {}", c.completed, c.requests)],
+        vec!["requests shed".into(), format!("{}", c.shed)],
+        vec!["deadline-hit rate".into(), pct(report.deadline_hit_rate)],
+        vec!["mean latency (ms)".into(), format!("{:.1}", report.mean_latency_ms)],
+        vec!["p50 / p95 latency (ms)".into(),
+            format!("{:.1} / {:.1}", report.p50_latency_ms, report.p95_latency_ms)],
+        vec!["makespan (ms)".into(), format!("{:.1}", report.makespan_ms)],
+        vec!["cache hits / misses".into(), format!("{} / {}", c.cache_hits, c.cache_misses)],
+        vec!["GCN forwards".into(), format!("{}", c.gcn_predictions)],
+        vec!["micro-batches".into(), format!("{}", c.batches)],
+        vec!["mean batch size".into(), format!("{:.2}", report.mean_batch_size)],
+        vec!["max queue depth".into(), format!("{}", report.max_queue_depth)],
+        vec!["plans solved / infeasible".into(), format!("{} / {}", c.plans, c.plans_infeasible)],
+    ];
+    println!("{}", render_table(&["metric", "value"], &rows));
+}

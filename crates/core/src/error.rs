@@ -4,6 +4,7 @@ use eda_cloud_cloud::CloudError;
 use eda_cloud_fleet::FleetError;
 use eda_cloud_flow::FlowError;
 use eda_cloud_mckp::MckpError;
+use eda_cloud_serve::ServeError;
 use std::error::Error;
 use std::fmt;
 
@@ -18,6 +19,8 @@ pub enum WorkflowError {
     Mckp(MckpError),
     /// The fleet simulator rejected the workload.
     Fleet(FleetError),
+    /// The serving tier rejected the request or stream.
+    Serve(ServeError),
     /// The dataset builder produced no samples for a stage.
     EmptyDataset {
         /// The stage whose corpus came out empty.
@@ -32,6 +35,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::Cloud(e) => write!(f, "cloud substrate error: {e}"),
             WorkflowError::Mckp(e) => write!(f, "optimizer error: {e}"),
             WorkflowError::Fleet(e) => write!(f, "fleet simulator error: {e}"),
+            WorkflowError::Serve(e) => write!(f, "serving error: {e}"),
             WorkflowError::EmptyDataset { stage } => {
                 write!(f, "dataset for stage `{stage}` is empty")
             }
@@ -46,6 +50,7 @@ impl Error for WorkflowError {
             WorkflowError::Cloud(e) => Some(e),
             WorkflowError::Mckp(e) => Some(e),
             WorkflowError::Fleet(e) => Some(e),
+            WorkflowError::Serve(e) => Some(e),
             WorkflowError::EmptyDataset { .. } => None,
         }
     }
@@ -75,6 +80,12 @@ impl From<FleetError> for WorkflowError {
     }
 }
 
+impl From<ServeError> for WorkflowError {
+    fn from(e: ServeError) -> Self {
+        WorkflowError::Serve(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +99,10 @@ mod tests {
         assert!(e.to_string().contains("optimizer"));
         let e: WorkflowError = FleetError::InvalidConfig("no stages").into();
         assert!(e.to_string().contains("fleet simulator"));
+        assert!(e.source().is_some());
+        let e: WorkflowError =
+            ServeError::Overloaded { ordinal: 3, queue_depth: 4, capacity: 4 }.into();
+        assert!(e.to_string().contains("serving"));
         assert!(e.source().is_some());
         let e = WorkflowError::EmptyDataset { stage: "routing" };
         assert!(e.to_string().contains("routing"));

@@ -21,6 +21,10 @@
 //!    and serve it on the simulated cloud with warm pools, spot
 //!    interruptions, and retries, reporting deadline-hit rate and cost
 //!    (the fleet-scale extension of the paper's single-flow analysis).
+//! 6. [`Workflow::serve`] — play an open-loop stream of predict/plan
+//!    requests against a frozen model snapshot on the deterministic
+//!    simulated-time serving tier, planning with the catalog-backed
+//!    MCKP ([`WorkflowPlanner`]).
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ mod optimize;
 pub mod predict;
 mod recommend;
 pub mod report;
+mod serve_service;
 pub mod sweep;
 mod workflow;
 
@@ -57,5 +62,6 @@ pub use error::WorkflowError;
 pub use fleet_service::FleetScenario;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
 pub use recommend::{recommended_family, recommendation_notes};
+pub use serve_service::{ServeScenario, WorkflowPlanner};
 pub use sweep::{design_fingerprint, resolve_workers, FlowCache, FlowKey};
 pub use workflow::{stage_work_scale, Workflow};

@@ -1,0 +1,291 @@
+//! Online serving: play a request stream against the trained stage
+//! predictors and the catalog-backed deployment planner.
+//!
+//! This wires `eda-cloud-serve` into the workflow: a [`ServeScenario`]
+//! describes an open-loop request stream (count, Poisson rate, seed),
+//! [`Workflow::serve_workload`] materializes it over the synthetic
+//! design pool, and [`Workflow::serve`] plays it through a
+//! [`eda_cloud_serve::Server`] whose planner is the workflow's own
+//! MCKP deployment planner ([`WorkflowPlanner`]) priced on the real
+//! instance catalog rather than the service's flat rate table.
+//! [`ServeScenario::from_fleet`] converts a fleet workload description
+//! into serving traffic, so the fleet simulator doubles as the traffic
+//! source for the online tier.
+
+use crate::predict::StagePredictors;
+use crate::{StageRuntimes, Workflow, WorkflowError};
+use eda_cloud_flow::StageKind;
+use eda_cloud_serve::{
+    design_pool, synthetic_requests, ModelSnapshot, PlanSummary, Planner, RequestOutcome,
+    ServeConfig, ServeError, ServeReport, ServeRequest, Server, WorkloadConfig, VCPUS,
+};
+use serde::{Deserialize, Serialize};
+
+/// An online-serving workload description: everything needed to
+/// regenerate the same request stream and report from a seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeScenario {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Mean arrival rate, requests per second (Poisson process).
+    pub rate_per_sec: f64,
+    /// Seed driving arrivals, design choice, deadlines, and kinds.
+    pub seed: u64,
+    /// Stage-model fan-out threads (0 = available parallelism, capped
+    /// at 4). Any value produces the identical report.
+    pub workers: usize,
+}
+
+impl ServeScenario {
+    /// A `requests`-request scenario at the default 200 req/s with
+    /// automatic stage fan-out.
+    #[must_use]
+    pub fn new(requests: usize, seed: u64) -> Self {
+        Self { requests, rate_per_sec: 200.0, seed, workers: 0 }
+    }
+
+    /// Derive serving traffic from a fleet workload description: one
+    /// request per fleet job, the fleet's hourly arrival rate converted
+    /// to per-second, same seed and fan-out — the fleet simulator as a
+    /// traffic source for the online tier.
+    #[must_use]
+    pub fn from_fleet(scenario: &crate::FleetScenario) -> Self {
+        Self {
+            requests: scenario.jobs,
+            rate_per_sec: (scenario.rate_per_hour / 3600.0).max(f64::MIN_POSITIVE),
+            seed: scenario.seed,
+            workers: scenario.workers,
+        }
+    }
+
+    /// The serve-crate workload parameters this scenario expands to.
+    #[must_use]
+    pub fn workload_config(&self) -> WorkloadConfig {
+        WorkloadConfig {
+            requests: self.requests,
+            rate_per_sec: self.rate_per_sec,
+            seed: self.seed,
+            ..WorkloadConfig::default()
+        }
+    }
+}
+
+/// The workflow's deployment planner behind the serving API: predicted
+/// per-stage runtimes go through [`Workflow::plan_deployment`] — the
+/// catalog-priced exact MCKP — instead of the service's built-in flat
+/// rate table.
+#[derive(Debug, Clone)]
+pub struct WorkflowPlanner {
+    workflow: Workflow,
+}
+
+impl WorkflowPlanner {
+    /// Wrap a workflow (cheap: the workflow shares its catalog, tracer,
+    /// and metrics by handle).
+    #[must_use]
+    pub fn new(workflow: Workflow) -> Self {
+        Self { workflow }
+    }
+}
+
+impl Planner for WorkflowPlanner {
+    fn plan(
+        &self,
+        stage_secs: &[[f64; 4]; 4],
+        budget_secs: u64,
+    ) -> Result<Option<PlanSummary>, ServeError> {
+        let runtimes: Vec<StageRuntimes> = StageKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(k, &kind)| StageRuntimes { kind, runtimes_secs: stage_secs[k] })
+            .collect();
+        let plan = self
+            .workflow
+            .plan_deployment(&runtimes, budget_secs)
+            .map_err(|e| ServeError::Plan { message: e.to_string() })?;
+        let Some(plan) = plan else {
+            return Ok(None);
+        };
+        let mut vcpus = [VCPUS[0]; 4];
+        for (slot, stage) in vcpus.iter_mut().zip(&plan.stages) {
+            *slot = stage.vcpus;
+        }
+        Ok(Some(PlanSummary {
+            vcpus,
+            total_runtime_secs: plan.total_runtime_secs,
+            total_cost_usd: plan.total_cost_usd,
+        }))
+    }
+}
+
+impl StagePredictors {
+    /// Freeze the four trained stage models into a serving snapshot
+    /// (evaluation reports stay behind; only the weights ship).
+    #[must_use]
+    pub fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::new(
+            self.synthesis.model.clone(),
+            self.placement.model.clone(),
+            self.routing.model.clone(),
+            self.sta.model.clone(),
+        )
+    }
+}
+
+impl Workflow {
+    /// Materialize the scenario's request stream over the synthetic
+    /// design pool: seeded Poisson arrivals, uniform deadline windows,
+    /// and a seeded Predict/Plan mix. Deterministic per scenario.
+    #[must_use]
+    pub fn serve_workload(&self, scenario: &ServeScenario) -> Vec<ServeRequest> {
+        synthetic_requests(&design_pool(), &scenario.workload_config())
+    }
+
+    /// Serve the scenario's request stream against `snapshot` with the
+    /// workflow's catalog-backed planner: the end-to-end
+    /// materialize → serve → report pipeline for the online tier.
+    ///
+    /// Same scenario and snapshot, same report — byte-identical
+    /// [`ServeReport::to_json`] output across runs and worker counts.
+    /// Serving counters are folded into the workflow's metrics under
+    /// `serve.*`.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces planner failures as [`WorkflowError::Serve`] (sheds are
+    /// outcomes in the report, not errors).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eda_cloud_core::{ServeScenario, Workflow};
+    /// use eda_cloud_gcn::ModelConfig;
+    /// use eda_cloud_serve::ModelSnapshot;
+    ///
+    /// let workflow = Workflow::with_defaults();
+    /// let snapshot = ModelSnapshot::seeded(&ModelConfig::fast(), 7);
+    /// let (report, outcomes) = workflow.serve(&ServeScenario::new(8, 7), &snapshot)?;
+    /// assert_eq!(outcomes.len(), 8);
+    /// assert_eq!(report.counters.requests, 8);
+    /// # Ok::<(), eda_cloud_core::WorkflowError>(())
+    /// ```
+    pub fn serve(
+        &self,
+        scenario: &ServeScenario,
+        snapshot: &ModelSnapshot,
+    ) -> Result<(ServeReport, Vec<RequestOutcome>), WorkflowError> {
+        let requests = self.serve_workload(scenario);
+        let config = ServeConfig { workers: scenario.workers, ..ServeConfig::default() };
+        let server = Server::new(snapshot.clone(), Box::new(WorkflowPlanner::new(self.clone())), config)
+            .with_tracer(self.tracer().clone());
+        let (report, outcomes) = server.run(scenario.seed, &requests)?;
+        let m = self.metrics();
+        m.add("serve.requests", report.counters.requests);
+        m.add("serve.completed", report.counters.completed);
+        m.add("serve.shed", report.counters.shed);
+        m.add("serve.cache_hits", report.counters.cache_hits);
+        m.add("serve.plans", report.counters.plans);
+        m.set_gauge("serve.deadline_hit_rate", report.deadline_hit_rate);
+        Ok((report, outcomes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, DatasetConfig};
+    use crate::FleetScenario;
+    use eda_cloud_gcn::{ModelConfig, Trainer};
+    use eda_cloud_serve::RequestKind;
+
+    fn seeded_snapshot(seed: u64) -> ModelSnapshot {
+        ModelSnapshot::seeded(&ModelConfig::fast(), seed)
+    }
+
+    #[test]
+    fn serve_is_deterministic_and_worker_invariant() {
+        let wf = Workflow::with_defaults();
+        let snapshot = seeded_snapshot(7);
+        let mut scenario = ServeScenario::new(24, 7);
+        scenario.workers = 1;
+        let (base, base_outcomes) = wf.serve(&scenario, &snapshot).expect("serves");
+        assert_eq!(base.counters.requests, 24);
+        for workers in [2usize, 8] {
+            scenario.workers = workers;
+            let (report, outcomes) = wf.serve(&scenario, &snapshot).expect("serves");
+            assert_eq!(report.to_json(), base.to_json(), "workers {workers}");
+            assert_eq!(outcomes, base_outcomes, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn workflow_planner_matches_plan_deployment() {
+        let wf = Workflow::with_defaults();
+        let stage_secs = [
+            [6_100.0, 4_342.0, 3_449.0, 3_352.0],
+            [1_206.0, 905.0, 644.0, 519.0],
+            [10_461.0, 5_514.0, 2_894.0, 1_692.0],
+            [183.0, 119.0, 90.0, 82.0],
+        ];
+        let planner = WorkflowPlanner::new(wf.clone());
+        let summary = planner.plan(&stage_secs, 100_000).expect("valid").expect("feasible");
+        let runtimes: Vec<StageRuntimes> = StageKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(k, &kind)| StageRuntimes { kind, runtimes_secs: stage_secs[k] })
+            .collect();
+        let direct = wf.plan_deployment(&runtimes, 100_000).expect("valid").expect("feasible");
+        assert_eq!(summary.total_runtime_secs, direct.total_runtime_secs);
+        assert_eq!(summary.total_cost_usd, direct.total_cost_usd);
+        for (v, s) in summary.vcpus.iter().zip(&direct.stages) {
+            assert_eq!(*v, s.vcpus);
+        }
+        // Below the fastest selection there is no feasible plan.
+        assert!(planner.plan(&stage_secs, 5_000).expect("valid").is_none());
+    }
+
+    #[test]
+    fn fleet_scenario_converts_to_serving_traffic() {
+        let fleet = FleetScenario::new(12, 21);
+        let scenario = ServeScenario::from_fleet(&fleet);
+        assert_eq!(scenario.requests, 12);
+        assert_eq!(scenario.seed, 21);
+        assert!((scenario.rate_per_sec - fleet.rate_per_hour / 3600.0).abs() < 1e-12);
+        let wf = Workflow::with_defaults();
+        let requests = wf.serve_workload(&scenario);
+        assert_eq!(requests.len(), 12);
+        assert!(requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert!(requests.iter().any(|r| matches!(r.kind, RequestKind::Plan { .. })));
+    }
+
+    #[test]
+    fn trained_predictors_snapshot_and_serve() {
+        let wf = Workflow::with_defaults();
+        let data = DatasetBuilder::new(&wf).build(&DatasetConfig::smoke()).expect("corpus");
+        let mut trainer = Trainer::fast();
+        trainer.epochs = 2; // keep the unit test quick
+        let predictors = StagePredictors::train(&data, &trainer).expect("training");
+        let snapshot = predictors.snapshot();
+        // Snapshot predictions match the live predictors bit-for-bit.
+        let text = snapshot.to_text();
+        let reloaded = ModelSnapshot::from_text(&text).expect("parses");
+        let direct = predictors.predict_design(&data.synthesis[0], &data.routing[0]);
+        let via = reloaded.stage(0).predict_secs(&data.synthesis[0]);
+        assert_eq!(direct[0].runtimes_secs, via);
+        let (report, outcomes) = wf.serve(&ServeScenario::new(8, 3), &snapshot).expect("serves");
+        assert_eq!(outcomes.len(), 8);
+        assert_eq!(report.counters.completed + report.counters.shed, 8);
+    }
+
+    #[test]
+    fn serving_counters_fold_into_workflow_metrics() {
+        let wf = Workflow::with_defaults().with_metrics(eda_cloud_trace::Metrics::new());
+        let (report, _) = wf.serve(&ServeScenario::new(10, 5), &seeded_snapshot(5)).expect("serves");
+        assert_eq!(wf.metrics().counter("serve.requests"), 10);
+        assert_eq!(wf.metrics().counter("serve.completed"), report.counters.completed);
+        assert_eq!(
+            wf.metrics().gauge("serve.deadline_hit_rate"),
+            Some(report.deadline_hit_rate)
+        );
+    }
+}

@@ -65,7 +65,12 @@ impl Histogram {
         self.counts.iter().sum()
     }
 
-    fn to_json(&self) -> String {
+    /// Render as `{"edges":[...],"counts":[...]}` with the same fixed
+    /// float formatting as [`FleetReport::to_json`] — byte-stable, so
+    /// other crates (the serve report) can embed histograms in their own
+    /// deterministic JSON documents.
+    #[must_use]
+    pub fn to_json(&self) -> String {
         let edges: Vec<String> = self.edges.iter().map(|e| fmt_f64(*e)).collect();
         let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
         format!(

@@ -65,6 +65,19 @@ impl GcnLayer {
         )
     }
 
+    /// Inference-only forward: the same arithmetic as
+    /// [`GcnLayer::forward`] — bit-identical output — without
+    /// materializing the backward caches. Serving runs batches of
+    /// thousands of node rows, where the cache clones triple the
+    /// memory traffic for state inference never reads.
+    #[must_use]
+    pub fn infer(&self, a_norm: &SparseMatrix, input: &Matrix) -> Matrix {
+        let mut out = a_norm.matmul(input).matmul(&self.w);
+        out.add_assign(&input.matmul(&self.b));
+        out.relu_in_place();
+        out
+    }
+
     /// Backward pass: given `∂L/∂H'`, produce parameter gradients and
     /// `∂L/∂H` for the upstream layer.
     #[must_use]
@@ -141,6 +154,20 @@ impl DenseLayer {
                 input: input.clone(),
             },
         )
+    }
+
+    /// Inference-only forward, bit-identical to [`DenseLayer::forward`]
+    /// without cloning the input for a backward pass.
+    #[must_use]
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut out = input.matmul(&self.w);
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                let v = out.get(r, c) + self.bias.get(0, c);
+                out.set(r, c, v);
+            }
+        }
+        out
     }
 
     /// Backward pass: returns gradients and `∂L/∂input`.

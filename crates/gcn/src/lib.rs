@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod adam;
+mod batch;
 mod graph_data;
 mod layers;
 mod model;
@@ -40,8 +41,9 @@ mod tensor;
 mod train;
 
 pub use adam::Adam;
+pub use batch::{GraphBatch, CHUNK_TARGET_ROWS};
 pub use graph_data::GraphSample;
 pub use layers::{DenseLayer, GcnLayer};
-pub use model::{LoadWeightsError, ModelConfig, RuntimePredictor};
+pub use model::{saturating_exp, LoadWeightsError, ModelConfig, RuntimePredictor, MAX_LOG_SECS};
 pub use tensor::{Matrix, SparseMatrix};
 pub use train::{DatasetSplit, TrainOutcome, TrainReport, Trainer};

@@ -1,6 +1,7 @@
 //! The runtime-prediction model (paper Figure 4).
 
 use crate::adam::Adam;
+use crate::batch::GraphBatch;
 use crate::layers::{DenseLayer, GcnLayer};
 use crate::{GraphSample, Matrix};
 use eda_cloud_netlist::FEATURE_DIM;
@@ -50,6 +51,25 @@ impl ModelConfig {
 impl Default for ModelConfig {
     fn default() -> Self {
         Self::paper()
+    }
+}
+
+/// Saturation bound for log-space predictions: `exp(±700)` is finite in
+/// `f64` (`≈ 1e304`), while `exp(710)` overflows to `inf`. Clamping
+/// here keeps every predicted runtime (and every speedup ratio) finite
+/// no matter how far a model has diverged.
+pub const MAX_LOG_SECS: f64 = 700.0;
+
+/// `exp` with saturation: clamps the argument into `±`[`MAX_LOG_SECS`]
+/// so the result is always finite and strictly positive; `NaN`
+/// saturates to the maximum (an "infinitely slow" reading is the safe
+/// default for a corrupt prediction).
+#[must_use]
+pub fn saturating_exp(log_secs: f64) -> f64 {
+    if log_secs.is_nan() {
+        MAX_LOG_SECS.exp()
+    } else {
+        log_secs.clamp(-MAX_LOG_SECS, MAX_LOG_SECS).exp()
     }
 }
 
@@ -114,22 +134,117 @@ impl RuntimePredictor {
     /// Predicted `ln(runtime)` for 1/2/4/8 vCPUs.
     #[must_use]
     pub fn predict_log(&self, sample: &GraphSample) -> [f64; 4] {
-        let (out, _) = self.forward(sample);
+        let mut h = sample.features.clone();
+        for layer in &self.gcn {
+            h = layer.infer(&sample.a_norm, &h);
+        }
+        let n = h.rows();
+        let mut pooled = h.sum_rows();
+        let scale = 1.0 / (n as f64).sqrt();
+        for v in pooled.data_mut() {
+            *v *= scale;
+        }
+        let mut fc_act = self.fc.infer(&pooled);
+        fc_act.relu_in_place();
+        let out = self.head.infer(&fc_act);
         [out.get(0, 0), out.get(0, 1), out.get(0, 2), out.get(0, 3)]
     }
 
     /// Predicted runtimes in seconds for 1/2/4/8 vCPUs.
+    ///
+    /// Always finite and strictly positive: log-space predictions are
+    /// saturated into `±`[`MAX_LOG_SECS`] before exponentiation, so a
+    /// diverged or corrupt model yields an astronomically large (or
+    /// tiny) runtime instead of `inf`/`NaN` poisoning downstream
+    /// knapsack and serving math. A `NaN` output saturates to the
+    /// maximum — the conservative "infinitely slow" reading.
     #[must_use]
     pub fn predict_secs(&self, sample: &GraphSample) -> [f64; 4] {
-        self.predict_log(sample).map(f64::exp)
+        self.predict_log(sample).map(saturating_exp)
     }
 
     /// Predicted speedups of 2/4/8 vCPUs over 1 vCPU (the paper derives
     /// speedup gains from the four predictions).
+    ///
+    /// Computed in log space (`exp(l₁ − lₖ)` with the difference
+    /// saturated), so the ratio stays finite even when the individual
+    /// runtimes sit at the saturation bounds; a `NaN` prediction
+    /// degrades to a neutral speedup of 1.
     #[must_use]
     pub fn predict_speedups(&self, sample: &GraphSample) -> [f64; 3] {
-        let t = self.predict_secs(sample);
-        [t[0] / t[1], t[0] / t[2], t[0] / t[3]]
+        let l = self.predict_log(sample);
+        [1, 2, 3].map(|k| {
+            let diff = l[0] - l[k];
+            if diff.is_nan() { 1.0 } else { diff.clamp(-MAX_LOG_SECS, MAX_LOG_SECS).exp() }
+        })
+    }
+
+    /// Predicted `ln(runtime)` for every sample of a packed batch, in
+    /// batch order — bit-identical to calling
+    /// [`RuntimePredictor::predict_log`] per sample (the batch's blocks
+    /// are disjoint, so every accumulation runs in the same order), but
+    /// one pass through the layer stack instead of `B`.
+    #[must_use]
+    pub fn predict_log_batch(&self, batch: &GraphBatch) -> Vec<[f64; 4]> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        // Run the GCN stack chunk by chunk (chunks are cache-sized row
+        // partitions along segment boundaries — exact under a block-
+        // diagonal adjacency), ping-ponging one set of scratch buffers
+        // so the hot loop allocates nothing after the first chunk.
+        // Arithmetic and accumulation order match `GcnLayer::forward`
+        // exactly, so the output stays bit-identical to the per-sample
+        // path.
+        let d = self.gcn.last().expect("at least one layer").w.cols();
+        let mut pooled = Matrix::zeros(batch.len(), d);
+        let mut h = Matrix::zeros(0, 0);
+        let mut agg = Matrix::zeros(0, 0);
+        let mut tmp = Matrix::zeros(0, 0);
+        let mut next = Matrix::zeros(0, 0);
+        let mut sample = 0usize;
+        for chunk in &batch.chunks {
+            h.clone_from(&chunk.features);
+            for layer in &self.gcn {
+                chunk.a_norm.matmul_into(&h, &mut agg);
+                agg.matmul_into(&layer.w, &mut next);
+                h.matmul_into(&layer.b, &mut tmp);
+                next.add_assign(&tmp);
+                next.relu_in_place();
+                std::mem::swap(&mut h, &mut next);
+            }
+            // Pool each sample's row segment exactly like the single-
+            // sample path: sum the rows in order, then scale by 1/√n.
+            for &(start, n) in &chunk.segments {
+                let prow = &mut pooled.data_mut()[sample * d..(sample + 1) * d];
+                for r in start..start + n {
+                    for (o, &v) in prow.iter_mut().zip(h.row(r)) {
+                        *o += v;
+                    }
+                }
+                let scale = 1.0 / (n as f64).sqrt();
+                for o in prow {
+                    *o *= scale;
+                }
+                sample += 1;
+            }
+        }
+        let mut fc_act = self.fc.infer(&pooled);
+        fc_act.relu_in_place();
+        let out = self.head.infer(&fc_act);
+        (0..batch.len())
+            .map(|g| [out.get(g, 0), out.get(g, 1), out.get(g, 2), out.get(g, 3)])
+            .collect()
+    }
+
+    /// Batched [`RuntimePredictor::predict_secs`]: saturated, finite,
+    /// strictly positive seconds for every sample of the batch.
+    #[must_use]
+    pub fn predict_secs_batch(&self, batch: &GraphBatch) -> Vec<[f64; 4]> {
+        self.predict_log_batch(batch)
+            .into_iter()
+            .map(|l| l.map(saturating_exp))
+            .collect()
     }
 
     /// MSE loss (in log space) on one sample.
@@ -323,6 +438,62 @@ mod tests {
             fc_dim: 8,
         };
         let _ = RuntimePredictor::new(&cfg, 0);
+    }
+
+    #[test]
+    fn saturating_exp_never_overflows() {
+        assert!(saturating_exp(1e9).is_finite());
+        assert!(saturating_exp(f64::INFINITY).is_finite());
+        assert!(saturating_exp(f64::NAN).is_finite());
+        assert_eq!(saturating_exp(f64::NAN), MAX_LOG_SECS.exp());
+        assert!(saturating_exp(f64::NEG_INFINITY) > 0.0);
+        assert_eq!(saturating_exp(0.0), 1.0);
+        assert_eq!(saturating_exp(2.5), 2.5_f64.exp());
+    }
+
+    #[test]
+    fn diverged_model_still_predicts_finite_seconds() {
+        let s = sample();
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 3);
+        // Force the head bias so the raw log predictions overflow exp().
+        for v in model.head.bias.data_mut() {
+            *v = 5.0e3;
+        }
+        let raw = model.predict_log(&s);
+        assert!(raw.iter().all(|l| *l > MAX_LOG_SECS), "setup: logs overflow");
+        let secs = model.predict_secs(&s);
+        assert!(secs.iter().all(|t| t.is_finite() && *t > 0.0), "{secs:?}");
+        let sp = model.predict_speedups(&s);
+        assert!(sp.iter().all(|v| v.is_finite() && *v > 0.0), "{sp:?}");
+    }
+
+    #[test]
+    fn nan_weights_saturate_instead_of_poisoning() {
+        let s = sample();
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 4);
+        for v in model.head.bias.data_mut() {
+            *v = f64::NAN;
+        }
+        let secs = model.predict_secs(&s);
+        assert!(secs.iter().all(|t| t.is_finite()), "{secs:?}");
+        assert_eq!(secs, [MAX_LOG_SECS.exp(); 4]);
+        // NaN speedups degrade to the neutral ratio 1.
+        assert_eq!(model.predict_speedups(&s), [1.0; 3]);
+    }
+
+    #[test]
+    fn huge_log_gap_yields_finite_speedup() {
+        let s = sample();
+        let mut model = RuntimePredictor::new(&ModelConfig::fast(), 6);
+        // Spread the per-vCPU biases so the log gap exceeds the clamp.
+        let data = model.head.bias.data_mut();
+        data[0] = 2.0e3;
+        data[1] = -2.0e3;
+        data[2] = 0.0;
+        data[3] = 0.0;
+        let sp = model.predict_speedups(&s);
+        assert!(sp.iter().all(|v| v.is_finite() && *v > 0.0), "{sp:?}");
+        assert_eq!(sp[0], MAX_LOG_SECS.exp());
     }
 }
 

@@ -113,6 +113,15 @@ impl Matrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reshape to `rows x cols` with every element zeroed, reusing the
+    /// existing allocation when it is large enough.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Flat row-major data.
     #[must_use]
     pub fn data(&self) -> &[f64] {
@@ -142,8 +151,24 @@ impl Matrix {
     /// Panics on an inner-dimension mismatch.
     #[must_use]
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-owned buffer, reusing its
+    /// allocation. Large batched products otherwise allocate past the
+    /// allocator's mmap threshold and pay a page-fault storm per call;
+    /// the serving hot loop ping-pongs two buffers instead. `out` is
+    /// reshaped and zeroed; the result is bit-identical to
+    /// [`Matrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        out.reshape_zeroed(self.rows, rhs.cols);
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
@@ -157,7 +182,6 @@ impl Matrix {
                 }
             }
         }
-        out
     }
 
     /// Transpose.
@@ -212,6 +236,27 @@ impl Matrix {
             rows: self.rows,
             cols: self.cols,
             data: self.data.iter().map(|&v| v.max(0.0)).collect(),
+        }
+    }
+
+    /// In-place elementwise sum `self += rhs`, bit-identical to
+    /// [`Matrix::add`] without the allocation (the inference hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place ReLU, bit-identical to [`Matrix::relu`] without the
+    /// allocation.
+    pub fn relu_in_place(&mut self) {
+        for v in &mut self.data {
+            *v = v.max(0.0);
         }
     }
 
@@ -321,6 +366,45 @@ impl SparseMatrix {
         self.values.len()
     }
 
+    /// Iterate the stored entries as `(row, col, value)` triplets in
+    /// row-major storage order — the order [`SparseMatrix::from_triplets`]
+    /// received them in.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            (self.offsets[r] as usize..self.offsets[r + 1] as usize)
+                .map(move |k| (r as u32, self.indices[k], self.values[k]))
+        })
+    }
+
+    /// Stack matrices along the diagonal: block `i` occupies rows
+    /// `row_offsets[i]..row_offsets[i] + blocks[i].rows()` (and the same
+    /// columns), everything off the blocks is zero. `row_offsets` must
+    /// be ascending and leave room for each block; the final dimension
+    /// is `total` in both directions. Used to pack several graphs into
+    /// one batched adjacency whose per-row products are bit-identical
+    /// to the unbatched ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if offsets/blocks disagree in count, a block overruns its
+    /// slot or `total`, or a block is not square.
+    #[must_use]
+    pub fn block_diagonal(blocks: &[&SparseMatrix], row_offsets: &[usize], total: usize) -> Self {
+        assert_eq!(blocks.len(), row_offsets.len(), "one offset per block");
+        let mut triplets = Vec::with_capacity(blocks.iter().map(|b| b.nnz()).sum());
+        let mut prev_end = 0usize;
+        for (block, &base) in blocks.iter().zip(row_offsets) {
+            assert_eq!(block.rows, block.cols, "blocks must be square");
+            assert!(base >= prev_end, "row offsets must ascend past the previous block");
+            prev_end = base + block.rows;
+            assert!(prev_end <= total, "block overruns the batched dimension");
+            for (r, c, v) in block.entries() {
+                triplets.push((r + base as u32, c + base as u32, v));
+            }
+        }
+        Self::from_triplets(total, total, &triplets)
+    }
+
     /// Sparse-dense product `self * dense`.
     ///
     /// # Panics
@@ -328,9 +412,23 @@ impl SparseMatrix {
     /// Panics if `self.cols != dense.rows()`.
     #[must_use]
     pub fn matmul(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(dense, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::matmul`] into a caller-owned buffer, reusing its
+    /// allocation (see [`Matrix::matmul_into`] for why the serving hot
+    /// loop needs this). `out` is reshaped and zeroed; the result is
+    /// bit-identical to [`SparseMatrix::matmul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != dense.rows()`.
+    pub fn matmul_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, dense.rows(), "inner dimensions must agree");
         let c = dense.cols();
-        let mut out = Matrix::zeros(self.rows, c);
+        out.reshape_zeroed(self.rows, c);
         for r in 0..self.rows {
             for k in self.offsets[r] as usize..self.offsets[r + 1] as usize {
                 let j = self.indices[k] as usize;
@@ -342,7 +440,6 @@ impl SparseMatrix {
                 }
             }
         }
-        out
     }
 
     /// Transposed sparse-dense product `selfᵀ * dense` (needed to push
@@ -443,6 +540,35 @@ mod tests {
     #[should_panic(expected = "sorted by row")]
     fn unsorted_triplets_panic() {
         let _ = SparseMatrix::from_triplets(2, 2, &[(1, 0, 1.0), (0, 1, 1.0)]);
+    }
+
+    #[test]
+    fn entries_roundtrip_triplets() {
+        let t = [(0u32, 1u32, 2.0f64), (1, 0, 1.0), (1, 1, 3.0)];
+        let a = SparseMatrix::from_triplets(2, 2, &t);
+        let got: Vec<(u32, u32, f64)> = a.entries().collect();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn block_diagonal_isolates_blocks() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 1.0)]);
+        let b = SparseMatrix::from_triplets(1, 1, &[(0, 0, 5.0)]);
+        // Block `b` starts at row 3, leaving a zero padding row at 2.
+        let big = SparseMatrix::block_diagonal(&[&a, &b], &[0, 3], 4);
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[9.0], &[4.0]]);
+        let y = big.matmul(&x);
+        assert_eq!(y.get(0, 0), 4.0, "a's rows see only a's columns");
+        assert_eq!(y.get(1, 0), 1.0);
+        assert_eq!(y.get(2, 0), 0.0, "padding row has no entries");
+        assert_eq!(y.get(3, 0), 20.0, "b's row sees only b's columns");
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns")]
+    fn block_diagonal_rejects_overrun() {
+        let a = SparseMatrix::from_triplets(2, 2, &[(0, 1, 1.0)]);
+        let _ = SparseMatrix::block_diagonal(&[&a], &[1], 2);
     }
 
     #[test]

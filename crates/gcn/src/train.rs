@@ -25,22 +25,36 @@ impl DatasetSplit {
     /// Group samples by base design (the part of the name before the
     /// first `.`), hold out ~`test_fraction` of the designs.
     ///
+    /// Degenerate inputs degrade instead of panicking: an empty corpus
+    /// yields an empty split, a fraction of `0.0` holds nothing out,
+    /// `1.0` holds everything out, and a corpus with a single design
+    /// family keeps that design in training (for fractions below 1)
+    /// rather than emptying the training set.
+    ///
     /// # Panics
     ///
-    /// Panics if `test_fraction` is not within `(0, 1)`.
+    /// Panics if `test_fraction` is not within `[0, 1]`.
     #[must_use]
     pub fn by_design(samples: &[GraphSample], test_fraction: f64, seed: u64) -> Self {
         assert!(
-            test_fraction > 0.0 && test_fraction < 1.0,
-            "test fraction must be in (0, 1)"
+            (0.0..=1.0).contains(&test_fraction),
+            "test fraction must be in [0, 1]"
         );
         let base = |name: &str| name.split('.').next().unwrap_or(name).to_owned();
         let designs: BTreeSet<String> = samples.iter().map(|s| base(&s.name)).collect();
         let mut designs: Vec<String> = designs.into_iter().collect();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         designs.shuffle(&mut rng);
-        let n_test = ((designs.len() as f64 * test_fraction).round() as usize)
-            .clamp(1, designs.len().saturating_sub(1).max(1));
+        let n_test = if designs.len() <= 1 || test_fraction == 0.0 {
+            // Empty corpus, a single design family (which must stay in
+            // training), or nothing held out.
+            if test_fraction >= 1.0 { designs.len() } else { 0 }
+        } else if test_fraction >= 1.0 {
+            designs.len()
+        } else {
+            // Hold out at least one design but never the whole corpus.
+            ((designs.len() as f64 * test_fraction).round() as usize).clamp(1, designs.len() - 1)
+        };
         let test_designs: BTreeSet<&String> = designs.iter().take(n_test).collect();
         let mut train = Vec::new();
         let mut test = Vec::new();
@@ -282,6 +296,60 @@ mod tests {
     fn bad_fraction_panics() {
         let samples = corpus();
         let _ = DatasetSplit::by_design(&samples, 1.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn negative_fraction_panics() {
+        let samples = corpus();
+        let _ = DatasetSplit::by_design(&samples, -0.1, 0);
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_split() {
+        let split = DatasetSplit::by_design(&[], 0.2, 0);
+        assert!(split.train.is_empty());
+        assert!(split.test.is_empty());
+    }
+
+    #[test]
+    fn single_design_family_trains_on_it() {
+        // All samples share one base design — holding it out would
+        // empty the training set and panic Trainer::fit.
+        let samples: Vec<GraphSample> = corpus()
+            .into_iter()
+            .take(4)
+            .enumerate()
+            .map(|(i, mut s)| {
+                s.name = format!("adder4.v{i}");
+                s
+            })
+            .collect();
+        let split = DatasetSplit::by_design(&samples, 0.2, 11);
+        assert_eq!(split.train.len(), samples.len());
+        assert!(split.test.is_empty());
+        // And fitting on that split must not panic.
+        let mut trainer = Trainer::fast();
+        trainer.epochs = 1;
+        let outcome = trainer.fit(&samples, &split);
+        assert_eq!(outcome.report.test_errors.len(), 0);
+        assert_eq!(outcome.report.mean_error, 0.0);
+    }
+
+    #[test]
+    fn fraction_zero_holds_nothing_out() {
+        let samples = corpus();
+        let split = DatasetSplit::by_design(&samples, 0.0, 5);
+        assert_eq!(split.train.len(), samples.len());
+        assert!(split.test.is_empty());
+    }
+
+    #[test]
+    fn fraction_one_holds_everything_out() {
+        let samples = corpus();
+        let split = DatasetSplit::by_design(&samples, 1.0, 5);
+        assert!(split.train.is_empty());
+        assert_eq!(split.test.len(), samples.len());
     }
 
     use std::collections::BTreeSet;

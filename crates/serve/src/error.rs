@@ -1,0 +1,85 @@
+//! Typed serving errors.
+
+use eda_cloud_gcn::LoadWeightsError;
+use eda_cloud_mckp::MckpError;
+use std::fmt;
+
+/// Everything that can go wrong while serving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was full when the request arrived; the
+    /// request was shed instead of enqueued.
+    Overloaded {
+        /// Arrival ordinal of the shed request.
+        ordinal: u64,
+        /// Queue depth at the moment of rejection.
+        queue_depth: usize,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The registry holds no model under the requested name/version.
+    UnknownModel {
+        /// The name (and optional version) that failed to resolve.
+        name: String,
+    },
+    /// A model snapshot failed to parse.
+    Snapshot {
+        /// What was malformed.
+        message: String,
+    },
+    /// Deployment planning failed (malformed MCKP instance).
+    Plan {
+        /// The underlying solver complaint.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Overloaded { ordinal, queue_depth, capacity } => write!(
+                f,
+                "request {ordinal} shed: admission queue full ({queue_depth}/{capacity})"
+            ),
+            Self::UnknownModel { name } => write!(f, "no model registered under `{name}`"),
+            Self::Snapshot { message } => write!(f, "cannot load model snapshot: {message}"),
+            Self::Plan { message } => write!(f, "deployment planning failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<LoadWeightsError> for ServeError {
+    fn from(e: LoadWeightsError) -> Self {
+        Self::Snapshot { message: e.message }
+    }
+}
+
+impl From<MckpError> for ServeError {
+    fn from(e: MckpError) -> Self {
+        Self::Plan { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_facts() {
+        let e = ServeError::Overloaded { ordinal: 9, queue_depth: 32, capacity: 32 };
+        let s = e.to_string();
+        assert!(s.contains("request 9"), "{s}");
+        assert!(s.contains("32/32"), "{s}");
+        assert!(ServeError::UnknownModel { name: "prod".into() }
+            .to_string()
+            .contains("`prod`"));
+    }
+
+    #[test]
+    fn converts_from_load_weights_error() {
+        let e: ServeError = LoadWeightsError { message: "bad dim".into() }.into();
+        assert_eq!(e, ServeError::Snapshot { message: "bad dim".into() });
+    }
+}

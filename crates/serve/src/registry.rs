@@ -1,0 +1,331 @@
+//! Versioned model snapshots and the registry that serves them.
+//!
+//! A [`ModelSnapshot`] bundles the four per-stage runtime predictors
+//! (synthesis / placement / routing / STA, mirroring the paper's
+//! one-GCN-per-application setup) into one serializable unit. The text
+//! format embeds each predictor's canonical weight document
+//! (`eda_cloud_gcn::RuntimePredictor::save_weights`) between
+//! `stage <name>` / `end <name>` delimiters under an
+//! `eda-serve-snapshot v1` header — byte-stable, so equal snapshots
+//! serialize to equal bytes and a save → load round trip reproduces
+//! bit-identical predictions.
+//!
+//! The [`ModelRegistry`] keys snapshots by name and monotonically
+//! increasing version, the way a production server rolls models
+//! forward without dropping in-flight traffic pinned to an older
+//! version.
+
+use crate::ServeError;
+use eda_cloud_gcn::{GraphBatch, ModelConfig, RuntimePredictor};
+use std::collections::BTreeMap;
+
+/// Stage names in flow order; index-aligned with every `[T; 4]` that
+/// crosses this crate's API (predictions, plans, service stages).
+pub const STAGE_NAMES: [&str; 4] = ["synthesis", "placement", "routing", "sta"];
+
+/// The four per-stage predictors, frozen for serving.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// Synthesis model (consumes the AIG view of a design).
+    pub synthesis: RuntimePredictor,
+    /// Placement model (consumes the netlist view).
+    pub placement: RuntimePredictor,
+    /// Routing model.
+    pub routing: RuntimePredictor,
+    /// STA model.
+    pub sta: RuntimePredictor,
+}
+
+impl ModelSnapshot {
+    /// Bundle four trained predictors in [`STAGE_NAMES`] order.
+    #[must_use]
+    pub fn new(
+        synthesis: RuntimePredictor,
+        placement: RuntimePredictor,
+        routing: RuntimePredictor,
+        sta: RuntimePredictor,
+    ) -> Self {
+        Self { synthesis, placement, routing, sta }
+    }
+
+    /// A snapshot of four freshly initialized (untrained) predictors —
+    /// deterministic per `(config, seed)`, giving benches and smoke
+    /// runs a fast stand-in with the exact serving code path of a
+    /// trained model.
+    #[must_use]
+    pub fn seeded(config: &ModelConfig, seed: u64) -> Self {
+        let mut models =
+            (0..4u64).map(|k| RuntimePredictor::new(config, seed.wrapping_add(k * 0x9E37)));
+        let (s, p, r, t) = (
+            models.next().expect("stage"),
+            models.next().expect("stage"),
+            models.next().expect("stage"),
+            models.next().expect("stage"),
+        );
+        Self::new(s, p, r, t)
+    }
+
+    /// The predictor for stage index `k` (see [`STAGE_NAMES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 4`.
+    #[must_use]
+    pub fn stage(&self, k: usize) -> &RuntimePredictor {
+        match k {
+            0 => &self.synthesis,
+            1 => &self.placement,
+            2 => &self.routing,
+            3 => &self.sta,
+            _ => panic!("stage index {k} out of range"),
+        }
+    }
+
+    /// Serialize to the canonical `eda-serve-snapshot v1` text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("eda-serve-snapshot v1\n");
+        for (k, name) in STAGE_NAMES.iter().enumerate() {
+            out.push_str(&format!("stage {name}\n"));
+            out.push_str(&self.stage(k).save_weights());
+            out.push_str(&format!("end {name}\n"));
+        }
+        out
+    }
+
+    /// Parse a document produced by [`ModelSnapshot::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Snapshot`] on a bad header, missing or
+    /// misordered stage delimiters, or malformed embedded weights.
+    pub fn from_text(text: &str) -> Result<Self, ServeError> {
+        let err = |m: String| ServeError::Snapshot { message: m };
+        let mut lines = text.lines();
+        if lines.next() != Some("eda-serve-snapshot v1") {
+            return Err(err("unknown header".into()));
+        }
+        let mut stages = Vec::with_capacity(4);
+        for name in STAGE_NAMES {
+            let open = lines.next().unwrap_or_default();
+            if open != format!("stage {name}") {
+                return Err(err(format!("expected `stage {name}`, found `{open}`")));
+            }
+            let close = format!("end {name}");
+            let mut doc = String::new();
+            loop {
+                let Some(line) = lines.next() else {
+                    return Err(err(format!("missing `{close}`")));
+                };
+                if line == close {
+                    break;
+                }
+                doc.push_str(line);
+                doc.push('\n');
+            }
+            stages.push(RuntimePredictor::load_weights(&doc)?);
+        }
+        let mut stages = stages.into_iter();
+        let (s, p, r, t) = (
+            stages.next().expect("stage"),
+            stages.next().expect("stage"),
+            stages.next().expect("stage"),
+            stages.next().expect("stage"),
+        );
+        Ok(Self::new(s, p, r, t))
+    }
+
+    /// Batched prediction over every stage: `secs[i][k]` is the
+    /// saturated `[1, 2, 4, 8]`-vCPU runtime vector of design `i` for
+    /// stage `k`. `aig` and `netlist` are the two graph views of the
+    /// same designs, index-aligned; synthesis reads the AIG batch, the
+    /// other three stages the netlist batch. `workers > 1` fans the
+    /// four independent stage forwards over scoped threads — results
+    /// are joined by stage index, so the output is bit-identical at
+    /// every worker count.
+    #[must_use]
+    pub fn predict_batches(
+        &self,
+        aig: &GraphBatch,
+        netlist: &GraphBatch,
+        workers: usize,
+    ) -> Vec<[[f64; 4]; 4]> {
+        assert_eq!(aig.len(), netlist.len(), "views must be index-aligned");
+        if aig.is_empty() {
+            return Vec::new();
+        }
+        let run_stage = |k: usize| -> Vec<[f64; 4]> {
+            let batch = if k == 0 { aig } else { netlist };
+            self.stage(k).predict_secs_batch(batch)
+        };
+        let mut per_stage: Vec<Option<Vec<[f64; 4]>>> = vec![None, None, None, None];
+        let w = workers.clamp(1, 4);
+        if w == 1 {
+            for (k, slot) in per_stage.iter_mut().enumerate() {
+                *slot = Some(run_stage(k));
+            }
+        } else {
+            let results = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..w)
+                    .map(|t| {
+                        let run_stage = &run_stage;
+                        scope.spawn(move || {
+                            (t..4).step_by(w).map(|k| (k, run_stage(k))).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("stage worker"))
+                    .collect::<Vec<_>>()
+            });
+            for (k, secs) in results {
+                per_stage[k] = Some(secs);
+            }
+        }
+        let per_stage: Vec<Vec<[f64; 4]>> =
+            per_stage.into_iter().map(|s| s.expect("all stages ran")).collect();
+        (0..aig.len())
+            .map(|i| [per_stage[0][i], per_stage[1][i], per_stage[2][i], per_stage[3][i]])
+            .collect()
+    }
+}
+
+/// Named, versioned snapshot store. Publishing bumps the version;
+/// lookups resolve either the latest or a pinned version.
+#[derive(Debug, Clone, Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Vec<ModelSnapshot>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store a snapshot under `name`; returns its version (1-based,
+    /// monotonically increasing per name).
+    pub fn publish(&mut self, name: impl Into<String>, snapshot: ModelSnapshot) -> u32 {
+        let versions = self.models.entry(name.into()).or_default();
+        versions.push(snapshot);
+        versions.len() as u32
+    }
+
+    /// The newest snapshot under `name` and its version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if nothing was published
+    /// under `name`.
+    pub fn latest(&self, name: &str) -> Result<(u32, &ModelSnapshot), ServeError> {
+        let versions = self
+            .models
+            .get(name)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| ServeError::UnknownModel { name: name.to_owned() })?;
+        Ok((versions.len() as u32, versions.last().expect("non-empty")))
+    }
+
+    /// A pinned `(name, version)` snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if the name or version does
+    /// not exist.
+    pub fn get(&self, name: &str, version: u32) -> Result<&ModelSnapshot, ServeError> {
+        self.models
+            .get(name)
+            .and_then(|v| v.get(version.checked_sub(1)? as usize))
+            .ok_or_else(|| ServeError::UnknownModel { name: format!("{name}@v{version}") })
+    }
+
+    /// Registered model names in sorted order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_gcn::GraphSample;
+    use eda_cloud_netlist::{generators, DesignGraph};
+
+    fn sample() -> GraphSample {
+        let g = DesignGraph::from_aig(&generators::adder(4));
+        GraphSample::new(&g, [1.0; 4])
+    }
+
+    #[test]
+    fn snapshot_text_roundtrip_is_bit_identical() {
+        let snap = ModelSnapshot::seeded(&ModelConfig::fast(), 7);
+        let text = snap.to_text();
+        let loaded = ModelSnapshot::from_text(&text).expect("parses");
+        assert_eq!(loaded.to_text(), text, "canonical bytes survive the round trip");
+        let s = sample();
+        for k in 0..4 {
+            assert_eq!(
+                loaded.stage(k).predict_log(&s),
+                snap.stage(k).predict_log(&s),
+                "stage {k} predictions must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_documents() {
+        assert!(ModelSnapshot::from_text("nonsense").is_err());
+        let snap = ModelSnapshot::seeded(&ModelConfig::fast(), 1);
+        let text = snap.to_text();
+        let truncated = &text[..text.len() / 2];
+        assert!(ModelSnapshot::from_text(truncated).is_err());
+        let swapped = text.replace("stage placement", "stage routing");
+        let e = ModelSnapshot::from_text(&swapped).unwrap_err();
+        assert!(e.to_string().contains("placement"), "{e}");
+    }
+
+    #[test]
+    fn registry_versions_and_lookups() {
+        let mut reg = ModelRegistry::new();
+        assert!(reg.latest("prod").is_err());
+        let v1 = reg.publish("prod", ModelSnapshot::seeded(&ModelConfig::fast(), 1));
+        let v2 = reg.publish("prod", ModelSnapshot::seeded(&ModelConfig::fast(), 2));
+        assert_eq!((v1, v2), (1, 2));
+        let (latest, _) = reg.latest("prod").expect("published");
+        assert_eq!(latest, 2);
+        let s = sample();
+        let pinned = reg.get("prod", 1).expect("v1 kept");
+        let fresh = ModelSnapshot::seeded(&ModelConfig::fast(), 1);
+        assert_eq!(pinned.stage(0).predict_log(&s), fresh.stage(0).predict_log(&s));
+        assert!(reg.get("prod", 3).is_err());
+        assert!(reg.get("prod", 0).is_err());
+        assert_eq!(reg.names(), vec!["prod"]);
+    }
+
+    #[test]
+    fn batched_predictions_are_worker_invariant() {
+        let snap = ModelSnapshot::seeded(&ModelConfig::fast(), 3);
+        let samples: Vec<GraphSample> = ["adder", "parity", "max"]
+            .iter()
+            .map(|f| {
+                let aig = generators::build_family(f, 5).expect("family");
+                GraphSample::new(&DesignGraph::from_aig(&aig), [1.0; 4])
+            })
+            .collect();
+        let refs: Vec<&GraphSample> = samples.iter().collect();
+        let batch = GraphBatch::pack(&refs);
+        let one = snap.predict_batches(&batch, &batch, 1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(snap.predict_batches(&batch, &batch, workers), one, "workers {workers}");
+        }
+        // And each row matches the unbatched per-stage prediction.
+        for (i, s) in samples.iter().enumerate() {
+            for (k, stage_pred) in one[i].iter().enumerate() {
+                assert_eq!(*stage_pred, snap.stage(k).predict_secs(s));
+            }
+        }
+    }
+}

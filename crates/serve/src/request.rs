@@ -1,0 +1,230 @@
+//! Requests, designs, and the seeded synthetic workload.
+
+use eda_cloud_fleet::poisson_arrivals;
+use eda_cloud_gcn::GraphSample;
+use eda_cloud_netlist::{generators, DesignGraph};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+/// A design as the server sees it: its two graph views plus a
+/// structural fingerprint used as the result-cache key.
+#[derive(Debug, Clone)]
+pub struct ServeDesign {
+    /// Design name (diagnostic only; the fingerprint is the identity).
+    pub name: String,
+    /// AIG view, consumed by the synthesis predictor.
+    pub aig: GraphSample,
+    /// Netlist view, consumed by placement / routing / STA predictors.
+    pub netlist: GraphSample,
+    /// FNV-1a over the name and both views' node counts and features.
+    pub fingerprint: u64,
+}
+
+impl ServeDesign {
+    /// Build a design and fingerprint it.
+    #[must_use]
+    pub fn new(name: impl Into<String>, aig: GraphSample, netlist: GraphSample) -> Self {
+        let name = name.into();
+        let fingerprint = fingerprint_views(&name, &aig, &netlist);
+        Self { name, aig, netlist, fingerprint }
+    }
+}
+
+/// FNV-1a over the design name and the raw feature bytes of both graph
+/// views — two designs collide only if they are structurally identical
+/// under the GCN's featurization, in which case sharing a cached
+/// prediction is exactly right.
+fn fingerprint_views(name: &str, aig: &GraphSample, netlist: &GraphSample) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for byte in name.bytes() {
+        mix(byte);
+    }
+    for view in [aig, netlist] {
+        mix(0xFF); // view separator
+        for byte in (view.node_count() as u64).to_le_bytes() {
+            mix(byte);
+        }
+        for v in view.features.data() {
+            for byte in v.to_bits().to_le_bytes() {
+                mix(byte);
+            }
+        }
+    }
+    h
+}
+
+/// What the caller wants back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// Per-stage runtime predictions only.
+    Predict,
+    /// Predictions plus an MCKP deployment plan under a flow deadline.
+    Plan {
+        /// Total-flow-runtime budget handed to the knapsack, seconds.
+        budget_secs: u64,
+    },
+}
+
+/// One request in the stream.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Logical arrival ordinal — span identity and the queue tiebreak.
+    pub ordinal: u64,
+    /// Arrival time on the simulated clock, µs.
+    pub arrival_us: u64,
+    /// Absolute response deadline on the simulated clock, µs; earlier
+    /// deadlines are served first.
+    pub deadline_us: u64,
+    /// Prediction only, or prediction + plan.
+    pub kind: RequestKind,
+    /// The design to predict for (shared — many requests may reference
+    /// one pooled design).
+    pub design: Arc<ServeDesign>,
+}
+
+/// Synthetic open-loop workload parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Mean arrival rate, requests per second (Poisson process).
+    pub rate_per_sec: f64,
+    /// Seed for arrivals, design choice, deadlines, and request kinds.
+    pub seed: u64,
+    /// Response-deadline window after arrival, milliseconds (inclusive
+    /// of `min`, exclusive of `max`).
+    pub min_deadline_ms: u64,
+    /// Upper edge of the deadline window, ms.
+    pub max_deadline_ms: u64,
+    /// Every `plan_every`-th draw (in expectation) asks for a plan; 0
+    /// disables planning requests.
+    pub plan_every: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            requests: 64,
+            rate_per_sec: 200.0,
+            seed: 7,
+            min_deadline_ms: 30,
+            max_deadline_ms: 250,
+            plan_every: 4,
+        }
+    }
+}
+
+/// Families × sizes backing the synthetic design pool. Small designs
+/// keep the forward passes fast; the pool is larger than a typical
+/// batch so both cache hits and misses occur.
+const POOL_FAMILIES: [&str; 6] = ["adder", "parity", "comparator", "max", "gray2bin", "hamming"];
+const POOL_SIZES: [u32; 3] = [4, 6, 8];
+
+/// The deterministic design pool the synthetic workload draws from.
+/// Both graph views are derived from the AIG (the standalone service
+/// has no synthesis engine; `eda-cloud-core` substitutes real
+/// synthesized netlist views when it acts as the traffic source).
+#[must_use]
+pub fn design_pool() -> Vec<Arc<ServeDesign>> {
+    let mut pool = Vec::with_capacity(POOL_FAMILIES.len() * POOL_SIZES.len());
+    for family in POOL_FAMILIES {
+        for size in POOL_SIZES {
+            let aig = generators::build_family(family, size).expect("known family");
+            let graph = DesignGraph::from_aig(&aig);
+            let view = || GraphSample::new(&graph, [1.0; 4]);
+            pool.push(Arc::new(ServeDesign::new(
+                format!("{family}{size}"),
+                view(),
+                view(),
+            )));
+        }
+    }
+    pool
+}
+
+/// Generate a seeded request stream over `pool`: Poisson arrivals at
+/// `rate_per_sec`, uniform deadline windows, and a seeded Predict/Plan
+/// mix. All randomness is drawn serially from one ChaCha8 stream, so
+/// `(pool, config)` fully determines the stream.
+///
+/// # Panics
+///
+/// Panics if the pool is empty or the deadline window is empty.
+#[must_use]
+pub fn synthetic_requests(pool: &[Arc<ServeDesign>], config: &WorkloadConfig) -> Vec<ServeRequest> {
+    assert!(!pool.is_empty(), "design pool must not be empty");
+    assert!(
+        config.min_deadline_ms < config.max_deadline_ms,
+        "deadline window must be non-empty"
+    );
+    let arrivals = poisson_arrivals(config.requests, config.rate_per_sec * 3600.0, config.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5E4E);
+    arrivals
+        .into_iter()
+        .enumerate()
+        .map(|(i, arrival_secs)| {
+            let arrival_us = (arrival_secs * 1e6).round() as u64;
+            let design = pool[rng.gen_range(0..pool.len())].clone();
+            let window_ms = rng.gen_range(config.min_deadline_ms..config.max_deadline_ms);
+            let kind = if config.plan_every > 0 && rng.gen_range(0..config.plan_every) == 0 {
+                RequestKind::Plan { budget_secs: rng.gen_range(6_000u64..20_000) }
+            } else {
+                RequestKind::Predict
+            };
+            ServeRequest {
+                ordinal: i as u64,
+                arrival_us,
+                deadline_us: arrival_us + window_ms * 1_000,
+                kind,
+                design,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_ordered() {
+        let pool = design_pool();
+        let config = WorkloadConfig::default();
+        let a = synthetic_requests(&pool, &config);
+        let b = synthetic_requests(&pool, &config);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ordinal, y.ordinal);
+            assert_eq!(x.arrival_us, y.arrival_us);
+            assert_eq!(x.deadline_us, y.deadline_us);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.design.fingerprint, y.design.fingerprint);
+        }
+        assert!(a.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us));
+        assert!(a.iter().all(|r| r.deadline_us > r.arrival_us));
+        assert!(a.iter().any(|r| matches!(r.kind, RequestKind::Plan { .. })));
+        assert!(a.iter().any(|r| r.kind == RequestKind::Predict));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pool = design_pool();
+        let a = synthetic_requests(&pool, &WorkloadConfig { seed: 1, ..Default::default() });
+        let b = synthetic_requests(&pool, &WorkloadConfig { seed: 2, ..Default::default() });
+        assert!(a.iter().zip(&b).any(|(x, y)| x.arrival_us != y.arrival_us));
+    }
+
+    #[test]
+    fn fingerprints_separate_distinct_designs() {
+        let pool = design_pool();
+        let mut prints: Vec<u64> = pool.iter().map(|d| d.fingerprint).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), pool.len(), "all pool designs distinct");
+    }
+}

@@ -1,0 +1,477 @@
+//! The deterministic simulated-time serving loop.
+//!
+//! The server plays an arrival-ordered request stream on a logical
+//! microsecond clock: arrivals are admitted into the bounded
+//! deadline-ordered [`AdmissionQueue`] (shedding with
+//! [`ServeError::Overloaded`] when full), the head of the queue is
+//! coalesced into a micro-batch, batch misses run through one padded
+//! batched GCN forward pass (fanned over up to four stage-model
+//! threads), hits come from the keyed LRU result cache, and the clock
+//! advances by a service-time model that charges per batch, per miss,
+//! per request, and per plan. Everything outside the stage fan-out is
+//! single-threaded and the fan-out joins by stage index, so the report
+//! and every outcome are byte-identical across runs and worker counts.
+
+use crate::{
+    AdmissionQueue, LruCache, ModelSnapshot, PlanSummary, Planner, RequestKind, ServeCounters,
+    ServeError, ServeReport, ServeRequest,
+};
+use eda_cloud_fleet::Histogram;
+use eda_cloud_gcn::{GraphBatch, GraphSample};
+use eda_cloud_trace::Tracer;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Serving knobs: batching, queueing, caching, and the simulated
+/// service-time model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Most requests coalesced into one micro-batch.
+    pub max_batch: usize,
+    /// Admission-queue capacity; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// Result-cache capacity (designs); 0 disables caching.
+    pub cache_capacity: usize,
+    /// Pad each graph's node rows to a multiple of this stride when
+    /// packing batches (predictions are stride-invariant).
+    pub pad_stride: usize,
+    /// Threads for the per-stage batched forwards (capped at 4, one
+    /// per stage model); 0 picks the available parallelism. Worker
+    /// count never changes results.
+    pub workers: usize,
+    /// Simulated fixed cost of executing one micro-batch, µs.
+    pub batch_overhead_us: u64,
+    /// Simulated marginal cost of one GCN forward (a cache miss), µs.
+    pub per_miss_us: u64,
+    /// Simulated per-request assembly cost (hit or miss), µs.
+    pub per_hit_us: u64,
+    /// Simulated cost of one MCKP solve, µs.
+    pub plan_us: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            queue_capacity: 32,
+            cache_capacity: 32,
+            pad_stride: 8,
+            workers: 1,
+            batch_overhead_us: 4_000,
+            per_miss_us: 1_000,
+            per_hit_us: 50,
+            plan_us: 500,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Resolve the worker knob: explicit values pass through, 0 means
+    /// the machine's available parallelism; either way at most 4 (one
+    /// thread per stage model).
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        let w = if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        };
+        w.min(4)
+    }
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// The request was answered.
+    Completed {
+        /// The request's arrival ordinal.
+        ordinal: u64,
+        /// Arrival-to-response time on the simulated clock, µs.
+        latency_us: u64,
+        /// Whether the response met the request's deadline.
+        deadline_met: bool,
+        /// Whether the prediction came from the result cache.
+        cache_hit: bool,
+        /// Per-stage predicted runtimes at 1/2/4/8 vCPUs, seconds.
+        stage_secs: [[f64; 4]; 4],
+        /// The deployment plan, for feasible [`RequestKind::Plan`]
+        /// requests; `None` for predictions and infeasible budgets.
+        plan: Option<PlanSummary>,
+    },
+    /// The request was rejected at admission
+    /// ([`ServeError::Overloaded`]).
+    Shed {
+        /// The request's arrival ordinal.
+        ordinal: u64,
+        /// Queue depth at the moment of rejection.
+        queue_depth: usize,
+    },
+}
+
+impl RequestOutcome {
+    /// The arrival ordinal this outcome belongs to.
+    #[must_use]
+    pub fn ordinal(&self) -> u64 {
+        match self {
+            Self::Completed { ordinal, .. } | Self::Shed { ordinal, .. } => *ordinal,
+        }
+    }
+}
+
+/// The prediction & planning server.
+pub struct Server {
+    snapshot: ModelSnapshot,
+    planner: Box<dyn Planner>,
+    config: ServeConfig,
+    tracer: Tracer,
+}
+
+impl Server {
+    /// Build a server over a frozen model snapshot and a planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch`, `queue_capacity`, or `pad_stride` is
+    /// zero.
+    #[must_use]
+    pub fn new(snapshot: ModelSnapshot, planner: Box<dyn Planner>, config: ServeConfig) -> Self {
+        assert!(config.max_batch > 0, "max batch must be positive");
+        assert!(config.pad_stride > 0, "pad stride must be positive");
+        Self { snapshot, planner, config, tracer: Tracer::disabled() }
+    }
+
+    /// Attach a tracer; every request gets a root span keyed by its
+    /// arrival ordinal.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Serve an arrival-ordered request stream to completion; `seed`
+    /// only stamps the report. Returns the report plus one outcome per
+    /// request, sorted by ordinal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Plan`] if the planner rejects an instance
+    /// (sheds are outcomes, not errors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests` is not sorted by arrival time.
+    pub fn run(
+        &self,
+        seed: u64,
+        requests: &[ServeRequest],
+    ) -> Result<(ServeReport, Vec<RequestOutcome>), ServeError> {
+        assert!(
+            requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us),
+            "requests must be sorted by arrival time"
+        );
+        let workers = self.config.resolved_workers();
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        let mut cache: LruCache<u64, [[f64; 4]; 4]> = LruCache::new(self.config.cache_capacity);
+        let mut counters = ServeCounters::default();
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        let mut latencies_us: Vec<u64> = Vec::with_capacity(requests.len());
+        let mut latency_hist =
+            Histogram::new(vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]);
+        let mut batch_hist = Histogram::new(vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+        let mut depth_hist = Histogram::new(vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+        let mut max_depth = 0usize;
+        let mut batch_size_sum = 0u64;
+        let mut now = 0u64;
+        let mut next = 0usize;
+
+        while next < requests.len() || !queue.is_empty() {
+            if queue.is_empty() {
+                // Idle server: jump to the next arrival.
+                now = now.max(requests[next].arrival_us);
+            }
+            while next < requests.len() && requests[next].arrival_us <= now {
+                let request = requests[next].clone();
+                next += 1;
+                counters.requests += 1;
+                if let Err(ServeError::Overloaded { ordinal, queue_depth, .. }) =
+                    queue.try_admit(request)
+                {
+                    counters.shed += 1;
+                    let span = self.tracer.root_at(ordinal, "request");
+                    span.attr("outcome", "shed");
+                    span.attr("queue_depth", queue_depth);
+                    outcomes.push(RequestOutcome::Shed { ordinal, queue_depth });
+                }
+            }
+            let depth = queue.len();
+            depth_hist.record(depth as f64);
+            max_depth = max_depth.max(depth);
+
+            let mut batch = Vec::with_capacity(self.config.max_batch);
+            while batch.len() < self.config.max_batch {
+                match queue.pop() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            counters.batches += 1;
+            batch_hist.record(batch.len() as f64);
+            batch_size_sum += batch.len() as u64;
+
+            // Resolve each request from the cache, collecting unique
+            // missed designs in first-occurrence order; duplicates of a
+            // missed design within one batch ride the single forward.
+            let mut cached: Vec<Option<[[f64; 4]; 4]>> = vec![None; batch.len()];
+            let mut miss_slot: Vec<usize> = vec![usize::MAX; batch.len()];
+            let mut miss_designs: Vec<Arc<crate::ServeDesign>> = Vec::new();
+            let mut slot_of: BTreeMap<u64, usize> = BTreeMap::new();
+            for (i, request) in batch.iter().enumerate() {
+                if let Some(hit) = cache.get(&request.design.fingerprint) {
+                    cached[i] = Some(hit);
+                } else {
+                    let slot =
+                        *slot_of.entry(request.design.fingerprint).or_insert_with(|| {
+                            miss_designs.push(request.design.clone());
+                            miss_designs.len() - 1
+                        });
+                    miss_slot[i] = slot;
+                }
+            }
+
+            let miss_secs: Vec<[[f64; 4]; 4]> = if miss_designs.is_empty() {
+                Vec::new()
+            } else {
+                let aig_refs: Vec<&GraphSample> = miss_designs.iter().map(|d| &d.aig).collect();
+                let net_refs: Vec<&GraphSample> =
+                    miss_designs.iter().map(|d| &d.netlist).collect();
+                let aig_batch = GraphBatch::pack_padded(&aig_refs, self.config.pad_stride);
+                let net_batch = GraphBatch::pack_padded(&net_refs, self.config.pad_stride);
+                self.snapshot.predict_batches(&aig_batch, &net_batch, workers)
+            };
+            counters.gcn_predictions += miss_designs.len() as u64;
+            for (design, secs) in miss_designs.iter().zip(&miss_secs) {
+                cache.insert(design.fingerprint, *secs);
+            }
+
+            let plans_in_batch = batch
+                .iter()
+                .filter(|r| matches!(r.kind, RequestKind::Plan { .. }))
+                .count() as u64;
+            let service_us = self.config.batch_overhead_us
+                + miss_designs.len() as u64 * self.config.per_miss_us
+                + batch.len() as u64 * self.config.per_hit_us
+                + plans_in_batch * self.config.plan_us;
+            now += service_us;
+
+            for (i, request) in batch.iter().enumerate() {
+                let cache_hit = cached[i].is_some();
+                let stage_secs = cached[i].unwrap_or_else(|| miss_secs[miss_slot[i]]);
+                let latency_us = now.saturating_sub(request.arrival_us);
+                let deadline_met = now <= request.deadline_us;
+                let plan = match request.kind {
+                    RequestKind::Plan { budget_secs } => {
+                        counters.plans += 1;
+                        let plan = self.planner.plan(&stage_secs, budget_secs)?;
+                        if plan.is_none() {
+                            counters.plans_infeasible += 1;
+                        }
+                        plan
+                    }
+                    RequestKind::Predict => None,
+                };
+                counters.completed += 1;
+                if deadline_met {
+                    counters.deadline_hits += 1;
+                }
+                latencies_us.push(latency_us);
+                latency_hist.record(latency_us as f64 / 1_000.0);
+                let span = self.tracer.root_at(request.ordinal, "request");
+                span.attr("outcome", "completed");
+                span.attr("cache", if cache_hit { "hit" } else { "miss" });
+                span.attr("batch", counters.batches - 1);
+                span.attr("latency_us", latency_us);
+                span.attr("deadline_met", deadline_met);
+                if let RequestKind::Plan { .. } = request.kind {
+                    span.attr("planned", plan.is_some());
+                }
+                outcomes.push(RequestOutcome::Completed {
+                    ordinal: request.ordinal,
+                    latency_us,
+                    deadline_met,
+                    cache_hit,
+                    stage_secs,
+                    plan,
+                });
+            }
+        }
+
+        outcomes.sort_by_key(RequestOutcome::ordinal);
+        latencies_us.sort_unstable();
+        counters.cache_hits = cache.hits();
+        counters.cache_misses = cache.misses();
+        let report = ServeReport {
+            seed,
+            counters,
+            deadline_hit_rate: if counters.completed == 0 {
+                0.0
+            } else {
+                counters.deadline_hits as f64 / counters.completed as f64
+            },
+            mean_latency_ms: if latencies_us.is_empty() {
+                0.0
+            } else {
+                latencies_us.iter().sum::<u64>() as f64 / latencies_us.len() as f64 / 1_000.0
+            },
+            p50_latency_ms: percentile_ms(&latencies_us, 0.50),
+            p95_latency_ms: percentile_ms(&latencies_us, 0.95),
+            mean_batch_size: if counters.batches == 0 {
+                0.0
+            } else {
+                batch_size_sum as f64 / counters.batches as f64
+            },
+            max_queue_depth: max_depth as u64,
+            makespan_ms: now as f64 / 1_000.0,
+            latency_hist,
+            batch_hist,
+            depth_hist,
+        };
+        Ok((report, outcomes))
+    }
+}
+
+/// Nearest-rank percentile over sorted µs latencies, reported in ms.
+fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{design_pool, synthetic_requests, CostTablePlanner, WorkloadConfig};
+    use eda_cloud_gcn::ModelConfig;
+
+    fn server(config: ServeConfig) -> Server {
+        Server::new(
+            ModelSnapshot::seeded(&ModelConfig::fast(), 7),
+            Box::new(CostTablePlanner::aws_like()),
+            config,
+        )
+    }
+
+    fn workload(requests: usize, rate_per_sec: f64, seed: u64) -> Vec<ServeRequest> {
+        let pool = design_pool();
+        synthetic_requests(
+            &pool,
+            &WorkloadConfig { requests, rate_per_sec, seed, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn serves_every_request_and_accounts_for_all() {
+        let requests = workload(48, 150.0, 7);
+        let (report, outcomes) = server(ServeConfig::default()).run(7, &requests).expect("runs");
+        assert_eq!(report.counters.requests, 48);
+        assert_eq!(report.counters.completed + report.counters.shed, 48);
+        assert_eq!(outcomes.len(), 48);
+        assert!(outcomes.windows(2).all(|w| w[0].ordinal() < w[1].ordinal()));
+        assert!(report.counters.batches > 0);
+        assert!(report.counters.cache_hits > 0, "pool smaller than stream => hits");
+        assert!(report.counters.gcn_predictions <= report.counters.cache_misses);
+        assert!(report.counters.plans > 0);
+        assert!(report.mean_latency_ms > 0.0);
+        assert_eq!(report.latency_hist.total(), report.counters.completed);
+    }
+
+    #[test]
+    fn same_seed_reports_are_byte_identical() {
+        let requests = workload(48, 150.0, 7);
+        let (a, _) = server(ServeConfig::default()).run(7, &requests).expect("runs");
+        let (b, _) = server(ServeConfig::default()).run(7, &requests).expect("runs");
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn worker_count_never_changes_outcomes() {
+        let requests = workload(48, 150.0, 7);
+        let (base_report, base_outcomes) =
+            server(ServeConfig { workers: 1, ..Default::default() }).run(7, &requests).expect("runs");
+        for workers in [2usize, 4, 8] {
+            let (report, outcomes) = server(ServeConfig { workers, ..Default::default() })
+                .run(7, &requests)
+                .expect("runs");
+            assert_eq!(report.to_json(), base_report.to_json(), "workers {workers}");
+            assert_eq!(outcomes, base_outcomes, "workers {workers}");
+        }
+    }
+
+    #[test]
+    fn overload_sheds_with_typed_outcome() {
+        // Arrivals far faster than the service rate, tiny queue.
+        let requests = workload(64, 5_000.0, 7);
+        let config = ServeConfig { queue_capacity: 4, max_batch: 2, ..Default::default() };
+        let (report, outcomes) = server(config).run(7, &requests).expect("runs");
+        assert!(report.counters.shed > 0, "overload must shed");
+        assert!(outcomes.iter().any(|o| matches!(o, RequestOutcome::Shed { .. })));
+        assert_eq!(report.counters.completed + report.counters.shed, 64);
+    }
+
+    #[test]
+    fn urgent_requests_are_served_first() {
+        // A burst arriving together must drain in deadline order:
+        // every request of an earlier batch has a deadline no later
+        // than any request of a later batch.
+        let pool = design_pool();
+        let requests = synthetic_requests(
+            &pool,
+            &WorkloadConfig { requests: 12, rate_per_sec: 0.0, ..Default::default() },
+        );
+        // rate 0 => all arrive at t=0 with seeded spread-out deadlines.
+        assert!(requests.iter().all(|r| r.arrival_us == 0));
+        let (_, outcomes) = server(ServeConfig { max_batch: 3, ..Default::default() })
+            .run(7, &requests)
+            .expect("runs");
+        let mut served: Vec<(u64, u64)> = outcomes
+            .iter()
+            .map(|o| match o {
+                RequestOutcome::Completed { ordinal, latency_us, .. } => {
+                    (*latency_us, requests[*ordinal as usize].deadline_us)
+                }
+                RequestOutcome::Shed { .. } => panic!("burst fits the queue"),
+            })
+            .collect();
+        served.sort_unstable(); // completion time, then deadline
+        for pair in served.windows(2) {
+            let ((t_a, d_a), (t_b, d_b)) = (pair[0], pair[1]);
+            if t_a < t_b {
+                assert!(d_a <= d_b, "later batch served an earlier deadline: {pair:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn caching_shortens_service_time() {
+        let requests = workload(48, 150.0, 7);
+        let cached = server(ServeConfig::default()).run(7, &requests).expect("runs").0;
+        let uncached = server(ServeConfig { cache_capacity: 0, ..Default::default() })
+            .run(7, &requests)
+            .expect("runs")
+            .0;
+        assert_eq!(uncached.counters.cache_hits, 0);
+        assert!(cached.counters.gcn_predictions < uncached.counters.gcn_predictions);
+        assert!(cached.makespan_ms <= uncached.makespan_ms);
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`gcn`] — the runtime-prediction Graph Convolutional Network.
 //! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
 //! * [`fleet`] — deterministic discrete-event fleet simulator.
+//! * [`serve`] — deterministic online prediction & planning service.
 //! * [`trace`] — deterministic structured tracing and metrics.
 //! * [`core`] — the Figure-1 pipeline tying everything together.
 //!
@@ -40,5 +41,6 @@ pub use eda_cloud_gcn as gcn;
 pub use eda_cloud_mckp as mckp;
 pub use eda_cloud_netlist as netlist;
 pub use eda_cloud_perf as perf;
+pub use eda_cloud_serve as serve;
 pub use eda_cloud_tech as tech;
 pub use eda_cloud_trace as trace;
