@@ -3,6 +3,7 @@
 use eda_cloud_cloud::CloudError;
 use eda_cloud_fleet::FleetError;
 use eda_cloud_flow::FlowError;
+use eda_cloud_lifecycle::LifecycleError;
 use eda_cloud_mckp::MckpError;
 use eda_cloud_serve::ServeError;
 use std::error::Error;
@@ -21,6 +22,9 @@ pub enum WorkflowError {
     Fleet(FleetError),
     /// The serving tier rejected the request or stream.
     Serve(ServeError),
+    /// The model-lifecycle controller rejected its configuration or a
+    /// registry operation.
+    Lifecycle(LifecycleError),
     /// The dataset builder produced no samples for a stage.
     EmptyDataset {
         /// The stage whose corpus came out empty.
@@ -36,6 +40,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::Mckp(e) => write!(f, "optimizer error: {e}"),
             WorkflowError::Fleet(e) => write!(f, "fleet simulator error: {e}"),
             WorkflowError::Serve(e) => write!(f, "serving error: {e}"),
+            WorkflowError::Lifecycle(e) => write!(f, "lifecycle error: {e}"),
             WorkflowError::EmptyDataset { stage } => {
                 write!(f, "dataset for stage `{stage}` is empty")
             }
@@ -51,6 +56,7 @@ impl Error for WorkflowError {
             WorkflowError::Mckp(e) => Some(e),
             WorkflowError::Fleet(e) => Some(e),
             WorkflowError::Serve(e) => Some(e),
+            WorkflowError::Lifecycle(e) => Some(e),
             WorkflowError::EmptyDataset { .. } => None,
         }
     }
@@ -86,6 +92,12 @@ impl From<ServeError> for WorkflowError {
     }
 }
 
+impl From<LifecycleError> for WorkflowError {
+    fn from(e: LifecycleError) -> Self {
+        WorkflowError::Lifecycle(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +115,10 @@ mod tests {
         let e: WorkflowError =
             ServeError::Overloaded { ordinal: 3, queue_depth: 4, capacity: 4 }.into();
         assert!(e.to_string().contains("serving"));
+        assert!(e.source().is_some());
+        let e: WorkflowError =
+            LifecycleError::Config { message: "requests must be positive".into() }.into();
+        assert!(e.to_string().contains("lifecycle"));
         assert!(e.source().is_some());
         let e = WorkflowError::EmptyDataset { stage: "routing" };
         assert!(e.to_string().contains("routing"));

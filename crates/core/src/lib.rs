@@ -25,6 +25,10 @@
 //!    requests against a frozen model snapshot on the deterministic
 //!    simulated-time serving tier, planning with the catalog-backed
 //!    MCKP ([`WorkflowPlanner`]).
+//! 7. [`Workflow::lifecycle`] — manage the serving snapshot under
+//!    traffic: join ground-truth feedback, detect runtime drift,
+//!    shadow-retrain a candidate, and canary it to promotion or
+//!    rollback, all in deterministic simulated time.
 //!
 //! # Examples
 //!
@@ -47,6 +51,7 @@ mod characterize;
 pub mod dataset;
 mod error;
 mod fleet_service;
+mod lifecycle_service;
 mod optimize;
 pub mod predict;
 mod recommend;
@@ -60,6 +65,7 @@ pub use characterize::{
 };
 pub use error::WorkflowError;
 pub use fleet_service::FleetScenario;
+pub use lifecycle_service::LifecycleScenario;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
 pub use recommend::{recommended_family, recommendation_notes};
 pub use serve_service::{ServeScenario, WorkflowPlanner};

@@ -69,6 +69,27 @@ impl GraphSample {
     pub fn node_count(&self) -> usize {
         self.features.rows()
     }
+
+    /// The same graph relabeled with new runtime targets — the replay
+    /// buffer's way of turning a served design plus its observed
+    /// ground-truth runtimes into a training sample without rebuilding
+    /// the adjacency operator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any target is not strictly positive.
+    #[must_use]
+    pub fn with_targets(&self, targets_secs: [f64; 4]) -> Self {
+        assert!(
+            targets_secs.iter().all(|&t| t > 0.0),
+            "runtimes must be positive"
+        );
+        Self {
+            log_targets: targets_secs.map(f64::ln),
+            targets_secs,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +127,24 @@ mod tests {
     fn zero_target_panics() {
         let g = DesignGraph::from_aig(&generators::parity(8));
         let _ = GraphSample::new(&g, [1.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn with_targets_relabels_without_touching_structure() {
+        let g = DesignGraph::from_aig(&generators::adder(4));
+        let s = GraphSample::new(&g, [1.0; 4]);
+        let relabeled = s.with_targets([80.0, 50.0, 30.0, 20.0]);
+        assert_eq!(relabeled.a_norm, s.a_norm);
+        assert_eq!(relabeled.features, s.features);
+        assert_eq!(relabeled.name, s.name);
+        assert_eq!(relabeled.targets_secs, [80.0, 50.0, 30.0, 20.0]);
+        assert!((relabeled.log_targets[0] - 80.0f64.ln()).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn with_targets_rejects_nonpositive() {
+        let g = DesignGraph::from_aig(&generators::adder(4));
+        let _ = GraphSample::new(&g, [1.0; 4]).with_targets([1.0, -2.0, 1.0, 1.0]);
     }
 }

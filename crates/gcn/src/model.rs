@@ -569,6 +569,16 @@ impl RuntimePredictor {
             .trim()
             .parse()
             .map_err(|_| err("bad fc_dim"))?;
+        // Validate the architecture before building it: an empty layer
+        // list would panic `Self::new`, and absurd widths would try to
+        // allocate the product — both must surface as typed errors.
+        const MAX_DIM: usize = 1 << 16;
+        if gcn_dims.is_empty() {
+            return Err(err("gcn_dims is empty"));
+        }
+        if gcn_dims.iter().any(|&d| d == 0 || d > MAX_DIM) || fc_dim == 0 || fc_dim > MAX_DIM {
+            return Err(err("layer width out of range"));
+        }
         let config = ModelConfig { gcn_dims, fc_dim };
         let mut model = Self::new(&config, 0);
 
@@ -588,9 +598,18 @@ impl RuntimePredictor {
                 .and_then(|t| t.parse().ok())
                 .ok_or_else(|| err("bad cols"))?;
             let data: Vec<f64> = tok
-                .map(|t| t.parse().map_err(|_| err("bad value")))
+                .map(|t| {
+                    let v: f64 = t.parse().map_err(|_| err("bad value"))?;
+                    // `"NaN"` and `"inf"` parse as valid f64s, but a
+                    // snapshot carrying them is corrupt: reject at load
+                    // time instead of letting them poison serving.
+                    if v.is_finite() { Ok(v) } else { Err(err("non-finite value")) }
+                })
                 .collect::<Result<_, _>>()?;
-            if data.len() != rows * cols {
+            let expected = rows
+                .checked_mul(cols)
+                .ok_or_else(|| err("tensor shape overflows"))?;
+            if data.len() != expected {
                 return Err(err("value count mismatch"));
             }
             Ok(Matrix::from_vec(rows, cols, data))
@@ -634,5 +653,47 @@ mod persistence_tests {
         text = text.replace("head.bias", "head.oops");
         let e = RuntimePredictor::load_weights(&text).unwrap_err();
         assert!(e.to_string().contains("head.bias"));
+    }
+
+    #[test]
+    fn load_rejects_non_finite_weights() {
+        let model = RuntimePredictor::new(&ModelConfig::fast(), 0);
+        let text = model.save_weights();
+        let first_value = text
+            .lines()
+            .find(|l| l.starts_with("gcn0.w"))
+            .and_then(|l| l.split_whitespace().nth(3))
+            .expect("a weight value")
+            .to_owned();
+        for poison in ["NaN", "inf", "-inf"] {
+            let bad = text.replacen(&first_value, poison, 1);
+            let e = RuntimePredictor::load_weights(&bad).unwrap_err();
+            assert!(e.to_string().contains("non-finite"), "{poison}: {e}");
+        }
+    }
+
+    #[test]
+    fn load_rejects_degenerate_architectures() {
+        let header = |dims: &str, fc: &str| {
+            format!("gcn-runtime-predictor v1\ngcn_dims {dims}\nfc_dim {fc}\n")
+        };
+        assert!(RuntimePredictor::load_weights(&header("", "8")).is_err());
+        assert!(RuntimePredictor::load_weights(&header("0", "8")).is_err());
+        assert!(RuntimePredictor::load_weights(&header("32", "0")).is_err());
+        assert!(RuntimePredictor::load_weights(&header("99999999999", "8")).is_err());
+        assert!(RuntimePredictor::load_weights(&header("32", "99999999999")).is_err());
+    }
+
+    #[test]
+    fn load_rejects_shape_overflow() {
+        // A tensor line whose rows*cols product overflows usize must be
+        // a typed error, not a multiply-overflow panic.
+        let text = format!(
+            "gcn-runtime-predictor v1\ngcn_dims 32\nfc_dim 16\ngcn0.w {} {} 1.0\n",
+            usize::MAX,
+            2
+        );
+        let e = RuntimePredictor::load_weights(&text).unwrap_err();
+        assert!(e.to_string().contains("overflow"), "{e}");
     }
 }

@@ -208,6 +208,37 @@ impl Default for Trainer {
     }
 }
 
+impl RuntimePredictor {
+    /// Incrementally fine-tune this model on a replay buffer of
+    /// relabeled samples: `epochs` seeded-shuffle passes of
+    /// [`RuntimePredictor::train_step`] over `samples`, continuing the
+    /// model's existing Adam state (a warm start, not a restart).
+    /// Returns the mean pre-step loss of each epoch.
+    ///
+    /// Deterministic: the visit order is drawn from one ChaCha8 stream
+    /// seeded by `seed`, and every step is serial — the same
+    /// `(weights, samples, epochs, lr, seed)` always produces
+    /// bit-identical weights, no matter which thread runs the call.
+    /// An empty buffer or zero epochs leaves the model untouched.
+    pub fn fine_tune(&mut self, samples: &[&GraphSample], epochs: usize, lr: f64, seed: u64) -> Vec<f64> {
+        if samples.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xF17E_7D4E);
+        let mut epoch_losses = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            let mut total = 0.0;
+            for &i in &order {
+                total += self.train_step(samples[i], lr);
+            }
+            epoch_losses.push(total / order.len() as f64);
+        }
+        epoch_losses
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,585 @@
+//! The deterministic lifecycle event loop.
+//!
+//! One simulated-microsecond clock drives two interleaved planes:
+//!
+//! * **Serving** — requests arrive (Poisson, seeded), are routed
+//!   through the [`ModelRegistry`] (primary or canary arm), answered
+//!   from the versioned result cache or a fresh GCN forward, and
+//!   charged a FIFO service time.
+//! * **Control** — each response schedules a ground-truth feedback
+//!   join a fixed delay later (the flow "executes"). Joins feed the
+//!   per-stage [`DriftDetector`]s; a detection flips the controller
+//!   into collection mode, a filled replay buffer triggers a shadow
+//!   [`Retrainer`] run, the candidate canaries through the registry,
+//!   and the [`RolloutManager`] promotes or rolls it back.
+//!
+//! Both planes are processed from one `(time_us, seq)`-ordered event
+//! map on a single thread; the only parallelism is the stage fan-out
+//! inside batch forwards and retrains, joined by stage index. The
+//! folded [`LifecycleReport`] is therefore byte-identical across runs
+//! and worker counts.
+
+use crate::{
+    ape_micros, log_bias_micros, Arm, DesignBaseline, DriftDetector, DriftSignal, FeedbackEvent,
+    LifecycleConfig, LifecycleCounters, LifecycleError, LifecycleReport, ReplayBuffer, Retrainer,
+    RolloutDecision, RolloutManager, RuntimeOracle, StageErrors, TimelineEvent,
+};
+use eda_cloud_fleet::Histogram;
+use eda_cloud_gcn::{GraphBatch, ModelConfig};
+use eda_cloud_serve::{
+    design_pool, synthetic_requests, LruCache, ModelRegistry, ModelSnapshot, ServeDesign,
+    WorkloadConfig, STAGE_NAMES,
+};
+use eda_cloud_trace::Tracer;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Registry name the controller manages.
+pub const MODEL_NAME: &str = "prod";
+
+/// What the control plane is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Watching primary-arm error through the drift detectors.
+    Monitor,
+    /// Drift detected; filling replay buffers with shifted samples.
+    Collect,
+    /// Candidate published; the rollout manager is judging it.
+    Canary,
+}
+
+/// One scheduled event on the simulated clock.
+enum Event {
+    /// Request `index` into the workload arrives.
+    Arrival(usize),
+    /// A served job's ground truth comes back (boxed: a join carries
+    /// full per-stage payloads, an arrival only an index).
+    Feedback(Box<FeedbackEvent>),
+}
+
+/// The model-lifecycle controller. Construct with a validated
+/// [`LifecycleConfig`], optionally attach a tracer, then [`run`].
+///
+/// [`run`]: LifecycleController::run
+pub struct LifecycleController {
+    config: LifecycleConfig,
+    tracer: Tracer,
+}
+
+impl LifecycleController {
+    /// Build a controller, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError::Config`] for out-of-range knobs.
+    pub fn new(config: LifecycleConfig) -> Result<Self, LifecycleError> {
+        config.validate()?;
+        Ok(Self { config, tracer: Tracer::disabled() })
+    }
+
+    /// Attach a tracer: requests get spans keyed by their ordinals,
+    /// control events by ordinals past the end of the request stream.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.config
+    }
+
+    /// Run the full lifecycle to completion. Returns the folded report
+    /// plus every feedback join in processing order (the raw material
+    /// for assertions the report aggregates away).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LifecycleError::Serve`] if a registry operation is
+    /// rejected mid-run (a controller bug rather than an input error —
+    /// surfaced as a typed error instead of a panic).
+    pub fn run(&self) -> Result<(LifecycleReport, Vec<FeedbackEvent>), LifecycleError> {
+        let cfg = &self.config;
+        let workers = cfg.resolved_workers();
+        let oracle = RuntimeOracle::new(cfg.drift_at, cfg.drift_factor);
+        let pool = design_pool();
+        let requests = synthetic_requests(
+            &pool,
+            &WorkloadConfig {
+                requests: cfg.requests,
+                rate_per_sec: cfg.rate_per_sec,
+                seed: cfg.seed,
+                plan_every: 0,
+                ..Default::default()
+            },
+        );
+
+        // Bootstrap: fine-tune the seeded snapshot on the pre-drift
+        // oracle labels, so serving starts from a model that actually
+        // fits the distribution it is about to see.
+        let seeded = ModelSnapshot::seeded(&ModelConfig::fast(), cfg.seed);
+        let frozen = if cfg.bootstrap_epochs > 0 {
+            let mut buffers = std::array::from_fn::<_, 4, _>(|_| ReplayBuffer::new(pool.len()));
+            for design in &pool {
+                push_relabeled(&mut buffers, design, &oracle.runtimes(design, 0));
+            }
+            Retrainer {
+                epochs: cfg.bootstrap_epochs,
+                learning_rate: cfg.learning_rate,
+                seed: cfg.seed ^ 0xB007,
+            }
+            .retrain(&seeded, &buffers, workers)
+            .0
+        } else {
+            seeded
+        };
+        let mut registry = ModelRegistry::new();
+        let frozen_version = registry.publish(MODEL_NAME, frozen.clone());
+
+        // Serving state.
+        let mut cache: LruCache<(u32, u64), [[f64; 4]; 4]> = LruCache::new(cfg.cache_capacity);
+        let mut frozen_preds: BTreeMap<u64, [[f64; 4]; 4]> = BTreeMap::new();
+        let mut serve_free_at = 0u64;
+        let mut latencies_us: Vec<u64> = Vec::with_capacity(requests.len());
+        let mut latency_hist =
+            Histogram::new(vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]);
+
+        // Control state.
+        let mut counters = LifecycleCounters::default();
+        let mut stages = [StageErrors::default(); 4];
+        let mut timeline: Vec<TimelineEvent> = Vec::new();
+        let mut detectors = std::array::from_fn::<_, 4, _>(|_| {
+            DriftDetector::new(cfg.calibration, cfg.ph_delta_micros, cfg.ph_lambda_micros)
+        });
+        let mut baselines = std::array::from_fn::<_, 4, _>(|_| DesignBaseline::new());
+        let mut buffers = std::array::from_fn::<_, 4, _>(|_| ReplayBuffer::new(cfg.replay_capacity));
+        let mut rollout =
+            RolloutManager::new(cfg.canary_min, cfg.promote_max_error_pct, cfg.canary_latency_budget_us);
+        let mut mode = Mode::Monitor;
+        let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut retrain_round = 0u64;
+        let mut feedback_log: Vec<FeedbackEvent> = Vec::with_capacity(requests.len());
+        let mut control_ordinal = requests.len() as u64;
+        let mut makespan_us = 0u64;
+
+        // The event map is keyed `(time, seq)`: seq breaks same-time
+        // ties in insertion order, so arrivals (inserted first) precede
+        // feedback joins landing on the same microsecond.
+        let mut events: BTreeMap<(u64, u64), Event> = BTreeMap::new();
+        let mut seq = 0u64;
+        for (i, request) in requests.iter().enumerate() {
+            events.insert((request.arrival_us, seq), Event::Arrival(i));
+            seq += 1;
+        }
+
+        while let Some(((time_us, _), event)) = events.pop_first() {
+            makespan_us = makespan_us.max(time_us);
+            match event {
+                Event::Arrival(i) => {
+                    let request = &requests[i];
+                    counters.requests += 1;
+                    let canary = registry.canary(MODEL_NAME);
+                    let (version, predicted, cache_hit) = {
+                        let (version, snapshot) = registry.route(MODEL_NAME, request.ordinal)?;
+                        match cache.get(&(version, request.design.fingerprint)) {
+                            Some(hit) => (version, hit, true),
+                            None => {
+                                let secs = predict_one(snapshot, &request.design, workers);
+                                cache.insert((version, request.design.fingerprint), secs);
+                                counters.gcn_predictions += 1;
+                                (version, secs, false)
+                            }
+                        }
+                    };
+                    let arm = match canary {
+                        Some(c) if c.version == version && request.ordinal.is_multiple_of(c.every) => {
+                            Arm::Canary
+                        }
+                        _ => Arm::Primary,
+                    };
+                    let service_us =
+                        if cache_hit { cfg.per_hit_us } else { cfg.per_miss_us };
+                    let start = time_us.max(serve_free_at);
+                    let done = start + service_us;
+                    serve_free_at = done;
+                    let latency_us = done - request.arrival_us;
+                    latencies_us.push(latency_us);
+                    latency_hist.record(latency_us as f64 / 1_000.0);
+                    let span = self.tracer.root_at(request.ordinal, "request");
+                    span.attr("design", &request.design.name);
+                    span.attr("version", version);
+                    span.attr("arm", if arm == Arm::Canary { "canary" } else { "primary" });
+                    span.attr("cache", if cache_hit { "hit" } else { "miss" });
+                    span.attr("latency_us", latency_us);
+                    events.insert(
+                        (done + cfg.feedback_delay_us, seq),
+                        Event::Feedback(Box::new(FeedbackEvent {
+                            ordinal: request.ordinal,
+                            version,
+                            arm,
+                            design: request.design.clone(),
+                            predicted,
+                            actual: oracle.runtimes(&request.design, request.ordinal),
+                            latency_us,
+                        })),
+                    );
+                    seq += 1;
+                }
+                Event::Feedback(fb) => {
+                    counters.feedback_joins += 1;
+                    seen.insert(fb.design.fingerprint);
+                    match fb.arm {
+                        Arm::Primary => counters.primary_joins += 1,
+                        Arm::Canary => counters.canary_joins += 1,
+                    }
+                    let frozen_pred = *frozen_preds
+                        .entry(fb.design.fingerprint)
+                        .or_insert_with(|| predict_one(&frozen, &fb.design, workers));
+
+                    // Per-stage error bookkeeping.
+                    let mut active_apes = [0u64; 4];
+                    for k in 0..4 {
+                        let active = ape_micros(&fb.predicted[k], &fb.actual[k]);
+                        let baseline = ape_micros(&frozen_pred[k], &fb.actual[k]);
+                        active_apes[k] = active;
+                        if fb.ordinal < cfg.drift_at {
+                            stages[k].pre_drift.record(active);
+                        } else {
+                            stages[k].post_drift_frozen.record(baseline);
+                            if fb.version != frozen_version {
+                                stages[k].post_rollout_frozen.record(baseline);
+                                stages[k].post_rollout_active.record(active);
+                            }
+                        }
+                    }
+                    let mean_ape = active_apes.iter().sum::<u64>() / 4;
+
+                    match mode {
+                        Mode::Monitor => {
+                            push_relabeled(&mut buffers, &fb.design, &fb.actual);
+                            // Watch only joins served by the *current*
+                            // primary: in-flight joins from a version
+                            // retired mid-flight would poison the fresh
+                            // baseline profile after a rollout.
+                            if fb.arm == Arm::Primary
+                                && fb.version == registry.primary(MODEL_NAME)?.0
+                            {
+                                let mut fired = false;
+                                for k in 0..4 {
+                                    let bias = log_bias_micros(&fb.predicted[k], &fb.actual[k]);
+                                    let Some(deviation) =
+                                        baselines[k].deviation(fb.design.fingerprint, bias)
+                                    else {
+                                        continue;
+                                    };
+                                    if detectors[k].observe(deviation) == DriftSignal::Drift {
+                                        fired = true;
+                                        counters.drift_detections += 1;
+                                        timeline.push(TimelineEvent {
+                                            time_us,
+                                            ordinal: fb.ordinal,
+                                            kind: "drift_detected",
+                                            stage: STAGE_NAMES[k],
+                                            version: fb.version,
+                                        });
+                                        let span =
+                                            self.tracer.root_at(control_ordinal, "drift_detect");
+                                        control_ordinal += 1;
+                                        span.attr("stage", STAGE_NAMES[k]);
+                                        span.attr("ordinal", fb.ordinal);
+                                        span.attr(
+                                            "baseline_micros",
+                                            detectors[k].baseline_micros().unwrap_or(0),
+                                        );
+                                    }
+                                }
+                                if fired {
+                                    // Keep only shifted-distribution
+                                    // samples for the retrain.
+                                    for buffer in &mut buffers {
+                                        buffer.clear();
+                                    }
+                                    push_relabeled(&mut buffers, &fb.design, &fb.actual);
+                                    mode = Mode::Collect;
+                                }
+                            }
+                        }
+                        Mode::Collect => {
+                            push_relabeled(&mut buffers, &fb.design, &fb.actual);
+                            // Retrain only once the replay window covers
+                            // every design traffic has ever shown us: a
+                            // partial-coverage fine-tune catastrophically
+                            // distorts the model on the designs it missed.
+                            let covered = if seen.len() <= cfg.replay_capacity {
+                                seen.iter().all(|fp| buffers[0].contains_key(*fp))
+                            } else {
+                                // More designs than the window holds:
+                                // settle for a full buffer.
+                                buffers[0].len() == cfg.replay_capacity
+                            };
+                            if covered && buffers.iter().all(|b| b.len() >= cfg.min_retrain) {
+                                let retrainer = Retrainer {
+                                    epochs: cfg.retrain_epochs,
+                                    learning_rate: cfg.learning_rate,
+                                    seed: cfg.seed ^ (0x5E7A + retrain_round),
+                                };
+                                retrain_round += 1;
+                                let base = registry.primary(MODEL_NAME)?.1.clone();
+                                let (candidate, trained_on) =
+                                    retrainer.retrain(&base, &buffers, workers);
+                                let version = registry.publish(MODEL_NAME, candidate);
+                                counters.retrains += 1;
+                                timeline.push(TimelineEvent {
+                                    time_us,
+                                    ordinal: fb.ordinal,
+                                    kind: "retrained",
+                                    stage: "-",
+                                    version,
+                                });
+                                let span = self.tracer.root_at(control_ordinal, "retrain");
+                                control_ordinal += 1;
+                                span.attr("version", version);
+                                span.attr("epochs", cfg.retrain_epochs);
+                                span.counter("samples", trained_on.iter().sum::<usize>() as u64);
+                                registry.set_canary(MODEL_NAME, version, cfg.canary_every)?;
+                                counters.canaries_started += 1;
+                                timeline.push(TimelineEvent {
+                                    time_us,
+                                    ordinal: fb.ordinal,
+                                    kind: "canary_started",
+                                    stage: "-",
+                                    version,
+                                });
+                                let span = self.tracer.root_at(control_ordinal, "canary");
+                                control_ordinal += 1;
+                                span.attr("version", version);
+                                span.attr("every", cfg.canary_every);
+                                rollout.reset();
+                                mode = Mode::Canary;
+                            }
+                        }
+                        Mode::Canary => {
+                            push_relabeled(&mut buffers, &fb.design, &fb.actual);
+                            match fb.arm {
+                                Arm::Canary => rollout.record_canary(mean_ape, fb.latency_us),
+                                Arm::Primary => rollout.record_primary(mean_ape),
+                            }
+                            let decision = rollout.evaluate();
+                            if decision != RolloutDecision::Pending {
+                                let candidate = registry
+                                    .canary(MODEL_NAME)
+                                    .map_or(0, |c| c.version);
+                                let (kind, label) = match decision {
+                                    RolloutDecision::Promote => {
+                                        registry.promote(MODEL_NAME, candidate)?;
+                                        counters.promotions += 1;
+                                        ("promoted", "promote")
+                                    }
+                                    _ => {
+                                        registry.clear_canary(MODEL_NAME);
+                                        counters.rollbacks += 1;
+                                        ("rolled_back", "rollback")
+                                    }
+                                };
+                                timeline.push(TimelineEvent {
+                                    time_us,
+                                    ordinal: fb.ordinal,
+                                    kind,
+                                    stage: "-",
+                                    version: candidate,
+                                });
+                                let span = self.tracer.root_at(control_ordinal, label);
+                                control_ordinal += 1;
+                                span.attr("version", candidate);
+                                if decision == RolloutDecision::RollbackLatency {
+                                    span.attr("guardrail", "latency");
+                                } else if decision == RolloutDecision::RollbackError {
+                                    span.attr("guardrail", "error_ratio");
+                                }
+                                for detector in &mut detectors {
+                                    detector.reset();
+                                }
+                                for baseline in &mut baselines {
+                                    baseline.clear();
+                                }
+                                for buffer in &mut buffers {
+                                    buffer.clear();
+                                }
+                                mode = Mode::Monitor;
+                            }
+                        }
+                    }
+                    feedback_log.push(*fb);
+                }
+            }
+        }
+
+        counters.cache_hits = cache.hits();
+        counters.cache_misses = cache.misses();
+        latencies_us.sort_unstable();
+        let report = LifecycleReport {
+            seed: cfg.seed,
+            requests: cfg.requests as u64,
+            drift_at: cfg.drift_at,
+            drift_factor: cfg.drift_factor,
+            counters,
+            final_primary_version: registry.primary(MODEL_NAME)?.0,
+            stages,
+            timeline,
+            mean_latency_us: if latencies_us.is_empty() {
+                0
+            } else {
+                latencies_us.iter().sum::<u64>() / latencies_us.len() as u64
+            },
+            p95_latency_us: percentile_us(&latencies_us, 95),
+            makespan_us,
+            latency_hist,
+        };
+        Ok((report, feedback_log))
+    }
+}
+
+/// One forward pass over a single design: a 1-element batch through
+/// the snapshot's stage fan-out (joined by stage index, so the result
+/// is worker-invariant).
+fn predict_one(snapshot: &ModelSnapshot, design: &ServeDesign, workers: usize) -> [[f64; 4]; 4] {
+    let aig = GraphBatch::pack(&[&design.aig]);
+    let netlist = GraphBatch::pack(&[&design.netlist]);
+    snapshot.predict_batches(&aig, &netlist, workers)[0]
+}
+
+/// Relabel a design's graph views with observed stage runtimes and
+/// push them into the per-stage buffers, keyed by the design's
+/// fingerprint so each buffer holds one freshest sample per design
+/// (synthesis learns from the AIG view, the physical stages from the
+/// netlist view).
+fn push_relabeled(
+    buffers: &mut [ReplayBuffer; 4],
+    design: &Arc<ServeDesign>,
+    runtimes: &[[f64; 4]; 4],
+) {
+    buffers[0].push_keyed(design.fingerprint, design.aig.with_targets(runtimes[0]));
+    for (k, buffer) in buffers.iter_mut().enumerate().skip(1) {
+        buffer.push_keyed(design.fingerprint, design.netlist.with_targets(runtimes[k]));
+    }
+}
+
+/// Nearest-rank percentile over sorted µs values.
+fn percentile_us(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct * sorted.len() as u64).div_ceil(100).clamp(1, sorted.len() as u64);
+    sorted[rank as usize - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> LifecycleConfig {
+        // Small but still walks the full detect → retrain → canary →
+        // promote arc at seed 7.
+        LifecycleConfig {
+            requests: 200,
+            drift_at: 60,
+            calibration: 16,
+            min_retrain: 8,
+            canary_min: 6,
+            bootstrap_epochs: 60,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_arc_detects_retrains_and_promotes() {
+        let (report, feedback) =
+            LifecycleController::new(quick_config()).expect("valid").run().expect("runs");
+        assert_eq!(report.counters.requests, 200);
+        assert_eq!(report.counters.feedback_joins, 200);
+        assert_eq!(feedback.len(), 200);
+        assert!(report.counters.drift_detections > 0, "drift must be detected");
+        assert!(report.counters.retrains > 0);
+        assert!(report.counters.canaries_started > 0);
+        assert!(report.counters.promotions > 0, "candidate must promote");
+        assert!(report.final_primary_version > 1);
+        let kinds: Vec<&str> = report.timeline.iter().map(|e| e.kind).collect();
+        let detect = kinds.iter().position(|k| *k == "drift_detected").expect("detect");
+        let retrain = kinds.iter().position(|k| *k == "retrained").expect("retrain");
+        let promote = kinds.iter().position(|k| *k == "promoted").expect("promote");
+        assert!(detect < retrain && retrain < promote, "events in causal order: {kinds:?}");
+        for (k, stage) in report.stages.iter().enumerate() {
+            assert!(
+                stage.post_rollout_active.mean_micros() < stage.post_rollout_frozen.mean_micros(),
+                "stage {k}: retrained model must beat the frozen baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn no_drift_means_no_control_activity() {
+        let config = LifecycleConfig {
+            drift_at: u64::MAX,
+            requests: 120,
+            ..quick_config()
+        };
+        let (report, _) = LifecycleController::new(config).expect("valid").run().expect("runs");
+        assert_eq!(report.counters.drift_detections, 0);
+        assert_eq!(report.counters.retrains, 0);
+        assert_eq!(report.counters.promotions, 0);
+        assert_eq!(report.final_primary_version, 1);
+        assert!(report.timeline.is_empty());
+    }
+
+    #[test]
+    fn useless_candidate_rolls_back() {
+        // Zero retrain epochs publish an unchanged candidate: its error
+        // equals the primary's, which fails a sub-100% guardrail.
+        let config = LifecycleConfig { retrain_epochs: 0, ..quick_config() };
+        let (report, _) = LifecycleController::new(config).expect("valid").run().expect("runs");
+        assert!(report.counters.retrains > 0);
+        assert_eq!(report.counters.promotions, 0);
+        assert!(report.counters.rollbacks > 0, "identical candidate must roll back");
+        assert_eq!(report.final_primary_version, 1, "primary never moves");
+    }
+
+    #[test]
+    fn rollout_invalidates_cached_predictions() {
+        // Regression for the versioned cache keys: after a promotion,
+        // requests for designs already cached under the old version
+        // must be re-predicted by the new model. If the cache ignored
+        // versions, every post-promotion join would still carry the
+        // frozen model's predictions.
+        let (report, feedback) =
+            LifecycleController::new(quick_config()).expect("valid").run().expect("runs");
+        assert!(report.counters.promotions > 0);
+        let post = feedback.iter().filter(|f| f.version > 1).count();
+        assert!(post > 0, "some joins served by the promoted model");
+        let changed = feedback
+            .iter()
+            .filter(|f| f.version > 1)
+            .filter(|f| {
+                feedback.iter().any(|g| {
+                    g.version == 1
+                        && g.design.fingerprint == f.design.fingerprint
+                        && g.predicted != f.predicted
+                })
+            })
+            .count();
+        assert!(
+            changed > 0,
+            "promoted model's served predictions must differ from the v1 cache's"
+        );
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let bad = LifecycleConfig { requests: 0, ..Default::default() };
+        assert!(matches!(
+            LifecycleController::new(bad),
+            Err(LifecycleError::Config { .. })
+        ));
+    }
+}

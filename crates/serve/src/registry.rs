@@ -191,11 +191,27 @@ impl ModelSnapshot {
     }
 }
 
+/// Canary rollout state for one named model: the candidate version and
+/// the deterministic routing fraction (every `every`-th request ordinal
+/// goes to the candidate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanaryState {
+    /// Candidate snapshot version.
+    pub version: u32,
+    /// Route ordinals where `ordinal % every == 0` to the candidate.
+    pub every: u64,
+}
+
 /// Named, versioned snapshot store. Publishing bumps the version;
-/// lookups resolve either the latest or a pinned version.
+/// lookups resolve either the latest or a pinned version. Each name
+/// also tracks a **primary** version (what baseline traffic sees) and
+/// an optional **canary** — a candidate version receiving a
+/// deterministic slice of requests until it is promoted or rolled back.
 #[derive(Debug, Clone, Default)]
 pub struct ModelRegistry {
     models: BTreeMap<String, Vec<ModelSnapshot>>,
+    primary: BTreeMap<String, u32>,
+    canary: BTreeMap<String, CanaryState>,
 }
 
 impl ModelRegistry {
@@ -206,11 +222,16 @@ impl ModelRegistry {
     }
 
     /// Store a snapshot under `name`; returns its version (1-based,
-    /// monotonically increasing per name).
+    /// monotonically increasing per name). The first publish under a
+    /// name becomes its primary; later publishes leave the primary
+    /// untouched until an explicit [`ModelRegistry::promote`].
     pub fn publish(&mut self, name: impl Into<String>, snapshot: ModelSnapshot) -> u32 {
-        let versions = self.models.entry(name.into()).or_default();
+        let name = name.into();
+        let versions = self.models.entry(name.clone()).or_default();
         versions.push(snapshot);
-        versions.len() as u32
+        let version = versions.len() as u32;
+        self.primary.entry(name).or_insert(version);
+        version
     }
 
     /// The newest snapshot under `name` and its version.
@@ -245,6 +266,88 @@ impl ModelRegistry {
     #[must_use]
     pub fn names(&self) -> Vec<&str> {
         self.models.keys().map(String::as_str).collect()
+    }
+
+    /// The primary snapshot under `name` and its version — what
+    /// baseline (non-canary) traffic is served from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if nothing was published
+    /// under `name`.
+    pub fn primary(&self, name: &str) -> Result<(u32, &ModelSnapshot), ServeError> {
+        let version = *self
+            .primary
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownModel { name: name.to_owned() })?;
+        Ok((version, self.get(name, version)?))
+    }
+
+    /// Start a canary: route every `every`-th request ordinal under
+    /// `name` to snapshot `version`. Replaces any in-flight canary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if `name@version` does not
+    /// exist, or [`ServeError::Snapshot`] if `every == 0` or the
+    /// candidate is already the primary.
+    pub fn set_canary(&mut self, name: &str, version: u32, every: u64) -> Result<(), ServeError> {
+        if every == 0 {
+            return Err(ServeError::Snapshot { message: "canary `every` must be > 0".into() });
+        }
+        let _ = self.get(name, version)?;
+        let (primary_version, _) = self.primary(name)?;
+        if version == primary_version {
+            return Err(ServeError::Snapshot {
+                message: format!("{name}@v{version} is already primary"),
+            });
+        }
+        self.canary.insert(name.to_owned(), CanaryState { version, every });
+        Ok(())
+    }
+
+    /// The in-flight canary for `name`, if any.
+    #[must_use]
+    pub fn canary(&self, name: &str) -> Option<CanaryState> {
+        self.canary.get(name).copied()
+    }
+
+    /// Abort the canary for `name` (rollback); baseline traffic was
+    /// never moved, so this only stops the candidate's request slice.
+    /// Returns the aborted state, or `None` if no canary was in flight.
+    pub fn clear_canary(&mut self, name: &str) -> Option<CanaryState> {
+        self.canary.remove(name)
+    }
+
+    /// Promote `version` to primary for `name`, clearing any canary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if `name@version` does not
+    /// exist.
+    pub fn promote(&mut self, name: &str, version: u32) -> Result<(), ServeError> {
+        let _ = self.get(name, version)?;
+        self.primary.insert(name.to_owned(), version);
+        self.canary.remove(name);
+        Ok(())
+    }
+
+    /// Resolve the snapshot serving request `ordinal` under `name`:
+    /// the canary candidate when one is in flight and
+    /// `ordinal % every == 0`, the primary otherwise. Deterministic in
+    /// `ordinal`, so the same request stream always splits the same way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] if nothing was published
+    /// under `name`.
+    pub fn route(&self, name: &str, ordinal: u64) -> Result<(u32, &ModelSnapshot), ServeError> {
+        if let Some(state) = self.canary.get(name) {
+            if ordinal.is_multiple_of(state.every) {
+                return Ok((state.version, self.get(name, state.version)?));
+            }
+        }
+        self.primary(name)
     }
 }
 
@@ -303,6 +406,43 @@ mod tests {
         assert!(reg.get("prod", 3).is_err());
         assert!(reg.get("prod", 0).is_err());
         assert_eq!(reg.names(), vec!["prod"]);
+    }
+
+    #[test]
+    fn canary_routing_promote_and_rollback() {
+        let mut reg = ModelRegistry::new();
+        reg.publish("prod", ModelSnapshot::seeded(&ModelConfig::fast(), 1));
+        let v2 = reg.publish("prod", ModelSnapshot::seeded(&ModelConfig::fast(), 2));
+        // First publish is primary; the second is not until promoted.
+        assert_eq!(reg.primary("prod").expect("primary").0, 1);
+        assert!(reg.canary("prod").is_none());
+
+        // Invalid canaries are typed errors.
+        assert!(reg.set_canary("prod", v2, 0).is_err());
+        assert!(reg.set_canary("prod", 9, 4).is_err());
+        assert!(reg.set_canary("prod", 1, 4).is_err(), "primary can't canary itself");
+        assert!(reg.set_canary("nope", 1, 4).is_err());
+
+        reg.set_canary("prod", v2, 4).expect("canary starts");
+        assert_eq!(reg.canary("prod"), Some(CanaryState { version: 2, every: 4 }));
+        // Deterministic split: multiples of `every` hit the candidate.
+        for ordinal in 0..12u64 {
+            let (version, _) = reg.route("prod", ordinal).expect("routes");
+            assert_eq!(version, if ordinal % 4 == 0 { 2 } else { 1 }, "ordinal {ordinal}");
+        }
+
+        // Rollback: candidate slice stops, primary unchanged.
+        let aborted = reg.clear_canary("prod").expect("was in flight");
+        assert_eq!(aborted.version, 2);
+        assert_eq!(reg.route("prod", 0).expect("routes").0, 1);
+
+        // Promote: primary moves, canary (restarted first) clears.
+        reg.set_canary("prod", v2, 4).expect("canary restarts");
+        reg.promote("prod", v2).expect("promotes");
+        assert_eq!(reg.primary("prod").expect("primary").0, 2);
+        assert!(reg.canary("prod").is_none());
+        assert_eq!(reg.route("prod", 3).expect("routes").0, 2);
+        assert!(reg.promote("prod", 9).is_err());
     }
 
     #[test]

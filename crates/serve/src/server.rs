@@ -47,6 +47,10 @@ pub struct ServeConfig {
     pub per_hit_us: u64,
     /// Simulated cost of one MCKP solve, µs.
     pub plan_us: u64,
+    /// Version of the snapshot being served; result-cache entries are
+    /// keyed by `(model_version, design fingerprint)` so predictions
+    /// cached under one model version are never served under another.
+    pub model_version: u32,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +65,7 @@ impl Default for ServeConfig {
             per_miss_us: 1_000,
             per_hit_us: 50,
             plan_us: 500,
+            model_version: 1,
         }
     }
 }
@@ -178,7 +183,9 @@ impl Server {
         );
         let workers = self.config.resolved_workers();
         let mut queue = AdmissionQueue::new(self.config.queue_capacity);
-        let mut cache: LruCache<u64, [[f64; 4]; 4]> = LruCache::new(self.config.cache_capacity);
+        let version = self.config.model_version;
+        let mut cache: LruCache<(u32, u64), [[f64; 4]; 4]> =
+            LruCache::new(self.config.cache_capacity);
         let mut counters = ServeCounters::default();
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
         let mut latencies_us: Vec<u64> = Vec::with_capacity(requests.len());
@@ -236,7 +243,7 @@ impl Server {
             let mut miss_designs: Vec<Arc<crate::ServeDesign>> = Vec::new();
             let mut slot_of: BTreeMap<u64, usize> = BTreeMap::new();
             for (i, request) in batch.iter().enumerate() {
-                if let Some(hit) = cache.get(&request.design.fingerprint) {
+                if let Some(hit) = cache.get(&(version, request.design.fingerprint)) {
                     cached[i] = Some(hit);
                 } else {
                     let slot =
@@ -260,7 +267,7 @@ impl Server {
             };
             counters.gcn_predictions += miss_designs.len() as u64;
             for (design, secs) in miss_designs.iter().zip(&miss_secs) {
-                cache.insert(design.fingerprint, *secs);
+                cache.insert((version, design.fingerprint), *secs);
             }
 
             let plans_in_batch = batch
@@ -460,6 +467,34 @@ mod tests {
                 assert!(d_a <= d_b, "later batch served an earlier deadline: {pair:?}");
             }
         }
+    }
+
+    #[test]
+    fn cache_entries_are_keyed_by_model_version() {
+        // Regression: the result cache used to key entries by design
+        // fingerprint alone, so a model rollout kept serving the
+        // previous version's predictions for any cached design. Keys
+        // now carry the model version: the same fingerprint cached
+        // under v1 must not answer a v2 lookup.
+        let fingerprint = 0xDEAD_BEEFu64;
+        let mut cache: LruCache<(u32, u64), [[f64; 4]; 4]> = LruCache::new(8);
+        cache.insert((1, fingerprint), [[1.0; 4]; 4]);
+        assert_eq!(cache.get(&(2, fingerprint)), None, "v2 must miss a v1 entry");
+        cache.insert((2, fingerprint), [[2.0; 4]; 4]);
+        assert_eq!(cache.get(&(1, fingerprint)), Some([[1.0; 4]; 4]));
+        assert_eq!(cache.get(&(2, fingerprint)), Some([[2.0; 4]; 4]));
+
+        // And the server threads its configured version into the key:
+        // identical workloads under different versions still produce
+        // identical predictions (same snapshot), but the runs never
+        // alias — smoke-checked via byte-identical reports.
+        let requests = workload(24, 150.0, 7);
+        let v1 = server(ServeConfig::default()).run(7, &requests).expect("runs").0;
+        let v2 = server(ServeConfig { model_version: 2, ..Default::default() })
+            .run(7, &requests)
+            .expect("runs")
+            .0;
+        assert_eq!(v1.to_json(), v2.to_json());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
 //! * [`fleet`] — deterministic discrete-event fleet simulator.
 //! * [`serve`] — deterministic online prediction & planning service.
+//! * [`lifecycle`] — drift detection, shadow retraining, canary rollout.
 //! * [`trace`] — deterministic structured tracing and metrics.
 //! * [`core`] — the Figure-1 pipeline tying everything together.
 //!
@@ -38,6 +39,7 @@ pub use eda_cloud_core as core;
 pub use eda_cloud_fleet as fleet;
 pub use eda_cloud_flow as flow;
 pub use eda_cloud_gcn as gcn;
+pub use eda_cloud_lifecycle as lifecycle;
 pub use eda_cloud_mckp as mckp;
 pub use eda_cloud_netlist as netlist;
 pub use eda_cloud_perf as perf;
