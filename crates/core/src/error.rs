@@ -6,6 +6,7 @@ use eda_cloud_flow::FlowError;
 use eda_cloud_lifecycle::LifecycleError;
 use eda_cloud_mckp::MckpError;
 use eda_cloud_serve::ServeError;
+use eda_cloud_simtest::SimtestError;
 use std::error::Error;
 use std::fmt;
 
@@ -25,6 +26,9 @@ pub enum WorkflowError {
     /// The model-lifecycle controller rejected its configuration or a
     /// registry operation.
     Lifecycle(LifecycleError),
+    /// The fault-injection harness rejected its configuration or plan,
+    /// or a driven loop failed under it.
+    Simtest(SimtestError),
     /// The dataset builder produced no samples for a stage.
     EmptyDataset {
         /// The stage whose corpus came out empty.
@@ -41,6 +45,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::Fleet(e) => write!(f, "fleet simulator error: {e}"),
             WorkflowError::Serve(e) => write!(f, "serving error: {e}"),
             WorkflowError::Lifecycle(e) => write!(f, "lifecycle error: {e}"),
+            WorkflowError::Simtest(e) => write!(f, "simtest harness error: {e}"),
             WorkflowError::EmptyDataset { stage } => {
                 write!(f, "dataset for stage `{stage}` is empty")
             }
@@ -57,6 +62,7 @@ impl Error for WorkflowError {
             WorkflowError::Fleet(e) => Some(e),
             WorkflowError::Serve(e) => Some(e),
             WorkflowError::Lifecycle(e) => Some(e),
+            WorkflowError::Simtest(e) => Some(e),
             WorkflowError::EmptyDataset { .. } => None,
         }
     }
@@ -98,6 +104,12 @@ impl From<LifecycleError> for WorkflowError {
     }
 }
 
+impl From<SimtestError> for WorkflowError {
+    fn from(e: SimtestError) -> Self {
+        WorkflowError::Simtest(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +131,9 @@ mod tests {
         let e: WorkflowError =
             LifecycleError::Config { message: "requests must be positive".into() }.into();
         assert!(e.to_string().contains("lifecycle"));
+        assert!(e.source().is_some());
+        let e: WorkflowError = SimtestError::Config("fleet_jobs must be positive").into();
+        assert!(e.to_string().contains("simtest harness"));
         assert!(e.source().is_some());
         let e = WorkflowError::EmptyDataset { stage: "routing" };
         assert!(e.to_string().contains("routing"));

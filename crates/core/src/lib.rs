@@ -29,6 +29,11 @@
 //!    traffic: join ground-truth feedback, detect runtime drift,
 //!    shadow-retrain a candidate, and canary it to promotion or
 //!    rollback, all in deterministic simulated time.
+//! 8. [`Workflow::simtest`] — stress the fleet, serve, and lifecycle
+//!    loops under a seeded fault plan (spot storms, overload bursts,
+//!    feedback drops, snapshot corruption) and check global invariants
+//!    over the results, with delta-debugging down to a minimal
+//!    reproducer on failure.
 //!
 //! # Examples
 //!
@@ -57,6 +62,7 @@ pub mod predict;
 mod recommend;
 pub mod report;
 mod serve_service;
+mod simtest_service;
 pub mod sweep;
 mod workflow;
 
@@ -69,5 +75,6 @@ pub use lifecycle_service::LifecycleScenario;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
 pub use recommend::{recommended_family, recommendation_notes};
 pub use serve_service::{ServeScenario, WorkflowPlanner};
+pub use simtest_service::SimtestScenario;
 pub use sweep::{design_fingerprint, resolve_workers, FlowCache, FlowKey};
 pub use workflow::{stage_work_scale, Workflow};

@@ -1,0 +1,58 @@
+//! Trait-based fault hooks for the discrete-event engine.
+//!
+//! The simtest harness injects fleet faults through this trait instead
+//! of reaching into the engine: every hook is a pure function of
+//! canonical job identity (`JobPlan::id`), stage index, and attempt
+//! number — never of wall-clock, thread schedule, or VM ids — so a
+//! fault plan replays byte-identically across runs and worker counts.
+//! The default implementation of every hook is "no fault", and the
+//! simulator's default hook object is [`NoFleetFaults`], so behavior is
+//! unchanged unless a harness explicitly attaches hooks.
+
+use std::sync::Arc;
+
+/// Fault hooks consulted by the engine at deterministic decision
+/// points of each stage attempt.
+pub trait FleetFaults: Send + Sync {
+    /// Force this stage attempt to be interrupted (reclaimed) after the
+    /// given fraction of its runtime, in `(0, 1)`. Applies to on-demand
+    /// VMs too — a forced interrupt models host failure, not just spot
+    /// reclamation. `None` leaves the attempt to the seeded spot
+    /// injector (and to completion on on-demand capacity).
+    fn interrupt(&self, job_id: u64, stage: usize, attempt: u32) -> Option<f64> {
+        let _ = (job_id, stage, attempt);
+        None
+    }
+
+    /// Inflate this stage's planned duration to `pct` percent — a VM
+    /// stall / straggler fault. `100` means no stall; values below 100
+    /// are clamped up to 100 (faults never speed a stage up).
+    fn stall_pct(&self, job_id: u64, stage: usize) -> u64 {
+        let _ = (job_id, stage);
+        100
+    }
+}
+
+/// The no-fault default: every hook answers "no fault".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFleetFaults;
+
+impl FleetFaults for NoFleetFaults {}
+
+/// A shared, immutable hook object (hooks take `&self` so one plan can
+/// be consulted from any number of runs concurrently).
+pub type SharedFleetFaults = Arc<dyn FleetFaults>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_hooks_are_inert() {
+        let faults = NoFleetFaults;
+        assert_eq!(faults.interrupt(0, 0, 1), None);
+        assert_eq!(faults.stall_pct(0, 0), 100);
+        let shared: SharedFleetFaults = Arc::new(NoFleetFaults);
+        assert_eq!(shared.interrupt(9, 2, 3), None);
+    }
+}

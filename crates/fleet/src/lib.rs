@@ -58,6 +58,7 @@
 
 mod autoscale;
 mod error;
+mod faults;
 mod job;
 mod metrics;
 mod sim;
@@ -65,6 +66,7 @@ mod spot;
 
 pub use autoscale::AutoscaleConfig;
 pub use error::FleetError;
+pub use faults::{FleetFaults, NoFleetFaults, SharedFleetFaults};
 pub use job::{poisson_arrivals, FleetJob, JobPlan, PlannedStage};
 pub use metrics::{FleetCounters, FleetReport, Histogram};
 pub use sim::{FleetConfig, FleetSimulator};

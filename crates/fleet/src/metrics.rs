@@ -105,6 +105,11 @@ pub struct FleetCounters {
     /// Stages that exhausted their spot attempts and fell back to
     /// on-demand capacity.
     pub spot_fallbacks: u64,
+    /// Jobs abandoned after a stage burned every allowed attempt
+    /// (`FleetConfig::max_stage_attempts`) — the typed exhaustion
+    /// outcome, so an interrupt-on-every-attempt job terminates instead
+    /// of retrying forever.
+    pub jobs_exhausted: u64,
 }
 
 /// The per-run report: counters, cost, latency statistics, and
@@ -152,7 +157,7 @@ impl FleetReport {
             s,
             "\"counters\":{{\"jobs_submitted\":{},\"jobs_completed\":{},\"deadline_hits\":{},\
              \"vms_launched\":{},\"cold_starts\":{},\"warm_reuses\":{},\"idle_reaped\":{},\
-             \"interruptions\":{},\"retries\":{},\"spot_fallbacks\":{}}},",
+             \"interruptions\":{},\"retries\":{},\"spot_fallbacks\":{},\"jobs_exhausted\":{}}},",
             c.jobs_submitted,
             c.jobs_completed,
             c.deadline_hits,
@@ -162,7 +167,8 @@ impl FleetReport {
             c.idle_reaped,
             c.interruptions,
             c.retries,
-            c.spot_fallbacks
+            c.spot_fallbacks,
+            c.jobs_exhausted
         );
         let _ = write!(s, "\"deadline_hit_rate\":{},", fmt_f64(self.deadline_hit_rate));
         let _ = write!(s, "\"total_cost_usd\":{},", fmt_f64(self.total_cost_usd));

@@ -18,6 +18,7 @@
 //! spot attempts are exhausted.
 
 use crate::autoscale::{AutoscaleConfig, Autoscaler};
+use crate::faults::{FleetFaults, NoFleetFaults, SharedFleetFaults};
 use crate::metrics::{FleetCounters, FleetReport, Histogram, Samples};
 use crate::spot::{SpotInjector, SpotPolicy};
 use crate::{FleetError, FleetJob};
@@ -93,6 +94,13 @@ pub struct FleetConfig {
     pub latency_edges: Vec<f64>,
     /// Per-job cost histogram bucket edges, USD.
     pub cost_edges: Vec<f64>,
+    /// Hard cap on attempts of a single stage before the job is
+    /// abandoned with the typed `jobs_exhausted` outcome. Ordinary runs
+    /// never approach it (spot fallback completes on demand after at
+    /// most `max_spot_attempts + 1` tries); it exists so injected
+    /// interrupt-every-attempt faults terminate instead of retrying
+    /// forever.
+    pub max_stage_attempts: u32,
 }
 
 impl FleetConfig {
@@ -109,6 +117,7 @@ impl FleetConfig {
                 1_800.0, 3_600.0, 7_200.0, 14_400.0, 28_800.0, 57_600.0, 115_200.0,
             ],
             cost_edges: vec![0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2],
+            max_stage_attempts: 64,
         }
     }
 
@@ -147,17 +156,28 @@ impl FleetConfig {
 /// assert_eq!(report.deadline_hit_rate, 1.0);
 /// # Ok::<(), eda_cloud_fleet::FleetError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetSimulator {
     catalog: Catalog,
     tracer: Tracer,
+    faults: SharedFleetFaults,
+}
+
+impl std::fmt::Debug for FleetSimulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetSimulator").field("catalog", &self.catalog).finish_non_exhaustive()
+    }
 }
 
 impl FleetSimulator {
     /// A simulator buying from `catalog`.
     #[must_use]
     pub fn new(catalog: Catalog) -> Self {
-        Self { catalog, tracer: Tracer::disabled() }
+        Self {
+            catalog,
+            tracer: Tracer::disabled(),
+            faults: std::sync::Arc::new(NoFleetFaults),
+        }
     }
 
     /// Attach a tracer; each run records an event-loop span tree into
@@ -166,6 +186,14 @@ impl FleetSimulator {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach fault hooks (see [`FleetFaults`]); the default is the
+    /// inert [`NoFleetFaults`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: SharedFleetFaults) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -185,6 +213,9 @@ impl FleetSimulator {
         if !config.autoscale.max_idle_secs.is_finite() {
             return Err(FleetError::InvalidConfig("autoscale idle bound must be finite"));
         }
+        if config.max_stage_attempts == 0 {
+            return Err(FleetError::InvalidConfig("max stage attempts must be positive"));
+        }
         for job in jobs {
             if job.plan.stages.is_empty() {
                 return Err(FleetError::InvalidConfig("job plan has no stages"));
@@ -199,7 +230,7 @@ impl FleetSimulator {
                 stage_duration_us(stage.runtime_secs)?;
             }
         }
-        Engine::new(&self.catalog, jobs, config, &self.tracer)?.run()
+        Engine::new(&self.catalog, jobs, config, &self.tracer, &*self.faults)?.run()
     }
 }
 
@@ -289,6 +320,8 @@ struct Engine<'a> {
     /// One child span per job, indexed like `states`; spans close (and
     /// record) when the engine is consumed by [`Engine::report`].
     job_spans: Vec<Span>,
+    /// Injected fault hooks (inert by default).
+    faults: &'a dyn FleetFaults,
 }
 
 impl<'a> Engine<'a> {
@@ -297,6 +330,7 @@ impl<'a> Engine<'a> {
         jobs: &'a [FleetJob],
         config: &'a FleetConfig,
         tracer: &Tracer,
+        faults: &'a dyn FleetFaults,
     ) -> Result<Self, FleetError> {
         let states = jobs
             .iter()
@@ -341,6 +375,7 @@ impl<'a> Engine<'a> {
             makespan_us: 0,
             sim_span,
             job_spans,
+            faults,
         })
     }
 
@@ -396,6 +431,16 @@ impl<'a> Engine<'a> {
     /// when eligible, otherwise a cold launch (spot or on-demand).
     fn acquire_stage_vm(&mut self, job: usize, now: u64) -> Result<(), FleetError> {
         let state = &self.states[job];
+        if state.attempt >= self.config.max_stage_attempts {
+            // The current stage burned every allowed attempt: abandon
+            // the job with the typed exhaustion outcome instead of
+            // scheduling attempt after attempt forever.
+            self.counters.jobs_exhausted += 1;
+            self.job_spans[job].counter("exhausted", 1);
+            self.job_spans[job].attr("outcome", "exhausted");
+            self.job_spans[job].attr("exhausted_stage", state.stage);
+            return Ok(());
+        }
         let on_spot = self.next_attempt_on_spot(state);
         let instance_name = self.jobs[job].plan.stages[state.stage].instance.clone();
         if let Some(policy) = &self.config.spot {
@@ -451,8 +496,46 @@ impl<'a> Engine<'a> {
     /// schedule exactly one of the two outcomes.
     fn start_execution(&mut self, job: usize, vm: u64, now: u64) -> Result<(), FleetError> {
         let state = &self.states[job];
-        let runtime_secs = self.jobs[job].plan.stages[state.stage].runtime_secs;
-        let duration_us = stage_duration_us(runtime_secs)?;
+        let (stage_index, attempt) = (state.stage, state.attempt);
+        let job_id = self.jobs[job].plan.id;
+        let runtime_secs = self.jobs[job].plan.stages[stage_index].runtime_secs;
+        let mut duration_us = stage_duration_us(runtime_secs)?;
+        // Injected VM stall: inflate the stage duration. Faults never
+        // speed a stage up, so sub-100 percentages clamp to 100.
+        let stall_pct = self.faults.stall_pct(job_id, stage_index).max(100);
+        if stall_pct > 100 {
+            duration_us = duration_us
+                .checked_mul(stall_pct)
+                .map(|v| v / 100)
+                .ok_or(FleetError::InvalidConfig("stalled stage overflows the microsecond clock"))?;
+            let span = self.job_spans[job].child("fault/stall");
+            span.attr("stage", stage_index);
+            span.attr("pct", stall_pct);
+        }
+        // Injected interrupt: reclaim this attempt at a fixed fraction
+        // of its (possibly stalled) runtime — host failure semantics,
+        // so it applies to on-demand VMs too.
+        if let Some(fraction) = self.faults.interrupt(job_id, stage_index, attempt) {
+            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+                return Err(FleetError::InvalidConfig(
+                    "forced interrupt fraction must be in [0, 1]",
+                ));
+            }
+            let offset = duration_us as f64 * fraction;
+            if !offset.is_finite() || !(0.0..=MAX_US).contains(&offset) {
+                return Err(FleetError::InvalidConfig(
+                    "reclaim point must be a finite fraction of the stage",
+                ));
+            }
+            let reclaim_at = now
+                .checked_add(offset as u64)
+                .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+            let span = self.job_spans[job].child("fault/interrupt");
+            span.attr("stage", stage_index);
+            span.attr("attempt", attempt);
+            self.push(reclaim_at, Event::Reclaim { job, vm });
+            return Ok(());
+        }
         let on_spot = self.vm_fraction[vm as usize] < 1.0;
         if on_spot {
             let market = self.config.spot.as_ref().expect("spot VM implies policy").market;
@@ -513,8 +596,12 @@ impl<'a> Engine<'a> {
         let partial_secs = (to_secs(now) - self.provisioner.vm(vm)?.ready_at).max(0.0);
         self.attribute_cost(job, vm, partial_secs);
         self.bill(vm)?;
-        let policy = self.config.spot.as_ref().expect("reclaim implies policy");
-        let backoff = policy.backoff_secs(self.states[job].attempt);
+        // Injected interrupts can reclaim on-demand VMs with no spot
+        // policy configured; those retries use the standard backoff.
+        let backoff = match self.config.spot.as_ref() {
+            Some(policy) => policy.backoff_secs(self.states[job].attempt),
+            None => SpotPolicy::typical().backoff_secs(self.states[job].attempt),
+        };
         let retry_at = now
             .checked_add(to_us(backoff)?)
             .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
@@ -839,6 +926,72 @@ mod tests {
             c.vms_launched <= 1 + 3 + stage2_attempts as u64,
             "stage 1 retries bounded by its own spot attempts: {c:?}"
         );
+    }
+
+    #[test]
+    fn interrupted_on_every_attempt_terminates_with_exhaustion() {
+        // Satellite regression: a job whose stage is interrupted on
+        // every attempt must end in the typed `jobs_exhausted` outcome
+        // instead of looping forever. No spot policy — the forced
+        // interrupts land on on-demand VMs and retry with the standard
+        // backoff.
+        struct AlwaysInterrupt;
+        impl crate::FleetFaults for AlwaysInterrupt {
+            fn interrupt(&self, _job: u64, _stage: usize, _attempt: u32) -> Option<f64> {
+                Some(0.5)
+            }
+        }
+        let job = two_stage_job(0, 0.0, 2000);
+        let mut cfg = FleetConfig::on_demand(1);
+        cfg.autoscale = AutoscaleConfig::disabled();
+        cfg.max_stage_attempts = 5;
+        let report = FleetSimulator::new(Catalog::aws_like())
+            .with_faults(std::sync::Arc::new(AlwaysInterrupt))
+            .run(&[job], &cfg)
+            .expect("terminates");
+        let c = report.counters;
+        assert_eq!(c.jobs_submitted, 1);
+        assert_eq!(c.jobs_completed, 0, "the job never finishes a stage");
+        assert_eq!(c.jobs_exhausted, 1, "typed exhaustion outcome");
+        assert_eq!(c.interruptions, 5, "one interrupt per allowed attempt");
+        assert_eq!(c.vms_launched, 5);
+        assert_eq!(
+            c.jobs_completed + c.jobs_exhausted,
+            c.jobs_submitted,
+            "conservation: submitted jobs complete or exhaust"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"jobs_exhausted\":1"), "{json}");
+    }
+
+    #[test]
+    fn stall_fault_inflates_stage_durations() {
+        struct DoubleStage0;
+        impl crate::FleetFaults for DoubleStage0 {
+            fn stall_pct(&self, _job: u64, stage: usize) -> u64 {
+                if stage == 0 {
+                    200
+                } else {
+                    100
+                }
+            }
+        }
+        let job = two_stage_job(0, 0.0, 2000);
+        let mut cfg = FleetConfig::on_demand(1);
+        cfg.autoscale = AutoscaleConfig::disabled();
+        let clean = sim().run(std::slice::from_ref(&job), &cfg).expect("runs");
+        let stalled = FleetSimulator::new(Catalog::aws_like())
+            .with_faults(std::sync::Arc::new(DoubleStage0))
+            .run(&[job], &cfg)
+            .expect("runs");
+        // Stage 0 is 600 s; doubling it adds exactly 600 s of latency.
+        assert!(
+            (stalled.mean_latency_secs - clean.mean_latency_secs - 600.0).abs() < 1e-3,
+            "clean {} stalled {}",
+            clean.mean_latency_secs,
+            stalled.mean_latency_secs
+        );
+        assert_eq!(stalled.counters.jobs_completed, 1, "stalls delay, never kill");
     }
 
     #[test]

@@ -21,8 +21,9 @@
 
 use crate::{
     ape_micros, log_bias_micros, Arm, DesignBaseline, DriftDetector, DriftSignal, FeedbackEvent,
-    LifecycleConfig, LifecycleCounters, LifecycleError, LifecycleReport, ReplayBuffer, Retrainer,
-    RolloutDecision, RolloutManager, RuntimeOracle, StageErrors, TimelineEvent,
+    LifecycleConfig, LifecycleCounters, LifecycleError, LifecycleReport, NoLifecycleFaults,
+    ReplayBuffer, Retrainer, RolloutDecision, RolloutManager, RuntimeOracle,
+    SharedLifecycleFaults, StageErrors, TimelineEvent,
 };
 use eda_cloud_fleet::Histogram;
 use eda_cloud_gcn::{GraphBatch, ModelConfig};
@@ -64,6 +65,11 @@ enum Event {
 pub struct LifecycleController {
     config: LifecycleConfig,
     tracer: Tracer,
+    faults: SharedLifecycleFaults,
+    /// Test-only toggle for a deliberately planted guardrail bug (see
+    /// [`LifecycleController::with_planted_guardrail_bug`]).
+    #[cfg(any(test, feature = "planted-guardrail-bug"))]
+    planted_guardrail_bug: bool,
 }
 
 impl LifecycleController {
@@ -74,7 +80,13 @@ impl LifecycleController {
     /// Returns [`LifecycleError::Config`] for out-of-range knobs.
     pub fn new(config: LifecycleConfig) -> Result<Self, LifecycleError> {
         config.validate()?;
-        Ok(Self { config, tracer: Tracer::disabled() })
+        Ok(Self {
+            config,
+            tracer: Tracer::disabled(),
+            faults: Arc::new(NoLifecycleFaults),
+            #[cfg(any(test, feature = "planted-guardrail-bug"))]
+            planted_guardrail_bug: false,
+        })
     }
 
     /// Attach a tracer: requests get spans keyed by their ordinals,
@@ -82,6 +94,29 @@ impl LifecycleController {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach fault hooks (see [`crate::LifecycleFaults`]); the default
+    /// is the inert [`NoLifecycleFaults`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: SharedLifecycleFaults) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enable a deliberately planted guardrail bug: the rollout manager
+    /// is fed canary latencies with any injected spike subtracted out,
+    /// so the latency guardrail can no longer see injected canary
+    /// degradation and promotes a candidate it should roll back. Exists
+    /// solely so the simtest invariant suite can demonstrate catching
+    /// (and shrinking) a real guardrail violation; compiled only under
+    /// `cfg(test)` or the `planted-guardrail-bug` feature, and off by
+    /// default even then.
+    #[cfg(any(test, feature = "planted-guardrail-bug"))]
+    #[must_use]
+    pub fn with_planted_guardrail_bug(mut self) -> Self {
+        self.planted_guardrail_bug = true;
         self
     }
 
@@ -204,7 +239,12 @@ impl LifecycleController {
                     let start = time_us.max(serve_free_at);
                     let done = start + service_us;
                     serve_free_at = done;
-                    let latency_us = done - request.arrival_us;
+                    // An injected spike models a slow response, not a
+                    // busy server: it lands on this request's observed
+                    // latency (and its feedback join) but does not push
+                    // `serve_free_at` for later requests.
+                    let spike_us = self.faults.latency_spike_us(request.ordinal, arm);
+                    let latency_us = done - request.arrival_us + spike_us;
                     latencies_us.push(latency_us);
                     latency_hist.record(latency_us as f64 / 1_000.0);
                     let span = self.tracer.root_at(request.ordinal, "request");
@@ -213,19 +253,33 @@ impl LifecycleController {
                     span.attr("arm", if arm == Arm::Canary { "canary" } else { "primary" });
                     span.attr("cache", if cache_hit { "hit" } else { "miss" });
                     span.attr("latency_us", latency_us);
-                    events.insert(
-                        (done + cfg.feedback_delay_us, seq),
-                        Event::Feedback(Box::new(FeedbackEvent {
-                            ordinal: request.ordinal,
-                            version,
-                            arm,
-                            design: request.design.clone(),
-                            predicted,
-                            actual: oracle.runtimes(&request.design, request.ordinal),
-                            latency_us,
-                        })),
-                    );
-                    seq += 1;
+                    if spike_us > 0 {
+                        span.attr("fault", "latency_spike");
+                        span.attr("spike_us", spike_us);
+                    }
+                    if self.faults.drop_feedback(request.ordinal) {
+                        counters.feedback_dropped += 1;
+                        span.attr("fault", "feedback_dropped");
+                    } else {
+                        let extra_us = self.faults.feedback_extra_delay_us(request.ordinal);
+                        if extra_us > 0 {
+                            span.attr("fault", "feedback_delayed");
+                            span.attr("extra_us", extra_us);
+                        }
+                        events.insert(
+                            (done + cfg.feedback_delay_us + extra_us, seq),
+                            Event::Feedback(Box::new(FeedbackEvent {
+                                ordinal: request.ordinal,
+                                version,
+                                arm,
+                                design: request.design.clone(),
+                                predicted,
+                                actual: oracle.runtimes(&request.design, request.ordinal),
+                                latency_us,
+                            })),
+                        );
+                        seq += 1;
+                    }
                 }
                 Event::Feedback(fb) => {
                     counters.feedback_joins += 1;
@@ -363,7 +417,21 @@ impl LifecycleController {
                         Mode::Canary => {
                             push_relabeled(&mut buffers, &fb.design, &fb.actual);
                             match fb.arm {
-                                Arm::Canary => rollout.record_canary(mean_ape, fb.latency_us),
+                                Arm::Canary => {
+                                    #[allow(unused_mut)]
+                                    let mut observed_us = fb.latency_us;
+                                    // PLANTED BUG (test-only toggle): feed
+                                    // the guardrail a latency with any
+                                    // injected spike subtracted back out,
+                                    // blinding it to canary degradation.
+                                    #[cfg(any(test, feature = "planted-guardrail-bug"))]
+                                    if self.planted_guardrail_bug {
+                                        observed_us = observed_us.saturating_sub(
+                                            self.faults.latency_spike_us(fb.ordinal, Arm::Canary),
+                                        );
+                                    }
+                                    rollout.record_canary(mean_ape, observed_us);
+                                }
                                 Arm::Primary => rollout.record_primary(mean_ape),
                             }
                             let decision = rollout.evaluate();
@@ -581,5 +649,84 @@ mod tests {
             LifecycleController::new(bad),
             Err(LifecycleError::Config { .. })
         ));
+    }
+
+    /// Deterministic fault plan used by the hook tests: drops one join,
+    /// delays another, and spikes a third request's latency.
+    #[derive(Debug)]
+    struct Plan;
+
+    impl crate::LifecycleFaults for Plan {
+        fn drop_feedback(&self, ordinal: u64) -> bool {
+            ordinal == 5
+        }
+        fn feedback_extra_delay_us(&self, ordinal: u64) -> u64 {
+            if ordinal == 9 { 2_000_000 } else { 0 }
+        }
+        fn latency_spike_us(&self, ordinal: u64, _arm: Arm) -> u64 {
+            if ordinal == 12 { 400_000 } else { 0 }
+        }
+    }
+
+    #[test]
+    fn fault_hooks_drop_delay_and_spike_deterministically() {
+        let run = |faults: bool| {
+            let mut controller = LifecycleController::new(quick_config()).expect("valid");
+            if faults {
+                controller = controller.with_faults(Arc::new(Plan));
+            }
+            controller.run().expect("runs")
+        };
+        let (clean, _) = run(false);
+        let (faulty, feedback) = run(true);
+
+        // Conservation: the dropped join is accounted for, not lost.
+        assert_eq!(faulty.counters.feedback_dropped, 1);
+        assert_eq!(
+            faulty.counters.feedback_joins + faulty.counters.feedback_dropped,
+            faulty.counters.requests
+        );
+        assert!(feedback.iter().all(|f| f.ordinal != 5), "dropped join never lands");
+
+        // The delayed join still arrives, carrying its original payload.
+        assert!(feedback.iter().any(|f| f.ordinal == 9), "delayed join still lands");
+
+        // The spike is observed by latency stats and the join.
+        let spiked = feedback.iter().find(|f| f.ordinal == 12).expect("join 12");
+        assert!(spiked.latency_us >= 400_000, "spike lands on observed latency");
+        assert!(faulty.p95_latency_us >= clean.p95_latency_us);
+
+        // Same plan, same bytes.
+        let (again, _) = run(true);
+        assert_eq!(faulty.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn planted_guardrail_bug_blinds_the_latency_guardrail() {
+        // Spike every canary-arm request far past the latency budget:
+        // a sound guardrail must roll the candidate back, and the
+        // planted bug (which subtracts the spike back out before the
+        // guardrail sees it) must promote instead.
+        #[derive(Debug)]
+        struct CanarySpike;
+        impl crate::LifecycleFaults for CanarySpike {
+            fn latency_spike_us(&self, _ordinal: u64, arm: Arm) -> u64 {
+                if arm == Arm::Canary { 10_000_000 } else { 0 }
+            }
+        }
+        let run = |bug: bool| {
+            let mut controller = LifecycleController::new(quick_config())
+                .expect("valid")
+                .with_faults(Arc::new(CanarySpike));
+            if bug {
+                controller = controller.with_planted_guardrail_bug();
+            }
+            controller.run().expect("runs").0
+        };
+        let sound = run(false);
+        assert_eq!(sound.counters.promotions, 0, "sound guardrail rolls back");
+        assert!(sound.counters.rollbacks > 0);
+        let buggy = run(true);
+        assert!(buggy.counters.promotions > 0, "planted bug promotes a degraded canary");
     }
 }

@@ -55,6 +55,7 @@ mod config;
 mod controller;
 mod drift;
 mod error;
+mod faults;
 mod feedback;
 mod oracle;
 mod report;
@@ -65,6 +66,7 @@ pub use config::LifecycleConfig;
 pub use controller::{LifecycleController, MODEL_NAME};
 pub use drift::{DesignBaseline, DriftDetector, DriftSignal};
 pub use error::LifecycleError;
+pub use faults::{LifecycleFaults, NoLifecycleFaults, SharedLifecycleFaults};
 pub use feedback::{ape_micros, log_bias_micros, Arm, FeedbackEvent, ReplayBuffer};
 pub use oracle::RuntimeOracle;
 pub use report::{LifecycleCounters, LifecycleReport, MeanApe, StageErrors, TimelineEvent};

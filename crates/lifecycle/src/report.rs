@@ -80,6 +80,10 @@ pub struct LifecycleCounters {
     pub promotions: u64,
     /// Candidates rolled back by a guardrail.
     pub rollbacks: u64,
+    /// Feedback joins lost to an injected drop fault (zero outside
+    /// fault-injection harnesses); `feedback_joins + feedback_dropped`
+    /// always equals `requests` once the stream drains.
+    pub feedback_dropped: u64,
 }
 
 /// One control-plane event on the simulated clock.
@@ -157,7 +161,8 @@ impl LifecycleReport {
         s.push_str(&format!("    \"retrains\": {},\n", c.retrains));
         s.push_str(&format!("    \"canaries_started\": {},\n", c.canaries_started));
         s.push_str(&format!("    \"promotions\": {},\n", c.promotions));
-        s.push_str(&format!("    \"rollbacks\": {}\n", c.rollbacks));
+        s.push_str(&format!("    \"rollbacks\": {},\n", c.rollbacks));
+        s.push_str(&format!("    \"feedback_dropped\": {}\n", c.feedback_dropped));
         s.push_str("  },\n");
         s.push_str(&format!("  \"final_primary_version\": {},\n", self.final_primary_version));
         s.push_str("  \"stages\": [\n");

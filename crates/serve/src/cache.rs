@@ -72,6 +72,13 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.entries.insert(key, (value, self.tick));
     }
 
+    /// Drop every entry while preserving the hit/miss accounting and
+    /// the recency clock — a fault-injection "cache wipe", not a
+    /// statistics reset.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Entries currently cached.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -133,6 +140,17 @@ mod tests {
         c.insert(3, 30); // evicts 2 (1 was refreshed later)
         assert_eq!(c.get(&2), None);
         assert_eq!(c.get(&1), Some(11));
+    }
+
+    #[test]
+    fn clear_wipes_entries_but_keeps_accounting() {
+        let mut c: LruCache<u64, u64> = LruCache::new(4);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), Some(10));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None, "wiped entries must miss");
+        assert_eq!((c.hits(), c.misses()), (1, 1), "counters survive the wipe");
     }
 
     #[test]

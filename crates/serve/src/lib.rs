@@ -63,6 +63,7 @@
 
 mod cache;
 mod error;
+mod faults;
 mod planner;
 mod queue;
 mod registry;
@@ -72,6 +73,7 @@ mod server;
 
 pub use cache::LruCache;
 pub use error::ServeError;
+pub use faults::{NoServeFaults, ServeFaults, SharedServeFaults};
 pub use planner::{CostTablePlanner, PlanSummary, Planner, VCPUS};
 pub use queue::AdmissionQueue;
 pub use registry::{ModelRegistry, ModelSnapshot, STAGE_NAMES};

@@ -23,6 +23,40 @@ use std::collections::BTreeMap;
 /// crosses this crate's API (predictions, plans, service stages).
 pub const STAGE_NAMES: [&str; 4] = ["synthesis", "placement", "routing", "sta"];
 
+/// FNV-1a 64-bit hash — the snapshot-text checksum primitive. Each
+/// byte step `h' = (h ^ b) * p` multiplies by an odd prime, which is a
+/// bijection on `u64` per input byte, so any single-byte substitution
+/// (in particular any single-bit flip) changes the digest.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Split the next `\n`-terminated line off `rest`, tracking byte
+/// position (unlike `str::lines`) so the checksum footer can hash the
+/// exact preceding bytes.
+fn next_line<'a>(rest: &mut &'a str) -> Option<&'a str> {
+    if rest.is_empty() {
+        return None;
+    }
+    match rest.find('\n') {
+        Some(idx) => {
+            let line = &rest[..idx];
+            *rest = &rest[idx + 1..];
+            Some(line)
+        }
+        None => {
+            let line = *rest;
+            *rest = "";
+            Some(line)
+        }
+    }
+}
+
 /// The four per-stage predictors, frozen for serving.
 #[derive(Debug, Clone)]
 pub struct ModelSnapshot {
@@ -82,6 +116,11 @@ impl ModelSnapshot {
     }
 
     /// Serialize to the canonical `eda-serve-snapshot v1` text format.
+    ///
+    /// The document ends with a `checksum <16 hex digits>` footer — an
+    /// FNV-1a 64 digest of every preceding byte — so storage-level bit
+    /// rot is detected at load instead of silently serving a corrupt
+    /// model.
     #[must_use]
     pub fn to_text(&self) -> String {
         let mut out = String::from("eda-serve-snapshot v1\n");
@@ -90,6 +129,7 @@ impl ModelSnapshot {
             out.push_str(&self.stage(k).save_weights());
             out.push_str(&format!("end {name}\n"));
         }
+        out.push_str(&format!("checksum {:016x}\n", fnv1a64(out.as_bytes())));
         out
     }
 
@@ -98,23 +138,26 @@ impl ModelSnapshot {
     /// # Errors
     ///
     /// Returns [`ServeError::Snapshot`] on a bad header, missing or
-    /// misordered stage delimiters, or malformed embedded weights.
+    /// misordered stage delimiters, malformed embedded weights, or a
+    /// missing/mismatched `checksum` footer. The checksum is verified
+    /// after the structural parse, so structural corruption keeps its
+    /// precise message while any surviving bit flip is still rejected.
     pub fn from_text(text: &str) -> Result<Self, ServeError> {
         let err = |m: String| ServeError::Snapshot { message: m };
-        let mut lines = text.lines();
-        if lines.next() != Some("eda-serve-snapshot v1") {
+        let mut rest = text;
+        if next_line(&mut rest) != Some("eda-serve-snapshot v1") {
             return Err(err("unknown header".into()));
         }
         let mut stages = Vec::with_capacity(4);
         for name in STAGE_NAMES {
-            let open = lines.next().unwrap_or_default();
+            let open = next_line(&mut rest).unwrap_or_default();
             if open != format!("stage {name}") {
                 return Err(err(format!("expected `stage {name}`, found `{open}`")));
             }
             let close = format!("end {name}");
             let mut doc = String::new();
             loop {
-                let Some(line) = lines.next() else {
+                let Some(line) = next_line(&mut rest) else {
                     return Err(err(format!("missing `{close}`")));
                 };
                 if line == close {
@@ -124,6 +167,24 @@ impl ModelSnapshot {
                 doc.push('\n');
             }
             stages.push(RuntimePredictor::load_weights(&doc)?);
+        }
+        let body_len = text.len() - rest.len();
+        let footer = next_line(&mut rest).ok_or_else(|| err("missing `checksum` footer".into()))?;
+        let Some(hex) = footer.strip_prefix("checksum ") else {
+            return Err(err(format!("expected `checksum <16 hex digits>`, found `{footer}`")));
+        };
+        if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(err(format!("malformed checksum `{hex}`")));
+        }
+        let stated = u64::from_str_radix(hex, 16).expect("validated hex");
+        if !rest.is_empty() {
+            return Err(err("trailing content after checksum footer".into()));
+        }
+        let computed = fnv1a64(&text.as_bytes()[..body_len]);
+        if stated != computed {
+            return Err(err(format!(
+                "checksum mismatch: stated {stated:016x}, computed {computed:016x}"
+            )));
         }
         let mut stages = stages.into_iter();
         let (s, p, r, t) = (
@@ -388,6 +449,36 @@ mod tests {
         let swapped = text.replace("stage placement", "stage routing");
         let e = ModelSnapshot::from_text(&swapped).unwrap_err();
         assert!(e.to_string().contains("placement"), "{e}");
+    }
+
+    #[test]
+    fn snapshot_checksum_footer_guards_the_document() {
+        let snap = ModelSnapshot::seeded(&ModelConfig::fast(), 2);
+        let text = snap.to_text();
+        assert!(text.ends_with('\n'));
+        let footer = text.lines().last().expect("non-empty");
+        assert!(footer.starts_with("checksum "), "canonical text ends with the footer: {footer}");
+
+        // Missing footer, corrupted footer, and trailing bytes are all
+        // typed errors.
+        let without = text.strip_suffix(&format!("{footer}\n")).expect("footer is last");
+        let e = ModelSnapshot::from_text(without).unwrap_err();
+        assert!(e.to_string().contains("checksum"), "{e}");
+        let e = ModelSnapshot::from_text(&format!("{text}extra\n")).unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+        let zeroed = text.replace(footer, "checksum 0000000000000000");
+        let e = ModelSnapshot::from_text(&zeroed).unwrap_err();
+        assert!(e.to_string().contains("mismatch"), "{e}");
+
+        // A digit substitution in the body (which still parses as a
+        // number) is caught by the digest even though the structure is
+        // intact.
+        let body_end = text.len() - footer.len() - 1;
+        let digit = text[..body_end].rfind(['1', '2', '3']).expect("a digit exists");
+        let mut flipped = text.into_bytes();
+        flipped[digit] = if flipped[digit] == b'1' { b'7' } else { b'1' };
+        let flipped = String::from_utf8(flipped).expect("ascii-safe edit");
+        assert!(ModelSnapshot::from_text(&flipped).is_err(), "bit rot must not load");
     }
 
     #[test]

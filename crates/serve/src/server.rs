@@ -13,8 +13,8 @@
 //! and every outcome are byte-identical across runs and worker counts.
 
 use crate::{
-    AdmissionQueue, LruCache, ModelSnapshot, PlanSummary, Planner, RequestKind, ServeCounters,
-    ServeError, ServeReport, ServeRequest,
+    AdmissionQueue, LruCache, ModelSnapshot, NoServeFaults, PlanSummary, Planner, RequestKind,
+    ServeCounters, ServeError, ServeReport, ServeRequest, SharedServeFaults,
 };
 use eda_cloud_fleet::Histogram;
 use eda_cloud_gcn::{GraphBatch, GraphSample};
@@ -130,6 +130,7 @@ pub struct Server {
     planner: Box<dyn Planner>,
     config: ServeConfig,
     tracer: Tracer,
+    faults: SharedServeFaults,
 }
 
 impl Server {
@@ -143,7 +144,13 @@ impl Server {
     pub fn new(snapshot: ModelSnapshot, planner: Box<dyn Planner>, config: ServeConfig) -> Self {
         assert!(config.max_batch > 0, "max batch must be positive");
         assert!(config.pad_stride > 0, "pad stride must be positive");
-        Self { snapshot, planner, config, tracer: Tracer::disabled() }
+        Self {
+            snapshot,
+            planner,
+            config,
+            tracer: Tracer::disabled(),
+            faults: std::sync::Arc::new(NoServeFaults),
+        }
     }
 
     /// Attach a tracer; every request gets a root span keyed by its
@@ -151,6 +158,14 @@ impl Server {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Attach fault hooks (see [`crate::ServeFaults`]); the default is
+    /// the inert [`NoServeFaults`].
+    #[must_use]
+    pub fn with_faults(mut self, faults: SharedServeFaults) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -207,6 +222,23 @@ impl Server {
                 let request = requests[next].clone();
                 next += 1;
                 counters.requests += 1;
+                if self.faults.wipe_cache(request.ordinal) {
+                    cache.clear();
+                    let span = self.tracer.root_at(request.ordinal, "fault/cache_wipe");
+                    span.attr("fault", "cache_wipe");
+                }
+                if self.faults.force_shed(request.ordinal) {
+                    // An injected overload burst: rejected exactly like
+                    // a capacity shed, so conservation still holds.
+                    let (ordinal, queue_depth) = (request.ordinal, queue.len());
+                    counters.shed += 1;
+                    let span = self.tracer.root_at(ordinal, "request");
+                    span.attr("outcome", "shed");
+                    span.attr("queue_depth", queue_depth);
+                    span.attr("fault", "force_shed");
+                    outcomes.push(RequestOutcome::Shed { ordinal, queue_depth });
+                    continue;
+                }
                 if let Err(ServeError::Overloaded { ordinal, queue_depth, .. }) =
                     queue.try_admit(request)
                 {
@@ -495,6 +527,43 @@ mod tests {
             .expect("runs")
             .0;
         assert_eq!(v1.to_json(), v2.to_json());
+    }
+
+    #[test]
+    fn fault_hooks_shed_and_wipe_deterministically() {
+        struct Plan;
+        impl crate::ServeFaults for Plan {
+            fn force_shed(&self, ordinal: u64) -> bool {
+                ordinal == 3
+            }
+            fn wipe_cache(&self, ordinal: u64) -> bool {
+                ordinal == 10
+            }
+        }
+        let requests = workload(24, 150.0, 7);
+        let run = |with_faults: bool| {
+            let mut s = server(ServeConfig::default());
+            if with_faults {
+                s = s.with_faults(std::sync::Arc::new(Plan));
+            }
+            s.run(7, &requests).expect("runs")
+        };
+        let (clean, _) = run(false);
+        let (faulty, outcomes) = run(true);
+        assert!(
+            matches!(outcomes[3], RequestOutcome::Shed { ordinal: 3, .. }),
+            "forced shed lands on the targeted ordinal: {:?}",
+            outcomes[3]
+        );
+        assert_eq!(faulty.counters.shed, clean.counters.shed + 1);
+        assert_eq!(
+            faulty.counters.completed + faulty.counters.shed,
+            faulty.counters.requests,
+            "conservation holds under injected faults"
+        );
+        let (again, again_outcomes) = run(true);
+        assert_eq!(faulty.to_json(), again.to_json(), "fault plans replay exactly");
+        assert_eq!(outcomes, again_outcomes);
     }
 
     #[test]

@@ -98,6 +98,46 @@ proptest! {
     }
 
     #[test]
+    fn single_bit_flips_are_typed_errors(position in 0.0f64..1.0, bit in 0u32..7) {
+        // The checksum footer makes every single-byte corruption
+        // detectable: FNV-1a's per-byte step is bijective, so two
+        // documents differing in one byte can never share a digest.
+        // Flips land on bits 0-6 to keep the document valid UTF-8
+        // (the canonical format is pure ASCII).
+        let text = canonical();
+        let index = ((position * text.len() as f64) as usize).min(text.len() - 1);
+        let mut bytes = text.into_bytes();
+        bytes[index] ^= 1 << bit;
+        let corrupted = String::from_utf8(bytes).expect("ASCII stays UTF-8 below bit 7");
+        let result = ModelSnapshot::from_text(&corrupted);
+        prop_assert!(
+            result.is_err(),
+            "flipping bit {bit} of byte {index} must be rejected, got Ok"
+        );
+    }
+
+    #[test]
+    fn truncation_after_any_newline_is_a_typed_error(position in 0.0f64..1.0) {
+        // Cutting at a line boundary produces a structurally plausible
+        // prefix — exactly what a partial download looks like. The
+        // parser must still reject it (missing sections or missing
+        // checksum), never panic or accept.
+        let text = canonical();
+        let newlines: Vec<usize> =
+            text.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i).collect();
+        let pick = ((position * newlines.len() as f64) as usize).min(newlines.len() - 1);
+        let cut = newlines[pick] + 1;
+        if cut == text.len() {
+            return; // The full document parses; nothing was truncated.
+        }
+        let result = ModelSnapshot::from_text(&text[..cut]);
+        prop_assert!(
+            matches!(result, Err(ServeError::Snapshot { .. })),
+            "truncation after newline {pick} must be a typed snapshot error"
+        );
+    }
+
+    #[test]
     fn random_bytes_never_panic(seed_a in 0u64..u64::MAX, lines in 1usize..20) {
         // Arbitrary printable garbage, sometimes under a valid header.
         let mut state = seed_a | 1;

@@ -1,0 +1,174 @@
+//! Adapts a [`FaultPlan`] to the fault-hook traits of the driven
+//! crates.
+//!
+//! One [`PlanFaults`] value is shared (as an `Arc`) with the fleet
+//! simulator, the serve server, and the lifecycle controller; each
+//! consults only the hook methods of its own trait. Every answer is a
+//! pure function of the queried identity and the immutable plan, so
+//! injection is deterministic at any worker count.
+
+use crate::{FaultEvent, FaultPlan, PPM};
+use eda_cloud_fleet::FleetFaults;
+use eda_cloud_lifecycle::{Arm, LifecycleFaults};
+use eda_cloud_serve::ServeFaults;
+
+/// A fault plan wired up as hook objects for all three loops.
+#[derive(Debug, Clone)]
+pub struct PlanFaults {
+    plan: FaultPlan,
+}
+
+impl PlanFaults {
+    /// Wrap a plan. The plan should be validated first
+    /// ([`FaultPlan::validate`]); out-of-range parameters are clamped
+    /// defensively at the hook sites.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The wrapped plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FleetFaults for PlanFaults {
+    fn interrupt(&self, job_id: u64, _stage: usize, attempt: u32) -> Option<f64> {
+        self.plan.events.iter().find_map(|event| match *event {
+            FaultEvent::SpotStorm { job_lo, job_hi, attempts, fraction_ppm }
+                if (job_lo..=job_hi).contains(&job_id) && attempt < attempts =>
+            {
+                Some(fraction_ppm.min(PPM) as f64 / PPM as f64)
+            }
+            _ => None,
+        })
+    }
+
+    fn stall_pct(&self, job_id: u64, stage: usize) -> u64 {
+        self.plan
+            .events
+            .iter()
+            .find_map(|event| match *event {
+                FaultEvent::VmStall { job_id: j, stage: s, pct } if j == job_id && s == stage => {
+                    Some(pct.max(100))
+                }
+                _ => None,
+            })
+            .unwrap_or(100)
+    }
+}
+
+impl ServeFaults for PlanFaults {
+    fn force_shed(&self, ordinal: u64) -> bool {
+        self.plan.events.iter().any(|event| {
+            matches!(*event,
+                FaultEvent::OverloadBurst { ord_lo, ord_hi }
+                    if (ord_lo..=ord_hi).contains(&ordinal))
+        })
+    }
+
+    fn wipe_cache(&self, ordinal: u64) -> bool {
+        self.plan
+            .events
+            .iter()
+            .any(|event| matches!(*event, FaultEvent::CacheWipe { ordinal: o } if o == ordinal))
+    }
+}
+
+impl LifecycleFaults for PlanFaults {
+    fn drop_feedback(&self, ordinal: u64) -> bool {
+        self.plan
+            .events
+            .iter()
+            .any(|event| matches!(*event, FaultEvent::FeedbackDrop { ordinal: o } if o == ordinal))
+    }
+
+    fn feedback_extra_delay_us(&self, ordinal: u64) -> u64 {
+        self.plan
+            .events
+            .iter()
+            .find_map(|event| match *event {
+                FaultEvent::FeedbackDelay { ordinal: o, extra_us } if o == ordinal => {
+                    Some(extra_us)
+                }
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn latency_spike_us(&self, ordinal: u64, arm: Arm) -> u64 {
+        if arm != Arm::Canary {
+            return 0;
+        }
+        self.plan
+            .events
+            .iter()
+            .find_map(|event| match *event {
+                FaultEvent::CanaryLatencySpike { ord_lo, ord_hi, spike_us }
+                    if (ord_lo..=ord_hi).contains(&ordinal) =>
+                {
+                    Some(spike_us)
+                }
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hooks() -> PlanFaults {
+        PlanFaults::new(FaultPlan {
+            seed: 0,
+            events: vec![
+                FaultEvent::SpotStorm { job_lo: 1, job_hi: 2, attempts: 2, fraction_ppm: 250_000 },
+                FaultEvent::VmStall { job_id: 3, stage: 1, pct: 300 },
+                FaultEvent::OverloadBurst { ord_lo: 5, ord_hi: 7 },
+                FaultEvent::CacheWipe { ordinal: 9 },
+                FaultEvent::FeedbackDelay { ordinal: 11, extra_us: 1_000_000 },
+                FaultEvent::FeedbackDrop { ordinal: 13 },
+                FaultEvent::CanaryLatencySpike { ord_lo: 20, ord_hi: 30, spike_us: 500_000 },
+            ],
+        })
+    }
+
+    #[test]
+    fn fleet_hooks_match_identity_exactly() {
+        let h = hooks();
+        assert_eq!(h.interrupt(1, 0, 0), Some(0.25));
+        assert_eq!(h.interrupt(2, 3, 1), Some(0.25));
+        assert_eq!(h.interrupt(2, 3, 2), None, "storm passes after `attempts`");
+        assert_eq!(h.interrupt(0, 0, 0), None, "job outside the storm");
+        assert_eq!(h.stall_pct(3, 1), 300);
+        assert_eq!(h.stall_pct(3, 2), 100, "other stages run at nominal speed");
+        assert_eq!(h.stall_pct(0, 1), 100);
+    }
+
+    #[test]
+    fn serve_and_lifecycle_hooks_match_identity_exactly() {
+        let h = hooks();
+        assert!(h.force_shed(5) && h.force_shed(7) && !h.force_shed(8));
+        assert!(h.wipe_cache(9) && !h.wipe_cache(10));
+        assert_eq!(h.feedback_extra_delay_us(11), 1_000_000);
+        assert_eq!(h.feedback_extra_delay_us(12), 0);
+        assert!(h.drop_feedback(13) && !h.drop_feedback(11));
+        assert_eq!(h.latency_spike_us(25, Arm::Canary), 500_000);
+        assert_eq!(h.latency_spike_us(25, Arm::Primary), 0, "spike targets the canary arm");
+        assert_eq!(h.latency_spike_us(31, Arm::Canary), 0);
+    }
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let h = PlanFaults::new(FaultPlan::empty(7));
+        assert_eq!(h.interrupt(0, 0, 0), None);
+        assert_eq!(h.stall_pct(0, 0), 100);
+        assert!(!h.force_shed(0) && !h.wipe_cache(0) && !h.drop_feedback(0));
+        assert_eq!(h.feedback_extra_delay_us(0), 0);
+        assert_eq!(h.latency_spike_us(0, Arm::Canary), 0);
+        assert_eq!(h.plan().events.len(), 0);
+    }
+}

@@ -1,0 +1,540 @@
+//! Fault plans: what goes wrong, where, and when.
+//!
+//! A [`FaultPlan`] is a list of [`FaultEvent`]s keyed entirely on
+//! canonical identity — job ids, stage indices, attempt numbers,
+//! request ordinals — never on wall-clock time or thread schedule, so
+//! the same plan replays byte-identically at any worker count. Plans
+//! are generated from a seed, rendered to a canonical JSON document
+//! (fixed key order, one event per line, integers only), and parsed
+//! back strictly: the parser accepts exactly what the renderer emits,
+//! so a shrunk reproducer artifact round-trips losslessly.
+
+use crate::{SimtestConfig, SimtestError};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Fractions are carried as integer parts-per-million so the plan
+/// document never contains a float.
+pub const PPM: u64 = 1_000_000;
+
+/// One scheduled fault. Every variant targets canonical identity in
+/// one of the three driven loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Fleet: forcibly reclaim the VM of any stage of jobs
+    /// `job_lo..=job_hi` while the stage's attempt counter is below
+    /// `attempts`, at `fraction_ppm` of the stage runtime.
+    SpotStorm {
+        /// First job id hit by the storm.
+        job_lo: u64,
+        /// Last job id hit by the storm (inclusive).
+        job_hi: u64,
+        /// Attempts interrupted per stage before the storm passes.
+        attempts: u32,
+        /// Reclaim point as parts-per-million of the stage runtime.
+        fraction_ppm: u64,
+    },
+    /// Fleet: inflate one stage's duration to `pct` percent (a slow or
+    /// stalling VM).
+    VmStall {
+        /// Job whose stage stalls.
+        job_id: u64,
+        /// Stage index within the job.
+        stage: usize,
+        /// Inflated duration, percent of nominal (`>= 100`).
+        pct: u64,
+    },
+    /// Serve: shed every request with ordinal in `ord_lo..=ord_hi` at
+    /// admission (an overload burst).
+    OverloadBurst {
+        /// First shed ordinal.
+        ord_lo: u64,
+        /// Last shed ordinal (inclusive).
+        ord_hi: u64,
+    },
+    /// Serve: wipe the result cache when this ordinal arrives.
+    CacheWipe {
+        /// Arrival ordinal triggering the wipe.
+        ordinal: u64,
+    },
+    /// Lifecycle: delay one request's ground-truth feedback join by an
+    /// extra `extra_us` (a straggling flow job).
+    FeedbackDelay {
+        /// Request ordinal whose join straggles.
+        ordinal: u64,
+        /// Extra delay on top of the configured feedback delay, µs.
+        extra_us: u64,
+    },
+    /// Lifecycle: drop one request's feedback join entirely.
+    FeedbackDrop {
+        /// Request ordinal whose join is lost.
+        ordinal: u64,
+    },
+    /// Flip one byte of the serialized model snapshot; the registry's
+    /// checksum footer must reject the document with a typed error.
+    SnapshotCorruption {
+        /// Byte to flip, reduced modulo the document length at
+        /// injection time.
+        byte_index: u64,
+    },
+    /// Lifecycle: add `spike_us` to the observed latency of canary-arm
+    /// requests with ordinals in `ord_lo..=ord_hi` (degraded service
+    /// inside the canary window).
+    CanaryLatencySpike {
+        /// First spiked ordinal.
+        ord_lo: u64,
+        /// Last spiked ordinal (inclusive).
+        ord_hi: u64,
+        /// Added latency, µs.
+        spike_us: u64,
+    },
+}
+
+impl FaultEvent {
+    /// The event's canonical kind string, as it appears in the JSON.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::SpotStorm { .. } => "spot_storm",
+            FaultEvent::VmStall { .. } => "vm_stall",
+            FaultEvent::OverloadBurst { .. } => "overload_burst",
+            FaultEvent::CacheWipe { .. } => "cache_wipe",
+            FaultEvent::FeedbackDelay { .. } => "feedback_delay",
+            FaultEvent::FeedbackDrop { .. } => "feedback_drop",
+            FaultEvent::SnapshotCorruption { .. } => "snapshot_corruption",
+            FaultEvent::CanaryLatencySpike { .. } => "canary_latency_spike",
+        }
+    }
+
+    /// Render the event as one canonical single-line JSON object.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        match *self {
+            FaultEvent::SpotStorm { job_lo, job_hi, attempts, fraction_ppm } => format!(
+                "{{\"kind\":\"spot_storm\",\"job_lo\":{job_lo},\"job_hi\":{job_hi},\
+                 \"attempts\":{attempts},\"fraction_ppm\":{fraction_ppm}}}"
+            ),
+            FaultEvent::VmStall { job_id, stage, pct } => format!(
+                "{{\"kind\":\"vm_stall\",\"job_id\":{job_id},\"stage\":{stage},\"pct\":{pct}}}"
+            ),
+            FaultEvent::OverloadBurst { ord_lo, ord_hi } => format!(
+                "{{\"kind\":\"overload_burst\",\"ord_lo\":{ord_lo},\"ord_hi\":{ord_hi}}}"
+            ),
+            FaultEvent::CacheWipe { ordinal } => {
+                format!("{{\"kind\":\"cache_wipe\",\"ordinal\":{ordinal}}}")
+            }
+            FaultEvent::FeedbackDelay { ordinal, extra_us } => format!(
+                "{{\"kind\":\"feedback_delay\",\"ordinal\":{ordinal},\"extra_us\":{extra_us}}}"
+            ),
+            FaultEvent::FeedbackDrop { ordinal } => {
+                format!("{{\"kind\":\"feedback_drop\",\"ordinal\":{ordinal}}}")
+            }
+            FaultEvent::SnapshotCorruption { byte_index } => {
+                format!("{{\"kind\":\"snapshot_corruption\",\"byte_index\":{byte_index}}}")
+            }
+            FaultEvent::CanaryLatencySpike { ord_lo, ord_hi, spike_us } => format!(
+                "{{\"kind\":\"canary_latency_spike\",\"ord_lo\":{ord_lo},\"ord_hi\":{ord_hi},\
+                 \"spike_us\":{spike_us}}}"
+            ),
+        }
+    }
+}
+
+/// A seeded schedule of faults, replayable across runs and worker
+/// counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The scheduled faults, in generation order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults: the harness runs clean.
+    #[must_use]
+    pub fn empty(seed: u64) -> Self {
+        Self { seed, events: Vec::new() }
+    }
+
+    /// Generate `faults` events from `seed`, targeted at the workload
+    /// shapes in `config` so most events actually land. Generation
+    /// consumes one ChaCha8 stream in event order — same seed, same
+    /// plan, bytes and all.
+    #[must_use]
+    pub fn generate(seed: u64, faults: usize, config: &SimtestConfig) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xFA17_1227_5EED_0001);
+        let jobs = config.fleet_jobs.max(1) as u64;
+        let serve_ords = config.serve_requests.max(1) as u64;
+        let life_ords = config.lifecycle_requests.max(1) as u64;
+        let events = (0..faults)
+            .map(|_| match rng.gen_range(0u32..8) {
+                0 => {
+                    let job_lo = rng.gen_range(0..jobs);
+                    FaultEvent::SpotStorm {
+                        job_lo,
+                        job_hi: (job_lo + rng.gen_range(0u64..3)).min(jobs - 1),
+                        attempts: rng.gen_range(1u32..=8),
+                        fraction_ppm: rng.gen_range(50_000u64..950_000),
+                    }
+                }
+                1 => FaultEvent::VmStall {
+                    job_id: rng.gen_range(0..jobs),
+                    stage: rng.gen_range(0usize..4),
+                    pct: rng.gen_range(110u64..400),
+                },
+                2 => {
+                    let ord_lo = rng.gen_range(0..serve_ords);
+                    FaultEvent::OverloadBurst {
+                        ord_lo,
+                        ord_hi: (ord_lo + rng.gen_range(0u64..6)).min(serve_ords - 1),
+                    }
+                }
+                3 => FaultEvent::CacheWipe { ordinal: rng.gen_range(0..serve_ords) },
+                4 => FaultEvent::FeedbackDelay {
+                    ordinal: rng.gen_range(0..life_ords),
+                    extra_us: rng.gen_range(100_000u64..5_000_000),
+                },
+                5 => FaultEvent::FeedbackDrop { ordinal: rng.gen_range(0..life_ords) },
+                6 => FaultEvent::SnapshotCorruption { byte_index: rng.gen_range(0u64..65_536) },
+                _ => {
+                    let ord_lo = rng.gen_range(0..life_ords);
+                    FaultEvent::CanaryLatencySpike {
+                        ord_lo,
+                        ord_hi: (ord_lo + rng.gen_range(0u64..32)).min(life_ords - 1),
+                        spike_us: rng.gen_range(100_000u64..20_000_000),
+                    }
+                }
+            })
+            .collect();
+        Self { seed, events }
+    }
+
+    /// Reject plans whose parameters the injectors cannot honor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimtestError::Plan`] for an out-of-range fraction,
+    /// stage index, stall percent, or an inverted range.
+    pub fn validate(&self) -> Result<(), SimtestError> {
+        for (i, event) in self.events.iter().enumerate() {
+            let problem = match *event {
+                FaultEvent::SpotStorm { job_lo, job_hi, attempts, fraction_ppm } => {
+                    if fraction_ppm > PPM {
+                        Some(format!("fraction_ppm {fraction_ppm} exceeds {PPM}"))
+                    } else if attempts == 0 {
+                        Some("attempts must be positive".into())
+                    } else if job_lo > job_hi {
+                        Some(format!("job range {job_lo}..={job_hi} is inverted"))
+                    } else {
+                        None
+                    }
+                }
+                FaultEvent::VmStall { stage, pct, .. } => {
+                    if stage >= 4 {
+                        Some(format!("stage index {stage} out of range (jobs have 4 stages)"))
+                    } else if pct < 100 {
+                        Some(format!("stall pct {pct} would shorten the stage"))
+                    } else {
+                        None
+                    }
+                }
+                FaultEvent::OverloadBurst { ord_lo, ord_hi }
+                | FaultEvent::CanaryLatencySpike { ord_lo, ord_hi, .. } => {
+                    if ord_lo > ord_hi {
+                        Some(format!("ordinal range {ord_lo}..={ord_hi} is inverted"))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            if let Some(message) = problem {
+                return Err(SimtestError::Plan {
+                    message: format!("event {i} ({}): {message}", event.kind()),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the canonical multi-line JSON document: fixed key order,
+    /// one event per line, integers only. This is the replayable
+    /// artifact format the shrinker emits.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128 + self.events.len() * 96);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"events\": [\n");
+        for (i, event) in self.events.iter().enumerate() {
+            s.push_str("    ");
+            s.push_str(&event.to_json_line());
+            s.push_str(if i + 1 < self.events.len() { ",\n" } else { "\n" });
+        }
+        s.push_str("  ]\n}");
+        s
+    }
+
+    /// Render the plan as one JSON line (for embedding in reports).
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let events: Vec<String> = self.events.iter().map(FaultEvent::to_json_line).collect();
+        format!("{{\"seed\":{},\"events\":[{}]}}", self.seed, events.join(","))
+    }
+
+    /// Parse a canonical plan document (the [`FaultPlan::to_json`]
+    /// shape, modulo surrounding whitespace per line).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimtestError::Plan`] for structural deviations,
+    /// unknown kinds, missing or extra fields, or non-integer values —
+    /// a corrupt artifact must never silently replay as a different
+    /// plan.
+    pub fn from_json(text: &str) -> Result<Self, SimtestError> {
+        let bad = |message: String| SimtestError::Plan { message };
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        fn expect<'a>(
+            lines: &mut impl Iterator<Item = &'a str>,
+            want: &str,
+        ) -> Result<(), SimtestError> {
+            match lines.next() {
+                Some(line) if line == want => Ok(()),
+                Some(line) => Err(SimtestError::Plan {
+                    message: format!("expected `{want}`, found `{line}`"),
+                }),
+                None => Err(SimtestError::Plan {
+                    message: format!("expected `{want}`, found end of document"),
+                }),
+            }
+        }
+        expect(&mut lines, "{")?;
+        let seed_line = lines
+            .next()
+            .ok_or_else(|| bad("missing `\"seed\"` line".into()))?;
+        let seed = seed_line
+            .strip_prefix("\"seed\": ")
+            .and_then(|rest| rest.strip_suffix(','))
+            .and_then(|v| v.parse::<u64>().ok())
+            .ok_or_else(|| bad(format!("malformed seed line `{seed_line}`")))?;
+        expect(&mut lines, "\"events\": [")?;
+        let mut events = Vec::new();
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad("unterminated events array".into()))?;
+            if line == "]" {
+                break;
+            }
+            let object = line.strip_suffix(',').unwrap_or(line);
+            events.push(parse_event(object)?);
+        }
+        expect(&mut lines, "}")?;
+        if let Some(extra) = lines.next() {
+            return Err(bad(format!("trailing content `{extra}`")));
+        }
+        let plan = Self { seed, events };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// Parse one single-line event object emitted by
+/// [`FaultEvent::to_json_line`].
+fn parse_event(object: &str) -> Result<FaultEvent, SimtestError> {
+    let bad = |message: String| SimtestError::Plan { message };
+    let inner = object
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| bad(format!("event `{object}` is not an object")))?;
+    let mut kind: Option<&str> = None;
+    let mut fields: Vec<(&str, u64)> = Vec::new();
+    for pair in inner.split(',') {
+        let (key, value) = pair
+            .split_once(':')
+            .ok_or_else(|| bad(format!("malformed pair `{pair}`")))?;
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| bad(format!("malformed key in `{pair}`")))?;
+        if key == "kind" {
+            let v = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| bad(format!("malformed kind in `{pair}`")))?;
+            kind = Some(v);
+        } else {
+            let v = value
+                .parse::<u64>()
+                .map_err(|_| bad(format!("field `{key}` is not an integer: `{value}`")))?;
+            fields.push((key, v));
+        }
+    }
+    let kind = kind.ok_or_else(|| bad(format!("event `{object}` has no kind")))?;
+    let take = |fields: &[(&str, u64)], names: &[&str]| -> Result<Vec<u64>, SimtestError> {
+        let got: Vec<&str> = fields.iter().map(|(k, _)| *k).collect();
+        if got != names {
+            return Err(SimtestError::Plan {
+                message: format!("kind `{kind}` expects fields {names:?}, found {got:?}"),
+            });
+        }
+        Ok(fields.iter().map(|(_, v)| *v).collect())
+    };
+    let event = match kind {
+        "spot_storm" => {
+            let v = take(&fields, &["job_lo", "job_hi", "attempts", "fraction_ppm"])?;
+            FaultEvent::SpotStorm {
+                job_lo: v[0],
+                job_hi: v[1],
+                attempts: u32::try_from(v[2]).map_err(|_| SimtestError::Plan {
+                    message: format!("attempts {} overflows u32", v[2]),
+                })?,
+                fraction_ppm: v[3],
+            }
+        }
+        "vm_stall" => {
+            let v = take(&fields, &["job_id", "stage", "pct"])?;
+            FaultEvent::VmStall { job_id: v[0], stage: v[1] as usize, pct: v[2] }
+        }
+        "overload_burst" => {
+            let v = take(&fields, &["ord_lo", "ord_hi"])?;
+            FaultEvent::OverloadBurst { ord_lo: v[0], ord_hi: v[1] }
+        }
+        "cache_wipe" => {
+            let v = take(&fields, &["ordinal"])?;
+            FaultEvent::CacheWipe { ordinal: v[0] }
+        }
+        "feedback_delay" => {
+            let v = take(&fields, &["ordinal", "extra_us"])?;
+            FaultEvent::FeedbackDelay { ordinal: v[0], extra_us: v[1] }
+        }
+        "feedback_drop" => {
+            let v = take(&fields, &["ordinal"])?;
+            FaultEvent::FeedbackDrop { ordinal: v[0] }
+        }
+        "snapshot_corruption" => {
+            let v = take(&fields, &["byte_index"])?;
+            FaultEvent::SnapshotCorruption { byte_index: v[0] }
+        }
+        "canary_latency_spike" => {
+            let v = take(&fields, &["ord_lo", "ord_hi", "spike_us"])?;
+            FaultEvent::CanaryLatencySpike { ord_lo: v[0], ord_hi: v[1], spike_us: v[2] }
+        }
+        other => {
+            return Err(SimtestError::Plan { message: format!("unknown fault kind `{other}`") })
+        }
+    };
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            events: vec![
+                FaultEvent::SpotStorm { job_lo: 0, job_hi: 2, attempts: 2, fraction_ppm: 500_000 },
+                FaultEvent::VmStall { job_id: 1, stage: 2, pct: 250 },
+                FaultEvent::OverloadBurst { ord_lo: 4, ord_hi: 9 },
+                FaultEvent::CacheWipe { ordinal: 11 },
+                FaultEvent::FeedbackDelay { ordinal: 17, extra_us: 2_000_000 },
+                FaultEvent::FeedbackDrop { ordinal: 23 },
+                FaultEvent::SnapshotCorruption { byte_index: 341 },
+                FaultEvent::CanaryLatencySpike { ord_lo: 0, ord_hi: 159, spike_us: 10_000_000 },
+            ],
+        }
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_json() {
+        let plan = sample_plan();
+        plan.validate().expect("sample is valid");
+        let text = plan.to_json();
+        let parsed = FaultPlan::from_json(&text).expect("parses");
+        assert_eq!(parsed, plan);
+        assert_eq!(parsed.to_json(), text, "canonical form is a fixpoint");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let config = SimtestConfig::default();
+        let a = FaultPlan::generate(21, 32, &config);
+        let b = FaultPlan::generate(21, 32, &config);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 32);
+        a.validate().expect("generated plans are always valid");
+        // All eight kinds show up in a 32-event draw.
+        let kinds: std::collections::BTreeSet<&str> =
+            a.events.iter().map(FaultEvent::kind).collect();
+        assert_eq!(kinds.len(), 8, "kinds drawn: {kinds:?}");
+        assert_ne!(FaultPlan::generate(22, 32, &config), a, "seed changes the plan");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        let cases: &[(&str, &str)] = &[
+            ("", "expected `{`"),
+            ("{\n  \"seed\": x,\n  \"events\": [\n  ]\n}", "malformed seed"),
+            (
+                "{\n  \"seed\": 7,\n  \"events\": [\n    {\"kind\":\"warp_core_breach\"}\n  ]\n}",
+                "unknown fault kind",
+            ),
+            (
+                "{\n  \"seed\": 7,\n  \"events\": [\n    {\"kind\":\"cache_wipe\",\"ord\":1}\n  ]\n}",
+                "expects fields",
+            ),
+            (
+                "{\n  \"seed\": 7,\n  \"events\": [\n    {\"kind\":\"cache_wipe\",\"ordinal\":1}\n  ]\n}\nextra",
+                "trailing content",
+            ),
+            ("{\n  \"seed\": 7,\n  \"events\": [\n", "unterminated"),
+        ];
+        for (text, needle) in cases {
+            match FaultPlan::from_json(text) {
+                Err(SimtestError::Plan { message }) => {
+                    assert!(message.contains(needle), "`{message}` should contain `{needle}`");
+                }
+                other => panic!("document {text:?} should fail with Plan error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_parameters() {
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::SpotStorm {
+                job_lo: 0,
+                job_hi: 0,
+                attempts: 1,
+                fraction_ppm: PPM + 1,
+            }],
+        };
+        assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })));
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::VmStall { job_id: 0, stage: 4, pct: 120 }],
+        };
+        assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })));
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::OverloadBurst { ord_lo: 9, ord_hi: 4 }],
+        };
+        assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })));
+    }
+
+    #[test]
+    fn single_line_rendering_matches_the_document() {
+        let plan = sample_plan();
+        let line = plan.to_json_line();
+        assert!(line.starts_with("{\"seed\":7,\"events\":[{\"kind\":\"spot_storm\""));
+        assert_eq!(line.matches("\"kind\"").count(), plan.events.len());
+        // The line embeds the exact event objects the document uses.
+        for event in &plan.events {
+            assert!(line.contains(&event.to_json_line()));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The byte-deterministic run report.
+//!
+//! [`SimtestReport`] folds the three driven loops' counters, digests of
+//! their full canonical JSON reports, fault accounting, and every
+//! invariant violation into one hand-rolled JSON document. Nothing in
+//! it depends on worker count or wall-clock time, so `same (config,
+//! plan) → same bytes` holds at any fan-out — which is itself one of
+//! the harness's acceptance checks.
+
+use crate::{FaultPlan, Violation};
+use eda_cloud_fleet::FleetCounters;
+use eda_cloud_lifecycle::LifecycleCounters;
+use eda_cloud_serve::ServeCounters;
+
+/// FNV-1a 64-bit over raw bytes; used to pin each sub-report's full
+/// JSON without embedding kilobytes of it.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The folded outcome of one harness run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimtestReport {
+    /// The workload seed.
+    pub seed: u64,
+    /// The fault plan that was injected.
+    pub plan: FaultPlan,
+    /// Fleet-loop counters.
+    pub fleet: FleetCounters,
+    /// Serve-loop counters.
+    pub serve: ServeCounters,
+    /// Lifecycle-loop counters.
+    pub lifecycle: LifecycleCounters,
+    /// FNV-1a digest of the fleet report's canonical JSON.
+    pub fleet_digest: u64,
+    /// FNV-1a digest of the serve report's canonical JSON.
+    pub serve_digest: u64,
+    /// FNV-1a digest of the lifecycle report's canonical JSON.
+    pub lifecycle_digest: u64,
+    /// Trace spans marked as injected faults, summed over the loops.
+    pub fault_spans: u64,
+    /// Snapshot corruptions the plan scheduled.
+    pub corruption_injected: u64,
+    /// Corruptions the registry's checksum rejected (should equal
+    /// `corruption_injected`; shortfalls also appear as violations).
+    pub corruption_rejected: u64,
+    /// Every invariant violation the checker suite found. Empty means
+    /// the run passed.
+    pub violations: Vec<Violation>,
+}
+
+impl SimtestReport {
+    /// True when every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Canonical JSON: fixed key order, integer-only values, digests as
+    /// zero-padded hex. Byte-identical across worker counts.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"plan\": {},\n", self.plan.to_json_line()));
+        let f = &self.fleet;
+        out.push_str(&format!(
+            "  \"fleet\": {{\"digest\": \"{:016x}\", \"submitted\": {}, \"completed\": {}, \
+             \"exhausted\": {}, \"deadline_hits\": {}, \"interruptions\": {}, \"retries\": {}, \
+             \"spot_fallbacks\": {}}},\n",
+            self.fleet_digest,
+            f.jobs_submitted,
+            f.jobs_completed,
+            f.jobs_exhausted,
+            f.deadline_hits,
+            f.interruptions,
+            f.retries,
+            f.spot_fallbacks,
+        ));
+        let s = &self.serve;
+        out.push_str(&format!(
+            "  \"serve\": {{\"digest\": \"{:016x}\", \"requests\": {}, \"completed\": {}, \
+             \"shed\": {}, \"deadline_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"gcn_predictions\": {}, \"batches\": {}}},\n",
+            self.serve_digest,
+            s.requests,
+            s.completed,
+            s.shed,
+            s.deadline_hits,
+            s.cache_hits,
+            s.cache_misses,
+            s.gcn_predictions,
+            s.batches,
+        ));
+        let l = &self.lifecycle;
+        out.push_str(&format!(
+            "  \"lifecycle\": {{\"digest\": \"{:016x}\", \"requests\": {}, \
+             \"feedback_joins\": {}, \"feedback_dropped\": {}, \"drift_detections\": {}, \
+             \"retrains\": {}, \"canaries_started\": {}, \"promotions\": {}, \
+             \"rollbacks\": {}}},\n",
+            self.lifecycle_digest,
+            l.requests,
+            l.feedback_joins,
+            l.feedback_dropped,
+            l.drift_detections,
+            l.retrains,
+            l.canaries_started,
+            l.promotions,
+            l.rollbacks,
+        ));
+        out.push_str(&format!(
+            "  \"faults\": {{\"events\": {}, \"fault_spans\": {}, \"corruption_injected\": {}, \
+             \"corruption_rejected\": {}}},\n",
+            self.plan.events.len(),
+            self.fault_spans,
+            self.corruption_injected,
+            self.corruption_rejected,
+        ));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str("  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"checker\": \"{}\", \"detail\": \"{}\"}}",
+                escape(v.checker),
+                escape(&v.detail)
+            ));
+        }
+        if self.violations.is_empty() {
+            out.push_str("]\n");
+        } else {
+            out.push_str("\n  ]\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_backslashes_and_control_bytes() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny"), "x\\ny");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_json_is_stable_and_reflects_violations() {
+        let report = SimtestReport {
+            seed: 7,
+            plan: FaultPlan::empty(7),
+            fleet: FleetCounters::default(),
+            serve: ServeCounters::default(),
+            lifecycle: LifecycleCounters::default(),
+            fleet_digest: 0xdead_beef,
+            serve_digest: 1,
+            lifecycle_digest: 2,
+            fault_spans: 0,
+            corruption_injected: 0,
+            corruption_rejected: 0,
+            violations: Vec::new(),
+        };
+        assert!(report.passed());
+        let json = report.to_json();
+        assert_eq!(json, report.to_json(), "rendering is a pure function");
+        assert!(json.contains("\"digest\": \"00000000deadbeef\""));
+        assert!(json.contains("\"passed\": true"));
+        assert!(json.contains("\"violations\": []"));
+        let mut failing = report;
+        failing.violations.push(Violation {
+            checker: "fleet_conservation",
+            detail: "a \"quoted\" detail".into(),
+        });
+        assert!(!failing.passed());
+        let json = failing.to_json();
+        assert!(json.contains("\"passed\": false"));
+        assert!(json.contains(r#"\"quoted\""#));
+    }
+}

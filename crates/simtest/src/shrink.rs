@@ -1,0 +1,120 @@
+//! Delta-debugging shrinker for failing fault plans.
+//!
+//! When a run trips an invariant, [`shrink_plan`] bisects the plan's
+//! event list — dropping chunks, halving the chunk size, repeating —
+//! until no single event can be removed without the failure vanishing.
+//! The result is a minimal reproducer that replays the same violation
+//! and serializes to canonical JSON for check-in.
+
+use crate::{run_simtest, FaultPlan, SimtestConfig, SimtestError};
+
+/// Shrink `plan` against the harness itself: an event is essential iff
+/// removing it makes every invariant pass again.
+///
+/// # Errors
+///
+/// Returns [`SimtestError::ShrinkOnPassingPlan`] when the initial plan
+/// does not fail, and propagates any harness error raised while
+/// re-running candidates.
+pub fn shrink_plan(config: &SimtestConfig, plan: &FaultPlan) -> Result<FaultPlan, SimtestError> {
+    shrink_plan_with(plan, |candidate| {
+        Ok(!run_simtest(config, candidate)?.report.violations.is_empty())
+    })
+}
+
+/// Generic ddmin core: `still_fails` answers whether a candidate plan
+/// reproduces the failure. Exposed separately so tests can shrink
+/// against cheap synthetic predicates.
+///
+/// # Errors
+///
+/// Returns [`SimtestError::ShrinkOnPassingPlan`] when `plan` itself
+/// does not satisfy `still_fails`, and propagates predicate errors.
+pub fn shrink_plan_with<F>(plan: &FaultPlan, mut still_fails: F) -> Result<FaultPlan, SimtestError>
+where
+    F: FnMut(&FaultPlan) -> Result<bool, SimtestError>,
+{
+    if !still_fails(plan)? {
+        return Err(SimtestError::ShrinkOnPassingPlan);
+    }
+    let mut current = plan.clone();
+    let mut chunk = current.events.len().max(1);
+    while chunk >= 1 {
+        let mut start = 0;
+        while start < current.events.len() {
+            let end = (start + chunk).min(current.events.len());
+            let mut candidate = current.clone();
+            candidate.events.drain(start..end);
+            if still_fails(&candidate)? {
+                // The chunk was inessential; keep the smaller plan and
+                // retry the same position (new events shifted in).
+                current = candidate;
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultEvent;
+
+    fn plan_with(ordinals: &[u64]) -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            events: ordinals
+                .iter()
+                .map(|&o| FaultEvent::FeedbackDrop { ordinal: o })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_essential_event() {
+        let plan = plan_with(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let shrunk = shrink_plan_with(&plan, |p| {
+            Ok(p.events.contains(&FaultEvent::FeedbackDrop { ordinal: 5 }))
+        })
+        .expect("plan fails initially");
+        assert_eq!(shrunk.events, vec![FaultEvent::FeedbackDrop { ordinal: 5 }]);
+    }
+
+    #[test]
+    fn shrinks_conjunctions_to_both_essential_events() {
+        let plan = plan_with(&[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        let needs =
+            [FaultEvent::FeedbackDrop { ordinal: 2 }, FaultEvent::FeedbackDrop { ordinal: 7 }];
+        let shrunk =
+            shrink_plan_with(&plan, |p| Ok(needs.iter().all(|n| p.events.contains(n))))
+                .expect("plan fails initially");
+        assert_eq!(shrunk.events, needs);
+    }
+
+    #[test]
+    fn rejects_a_passing_plan() {
+        let err = shrink_plan_with(&plan_with(&[1]), |_| Ok(false)).unwrap_err();
+        assert!(matches!(err, SimtestError::ShrinkOnPassingPlan));
+    }
+
+    #[test]
+    fn preserves_seed_and_event_order() {
+        let plan = plan_with(&[9, 3, 6]);
+        let shrunk = shrink_plan_with(&plan, |p| Ok(p.events.len() >= 2)).expect("fails");
+        assert_eq!(shrunk.seed, 7);
+        assert_eq!(shrunk.events.len(), 2);
+        // Order of survivors matches the original plan.
+        let positions: Vec<_> = shrunk
+            .events
+            .iter()
+            .map(|e| plan.events.iter().position(|o| o == e).unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+}

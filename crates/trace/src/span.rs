@@ -94,6 +94,23 @@ impl Tracer {
         Span::open(core.clone(), vec![ordinal], label.to_owned())
     }
 
+    /// Adopt every record of an already-drained trace under a new
+    /// root: `ordinal` is prepended to each record's key and `prefix`
+    /// to each path. Lets a harness that runs phases on private
+    /// tracers fold their spans into a caller's tracer without key
+    /// collisions between phases; the adopted records keep their
+    /// relative canonical order, and a later [`Tracer::drain`] re-sorts
+    /// globally. No-op on a disabled tracer.
+    pub fn adopt(&self, ordinal: u64, prefix: &str, trace: Trace) {
+        let Some(core) = &self.core else { return };
+        let mut buf = core.records.lock().expect("trace buffer");
+        for mut r in trace.records {
+            r.key.insert(0, ordinal);
+            r.path = format!("{prefix}/{}", r.path);
+            buf.push(r);
+        }
+    }
+
     /// Take every completed span recorded so far and merge it in
     /// canonical `(key, path)` order. Call after the instrumented work
     /// has finished (open spans record on drop).
@@ -351,6 +368,29 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn adopt_namespaces_keys_and_paths() {
+        let phase = Tracer::new();
+        {
+            let root = phase.root_at(3, "job/0003");
+            root.attr("fault", "vm_stall");
+        }
+        let parent = Tracer::new();
+        {
+            let own = parent.root_at(9, "own");
+            drop(own);
+        }
+        parent.adopt(1, "fleet", phase.drain());
+        let trace = parent.drain();
+        let keyed: Vec<(&[u64], &str)> =
+            trace.records().iter().map(|r| (r.key.as_slice(), r.path.as_str())).collect();
+        assert_eq!(keyed, vec![(&[1, 3][..], "fleet/job/0003"), (&[9][..], "own")]);
+        assert_eq!(trace.records()[0].attrs, vec![("fault".into(), "vm_stall".into())]);
+        // Adopting into a disabled tracer records nothing and does not
+        // panic.
+        Tracer::disabled().adopt(0, "x", Tracer::new().drain());
+    }
 
     #[test]
     fn span_nesting_builds_paths_and_keys() {

@@ -16,6 +16,8 @@
 //! * [`fleet`] — deterministic discrete-event fleet simulator.
 //! * [`serve`] — deterministic online prediction & planning service.
 //! * [`lifecycle`] — drift detection, shadow retraining, canary rollout.
+//! * [`simtest`] — seeded fault injection, invariant checking, and
+//!   fault-plan shrinking over the fleet/serve/lifecycle loops.
 //! * [`trace`] — deterministic structured tracing and metrics.
 //! * [`core`] — the Figure-1 pipeline tying everything together.
 //!
@@ -44,5 +46,6 @@ pub use eda_cloud_mckp as mckp;
 pub use eda_cloud_netlist as netlist;
 pub use eda_cloud_perf as perf;
 pub use eda_cloud_serve as serve;
+pub use eda_cloud_simtest as simtest;
 pub use eda_cloud_tech as tech;
 pub use eda_cloud_trace as trace;

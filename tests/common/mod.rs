@@ -1,0 +1,44 @@
+//! Shared helpers for the workspace integration tests.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Compare `actual` against the checked-in golden file at
+/// `tests/<rel_path>`, byte for byte modulo a trailing newline.
+///
+/// Run with `UPDATE_GOLDEN=1` to rewrite the file from the current
+/// behavior instead of comparing — then review the diff like any other
+/// behavioral change:
+///
+/// ```sh
+/// UPDATE_GOLDEN=1 cargo test --test <name>
+/// ```
+///
+/// # Panics
+///
+/// Panics when the golden file is missing (and `UPDATE_GOLDEN` is not
+/// set), unreadable, or differs from `actual`.
+#[allow(dead_code)] // Each integration-test crate uses its own copy.
+pub fn assert_golden(actual: &str, rel_path: &str) {
+    let path: PathBuf = [env!("CARGO_MANIFEST_DIR"), "tests", rel_path].iter().collect();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let mut contents = actual.trim_end().to_owned();
+        contents.push('\n');
+        fs::write(&path, contents)
+            .unwrap_or_else(|e| panic!("failed to update golden {}: {e}", path.display()));
+        eprintln!("updated golden {}", path.display());
+        return;
+    }
+    let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "failed to read golden {}: {e}; generate it with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual.trim_end(),
+        golden.trim_end(),
+        "output drifted from tests/{rel_path}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 (see tests/golden/README.md) and review the diff"
+    );
+}

@@ -4,36 +4,21 @@
 //! Every quantity here is fully deterministic (simulated counters, a
 //! seeded verifier, and an exact knapsack solve), so any drift is a
 //! behavior change in the flow engines, the machine model, or the
-//! optimizer — not noise. If a change is intentional, regenerate the
-//! constants by printing the same fields from a characterization run.
+//! optimizer — not noise. Each design's characterization renders to a
+//! canonical text document compared byte for byte against
+//! `tests/golden/characterization.txt`; if a change is intentional,
+//! regenerate with `UPDATE_GOLDEN=1 cargo test --test golden` and
+//! review the diff.
 
-use eda_cloud::core::{CharacterizationConfig, CharacterizationReport, StageRuntimes, Workflow};
-use eda_cloud::flow::StageKind;
+use eda_cloud::core::{
+    CharacterizationConfig, CharacterizationReport, StageRuntimes, Workflow,
+};
 use eda_cloud::netlist::generators;
 use eda_cloud::netlist::Aig;
 use eda_cloud::perf::CounterSet;
+use std::fmt::Write as _;
 
-/// Pinned 1-vCPU counter signature of one stage.
-struct StageSignature {
-    kind: StageKind,
-    instructions: u64,
-    branches: u64,
-    branch_misses: u64,
-    cache_refs: u64,
-    l1_misses: u64,
-    llc_misses: u64,
-    flops: u64,
-    avx_ops: u64,
-}
-
-/// Pinned MCKP selection at one deadline.
-struct PlanSignature {
-    budget_secs: u64,
-    /// Selected vCPUs in flow order (syn, place, route, sta).
-    vcpus: [u32; 4],
-    total_runtime_secs: u64,
-    total_cost_usd: f64,
-}
+mod common;
 
 fn characterize(design: &Aig) -> CharacterizationReport {
     Workflow::with_defaults()
@@ -41,25 +26,31 @@ fn characterize(design: &Aig) -> CharacterizationReport {
         .expect("characterization runs")
 }
 
-fn assert_signatures(report: &CharacterizationReport, cells: usize, expected: &[StageSignature]) {
-    assert_eq!(report.cells, cells, "{} cells", report.design);
-    for sig in expected {
-        let stage = report.stage(sig.kind).expect("stage swept");
-        let c: &CounterSet = &stage.runs[0].report.counters;
-        let label = format!("{} {}", report.design, sig.kind);
-        assert_eq!(stage.runs[0].vcpus, 1, "{label}");
-        assert_eq!(c.instructions, sig.instructions, "{label} instructions");
-        assert_eq!(c.branches, sig.branches, "{label} branches");
-        assert_eq!(c.branch_misses, sig.branch_misses, "{label} branch misses");
-        assert_eq!(c.cache_refs, sig.cache_refs, "{label} cache refs");
-        assert_eq!(c.l1_misses, sig.l1_misses, "{label} L1 misses");
-        assert_eq!(c.llc_misses, sig.llc_misses, "{label} LLC misses");
-        assert_eq!(c.flops, sig.flops, "{label} flops");
-        assert_eq!(c.avx_ops, sig.avx_ops, "{label} AVX ops");
+/// Render one design's 1-vCPU counter signatures plus the MCKP
+/// selections at two deadlines into the canonical golden text.
+fn render_signature(report: &CharacterizationReport, budgets: [u64; 2]) -> String {
+    let mut out = String::new();
+    writeln!(out, "design {} cells {}", report.design, report.cells).unwrap();
+    for stage in &report.stages {
+        let run = &stage.runs[0];
+        assert_eq!(run.vcpus, 1, "{} {}: signature pins the 1-vCPU run", report.design, stage.kind);
+        let c: &CounterSet = &run.report.counters;
+        writeln!(
+            out,
+            "stage {} instructions {} branches {} branch_misses {} cache_refs {} \
+             l1_misses {} llc_misses {} flops {} avx_ops {}",
+            stage.kind,
+            c.instructions,
+            c.branches,
+            c.branch_misses,
+            c.cache_refs,
+            c.l1_misses,
+            c.llc_misses,
+            c.flops,
+            c.avx_ops,
+        )
+        .unwrap();
     }
-}
-
-fn assert_plans(report: &CharacterizationReport, expected: &[PlanSignature]) {
     let workflow = Workflow::with_defaults();
     let runtimes: Vec<StageRuntimes> = report
         .stages
@@ -72,169 +63,42 @@ fn assert_plans(report: &CharacterizationReport, expected: &[PlanSignature]) {
             StageRuntimes { kind: s.kind, runtimes_secs }
         })
         .collect();
-    for sig in expected {
+    for budget_secs in budgets {
         let plan = workflow
-            .plan_deployment(&runtimes, sig.budget_secs)
+            .plan_deployment(&runtimes, budget_secs)
             .expect("solver runs")
             .expect("budget feasible");
-        let picks: Vec<u32> = plan.stages.iter().map(|s| s.vcpus).collect();
-        let label = format!("{} @ {}s", report.design, sig.budget_secs);
-        assert_eq!(picks, sig.vcpus, "{label} selection");
-        assert_eq!(plan.total_runtime_secs, sig.total_runtime_secs, "{label} runtime");
-        assert!(
-            (plan.total_cost_usd - sig.total_cost_usd).abs() < 1e-6,
-            "{label} cost: {} vs pinned {}",
+        let picks: Vec<String> = plan.stages.iter().map(|s| s.vcpus.to_string()).collect();
+        writeln!(
+            out,
+            "plan budget {} vcpus {} runtime {} cost {:.6}",
+            budget_secs,
+            picks.join(","),
+            plan.total_runtime_secs,
             plan.total_cost_usd,
-            sig.total_cost_usd
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// The two pinned designs. The tightest deadline forces wide
+/// instances; relaxing it ~1.77x (the paper's loosest relative
+/// constraint) lets the solver drop to cheap narrow ones.
+fn characterization_document() -> String {
+    let dynamic_node = generators::openpiton_design("dynamic_node").expect("known design");
+    let mut doc = render_signature(&characterize(&dynamic_node), [119, 211]);
+    doc.push('\n');
+    doc.push_str(&render_signature(&characterize(&generators::multiplier(8)), [109, 193]));
+    doc
 }
 
 #[test]
-fn dynamic_node_counters_and_selection_are_pinned() {
-    let design = generators::openpiton_design("dynamic_node").expect("known design");
-    let report = characterize(&design);
-    assert_signatures(
-        &report,
-        578,
-        &[
-            StageSignature {
-                kind: StageKind::Synthesis,
-                instructions: 57_499,
-                branches: 7_790,
-                branch_misses: 712,
-                cache_refs: 6_270,
-                l1_misses: 199,
-                llc_misses: 199,
-                flops: 0,
-                avx_ops: 0,
-            },
-            StageSignature {
-                kind: StageKind::Placement,
-                instructions: 2_365_042,
-                branches: 335_107,
-                branch_misses: 727,
-                cache_refs: 651_622,
-                l1_misses: 359_913,
-                llc_misses: 3_574,
-                flops: 0,
-                avx_ops: 1_150_284,
-            },
-            StageSignature {
-                kind: StageKind::Routing,
-                instructions: 1_907_326,
-                branches: 961_540,
-                branch_misses: 166_603,
-                cache_refs: 943_205,
-                l1_misses: 302_188,
-                llc_misses: 481,
-                flops: 0,
-                avx_ops: 0,
-            },
-            StageSignature {
-                kind: StageKind::Sta,
-                instructions: 61_093,
-                branches: 16_889,
-                branch_misses: 1_596,
-                cache_refs: 15_892,
-                l1_misses: 6_468,
-                llc_misses: 2_213,
-                flops: 10_404,
-                avx_ops: 17_908,
-            },
-        ],
-    );
-    // The tightest deadline forces wide instances; relaxing it 1.77x
-    // (the paper's loosest relative constraint) lets the solver drop to
-    // cheap narrow ones.
-    assert_plans(
-        &report,
-        &[
-            PlanSignature {
-                budget_secs: 119,
-                vcpus: [8, 2, 8, 8],
-                total_runtime_secs: 119,
-                total_cost_usd: 0.028_953,
-            },
-            PlanSignature {
-                budget_secs: 211,
-                vcpus: [2, 1, 1, 1],
-                total_runtime_secs: 157,
-                total_cost_usd: 0.009_073,
-            },
-        ],
-    );
+fn counters_and_selections_are_pinned() {
+    common::assert_golden(&characterization_document(), "golden/characterization.txt");
 }
 
 #[test]
-fn multiplier8_counters_and_selection_are_pinned() {
-    let design = generators::multiplier(8);
-    let report = characterize(&design);
-    assert_signatures(
-        &report,
-        696,
-        &[
-            StageSignature {
-                kind: StageKind::Synthesis,
-                instructions: 54_103,
-                branches: 7_354,
-                branch_misses: 761,
-                cache_refs: 5_514,
-                l1_misses: 161,
-                llc_misses: 161,
-                flops: 0,
-                avx_ops: 0,
-            },
-            StageSignature {
-                kind: StageKind::Placement,
-                instructions: 2_656_236,
-                branches: 374_510,
-                branch_misses: 803,
-                cache_refs: 733_578,
-                l1_misses: 396_330,
-                llc_misses: 4_121,
-                flops: 0,
-                avx_ops: 1_265_552,
-            },
-            StageSignature {
-                kind: StageKind::Routing,
-                instructions: 1_112_915,
-                branches: 556_225,
-                branch_misses: 82_089,
-                cache_refs: 554_777,
-                l1_misses: 207_269,
-                llc_misses: 390,
-                flops: 0,
-                avx_ops: 0,
-            },
-            StageSignature {
-                kind: StageKind::Sta,
-                instructions: 69_675,
-                branches: 18_196,
-                branch_misses: 1_386,
-                cache_refs: 18_184,
-                l1_misses: 7_389,
-                llc_misses: 2_376,
-                flops: 12_528,
-                avx_ops: 20_767,
-            },
-        ],
-    );
-    assert_plans(
-        &report,
-        &[
-            PlanSignature {
-                budget_secs: 109,
-                vcpus: [8, 2, 8, 2],
-                total_runtime_secs: 109,
-                total_cost_usd: 0.022_980,
-            },
-            PlanSignature {
-                budget_secs: 193,
-                vcpus: [2, 1, 1, 1],
-                total_runtime_secs: 140,
-                total_cost_usd: 0.008_673,
-            },
-        ],
-    );
+fn characterization_document_is_deterministic() {
+    assert_eq!(characterization_document(), characterization_document());
 }

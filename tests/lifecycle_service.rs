@@ -7,6 +7,8 @@
 use eda_cloud::core::{LifecycleScenario, Workflow};
 use eda_cloud::lifecycle::{LifecycleConfig, LifecycleController, LifecycleReport};
 
+mod common;
+
 /// A trimmed-down arc (smaller stream, fewer epochs) for the replay
 /// tests: still detects, retrains, and resolves a canary — cheap
 /// enough to run several times in a debug build.
@@ -58,20 +60,14 @@ fn worker_count_cannot_change_the_report() {
 /// (`lifecycle --requests 320 --seed 7 --json`). The controller's
 /// output is a pure function of the scenario — independent of worker
 /// count, build profile, and platform — so the comparison is byte for
-/// byte. Regenerate with the command in `tests/golden/README.md` if a
-/// deliberate change shifts it.
+/// byte. Regenerate with `UPDATE_GOLDEN=1 cargo test --test
+/// lifecycle_service` if a deliberate change shifts it.
 #[test]
 fn golden_report_for_seed_7() {
     let workflow = Workflow::with_defaults();
     let scenario = LifecycleScenario::new(320, 7);
     let (report, _) = workflow.lifecycle(&scenario).expect("lifecycle run");
-    let golden = include_str!("golden/lifecycle_report.json");
-    assert_eq!(
-        report.to_json(),
-        golden.trim_end(),
-        "lifecycle report drifted from tests/golden/lifecycle_report.json; if \
-         the change is intentional, regenerate it (see tests/golden/README.md)"
-    );
+    common::assert_golden(&report.to_json(), "golden/lifecycle_report.json");
 
     // The golden arc walks detect → retrain → canary → promote...
     let kinds: Vec<&str> = report.timeline.iter().map(|e| e.kind).collect();

@@ -9,6 +9,8 @@ use eda_cloud::core::{ServeScenario, Workflow, WorkflowPlanner};
 use eda_cloud::gcn::ModelConfig;
 use eda_cloud::serve::{ModelSnapshot, RequestOutcome, ServeConfig, ServeReport, Server};
 
+mod common;
+
 fn seeded_snapshot(seed: u64) -> ModelSnapshot {
     ModelSnapshot::seeded(&ModelConfig::fast(), seed)
 }
@@ -93,17 +95,11 @@ fn overload_sheds_requests_instead_of_stalling() {
 /// (`serve --requests 64 --seed 7 --json`). The serving tier's output
 /// is a pure function of the scenario and the snapshot — independent
 /// of worker count, build profile, and platform — so the comparison is
-/// byte for byte. Regenerate with the command in
-/// `tests/golden/README.md` if a deliberate engine change shifts it.
+/// byte for byte. Regenerate with `UPDATE_GOLDEN=1 cargo test --test
+/// serve_service` if a deliberate engine change shifts it.
 #[test]
 fn golden_report_for_seed_7() {
     let scenario = ServeScenario::new(64, 7);
     let (report, _) = run(&scenario, &seeded_snapshot(7));
-    let golden = include_str!("golden/serve_report.json");
-    assert_eq!(
-        report.to_json(),
-        golden.trim_end(),
-        "serve report drifted from tests/golden/serve_report.json; if the \
-         change is intentional, regenerate it (see tests/golden/README.md)"
-    );
+    common::assert_golden(&report.to_json(), "golden/serve_report.json");
 }

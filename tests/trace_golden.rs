@@ -11,6 +11,8 @@
 use eda_cloud_core::{FleetScenario, Workflow};
 use eda_cloud_trace::Tracer;
 
+mod common;
+
 /// The scenario pinned by `tests/golden/fleet_trace.json`.
 fn golden_scenario(workers: usize) -> FleetScenario {
     let mut scenario = FleetScenario::new(6, 11);
@@ -41,14 +43,7 @@ fn fleet_trace_is_byte_identical_across_runs() {
 
 #[test]
 fn fleet_trace_matches_checked_in_golden() {
-    let got = traced_fleet_json(2);
-    let golden = include_str!("golden/fleet_trace.json");
-    assert_eq!(
-        got.trim_end(),
-        golden.trim_end(),
-        "fleet trace drifted from tests/golden/fleet_trace.json; if the \
-         change is intentional, regenerate it (see tests/golden/README.md)"
-    );
+    common::assert_golden(&traced_fleet_json(2), "golden/fleet_trace.json");
 }
 
 #[test]
