@@ -7,14 +7,69 @@
 //! harness: warm up, size a batch so one sample hits the per-sample
 //! time budget, take `sample_size` timed samples, and print
 //! min/mean/max per iteration. There is no statistical outlier
-//! analysis, HTML report, or baseline comparison; benches still run to
-//! completion under `cargo bench` and fail loudly if the benched code
-//! panics, which is what CI needs from them.
+//! analysis or HTML report; benches still run to completion under
+//! `cargo bench` and fail loudly if the benched code panics, which is
+//! what CI needs from them.
+//!
+//! When the `BENCH_JSON` environment variable names a path, the
+//! `criterion_main!`-generated `main` additionally writes every
+//! recorded measurement as one canonical JSON document (`BENCH_*.json`
+//! by convention) after the groups finish. The `benchgate` binary in
+//! `crates/bench` diffs such a file against a checked-in baseline and
+//! fails CI on regressions.
 
 use std::fmt::{self, Display};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Per-benchmark timings recorded for the `BENCH_JSON` export,
+/// in registration order.
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+struct BenchRecord {
+    id: String,
+    min_ns: u64,
+    mean_ns: u64,
+    max_ns: u64,
+}
+
+/// Write every benchmark recorded so far to the path named by the
+/// `BENCH_JSON` environment variable, if set. Invoked automatically by
+/// the `main` that `criterion_main!` generates; harmless to call again
+/// (the registry drains on write).
+///
+/// The document is canonical: one object per benchmark in run order,
+/// integer nanoseconds only, fixed key order.
+///
+/// # Panics
+///
+/// Panics when `BENCH_JSON` is set but the file cannot be written —
+/// a silent skip would let a CI perf gate pass vacuously.
+pub fn write_bench_json() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let records = std::mem::take(&mut *RESULTS.lock().expect("bench registry poisoned"));
+    let mut out = String::from("{\"benches\":[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"id\":\"{}\",\"min_ns\":{},\"mean_ns\":{},\"max_ns\":{}}}",
+            r.id.replace('\\', "\\\\").replace('"', "\\\""),
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns
+        ));
+    }
+    out.push_str("\n]}\n");
+    std::fs::write(&path, out)
+        .unwrap_or_else(|e| panic!("cannot write bench JSON to {path}: {e}"));
+    eprintln!("bench JSON written to {path}");
+}
 
 /// Benchmark harness configuration and entry point.
 pub struct Criterion {
@@ -259,6 +314,13 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         format_secs(mean),
         format_secs(max)
     );
+    let to_ns = |secs: f64| (secs * 1e9).round().max(1.0) as u64;
+    RESULTS.lock().expect("bench registry poisoned").push(BenchRecord {
+        id: id.to_owned(),
+        min_ns: to_ns(min),
+        mean_ns: to_ns(mean),
+        max_ns: to_ns(max),
+    });
 }
 
 fn format_secs(secs: f64) -> String {
@@ -298,6 +360,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_bench_json();
         }
     };
 }
@@ -332,6 +395,22 @@ mod tests {
             });
         }
         group.finish();
+    }
+
+    #[test]
+    fn bench_json_export_writes_canonical_document() {
+        let path = std::env::temp_dir().join("criterion_stub_bench_json_test.json");
+        let mut c = fast();
+        c.bench_function("export_probe", |b| b.iter(|| black_box(1u8)));
+        std::env::set_var("BENCH_JSON", &path);
+        write_bench_json();
+        std::env::remove_var("BENCH_JSON");
+        let text = std::fs::read_to_string(&path).expect("export written");
+        assert!(text.starts_with("{\"benches\":["), "{text}");
+        assert!(text.contains("\"id\":\"export_probe\""), "{text}");
+        assert!(text.contains("\"min_ns\":") && text.contains("\"mean_ns\":"), "{text}");
+        assert!(text.trim_end().ends_with("]}"), "{text}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

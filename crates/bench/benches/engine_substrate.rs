@@ -1,0 +1,71 @@
+//! Criterion benches for the deterministic simulation substrate: the
+//! raw event heap, and the sharded multi-region simulation at 1 vs 4
+//! workers and 1 vs 3 shards.
+//!
+//! Before timing anything, the multi-region comparison asserts that
+//! every fan-out produces the byte-identical report — the determinism
+//! contract the conservative lookahead barrier guarantees. Run with
+//! `BENCH_JSON=BENCH_engine.json cargo bench -p eda-cloud-bench
+//! --bench engine_substrate` to emit the document the `benchgate`
+//! binary diffs against `crates/bench/baselines/BENCH_engine.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_cloud_engine::{EventHeap, RegionSim, RegionSimConfig};
+use std::hint::black_box;
+
+fn bench_event_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_heap");
+    group.sample_size(10);
+    group.bench_function("push_pop_10k", |b| {
+        b.iter(|| {
+            let mut heap: EventHeap<u64> = EventHeap::new();
+            for i in 0..10_000u64 {
+                // A colliding timestamp every 8 events exercises the
+                // seq tie-break path.
+                heap.push(i / 8 * 1_000, i);
+            }
+            let mut sum = 0u64;
+            while let Some((t, v)) = heap.pop() {
+                sum = sum.wrapping_add(t ^ v);
+            }
+            black_box(sum)
+        });
+    });
+    group.finish();
+}
+
+fn bench_region_sim(c: &mut Criterion) {
+    let config = RegionSimConfig { jobs: 400, ..RegionSimConfig::default() };
+    let baseline = RegionSim::run(&config, 1, 1).expect("runs").to_json();
+    for (workers, shards) in [(4, 1), (1, 3), (4, 3)] {
+        let json = RegionSim::run(&config, workers, shards).expect("runs").to_json();
+        assert_eq!(baseline, json, "fan-out must not change the report bytes");
+    }
+
+    let mut group = c.benchmark_group("region_sim");
+    group.sample_size(10);
+    for (workers, shards) in [(1usize, 1usize), (4, 3)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("w{workers}_s{shards}")),
+            &(workers, shards),
+            |b, &(w, s)| {
+                b.iter(|| black_box(RegionSim::run(black_box(&config), w, s).unwrap()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_event_heap, bench_region_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Perf regression gate over `BENCH_*.json` documents.
+//!
+//! Compares a freshly measured bench export (written by the criterion
+//! stub when `BENCH_JSON` is set) against a checked-in baseline and
+//! exits non-zero when any benchmark regressed beyond the tolerance.
+//!
+//! ```text
+//! BENCH_JSON=BENCH_engine.json cargo bench -p eda-cloud-bench --bench engine_substrate
+//! cargo run -p eda-cloud-bench --bin benchgate -- \
+//!     --current BENCH_engine.json \
+//!     --baseline crates/bench/baselines/BENCH_engine.json \
+//!     --tolerance 15
+//! ```
+//!
+//! The comparison uses each benchmark's **min** sample — the most
+//! machine-noise-resistant statistic a wall-clock harness has — and a
+//! generous default tolerance, because absolute times move with the
+//! host. A benchmark present in the baseline but missing from the
+//! current run fails the gate (a silently dropped bench would pass
+//! vacuously); new benchmarks only in the current run are reported and
+//! allowed.
+
+use eda_cloud_bench::Args;
+use std::process::ExitCode;
+
+/// One `{"id":...,"min_ns":...,"mean_ns":...,"max_ns":...}` record.
+struct Bench {
+    id: String,
+    min_ns: u64,
+}
+
+/// Parse the stub's canonical export. Strict about the shape it
+/// wrote — anything else is a corrupt file, not data.
+fn parse(text: &str, what: &str) -> Vec<Bench> {
+    let mut out = Vec::new();
+    for chunk in text.split("{\"id\":\"").skip(1) {
+        let id_end = chunk.find('"').unwrap_or_else(|| panic!("{what}: unterminated id"));
+        let id = chunk[..id_end].to_owned();
+        let field = |name: &str| -> u64 {
+            let key = format!("\"{name}\":");
+            let at = chunk
+                .find(&key)
+                .unwrap_or_else(|| panic!("{what}: bench `{id}` is missing {name}"));
+            chunk[at + key.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap_or_else(|_| panic!("{what}: bench `{id}` has a malformed {name}"))
+        };
+        let min_ns = field("min_ns");
+        out.push(Bench { id, min_ns });
+    }
+    assert!(!out.is_empty(), "{what}: no benchmarks in the document");
+    out
+}
+
+fn load(path: &str) -> Vec<Bench> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench JSON {path}: {e}"));
+    parse(&text, path)
+}
+
+fn main() -> ExitCode {
+    let args = Args::from_env();
+    let current_path = args.value("current").expect("--current <BENCH_*.json> is required");
+    let baseline_path = args.value("baseline").expect("--baseline <BENCH_*.json> is required");
+    let tolerance_pct: u64 = args.value("tolerance").map_or(15, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--tolerance expects a percentage, got `{v}`"))
+    });
+
+    let current = load(current_path);
+    let baseline = load(baseline_path);
+
+    let mut failures = 0u32;
+    for base in &baseline {
+        match current.iter().find(|b| b.id == base.id) {
+            None => {
+                println!("FAIL {:<40} missing from the current run", base.id);
+                failures += 1;
+            }
+            Some(cur) => {
+                let limit = base.min_ns.saturating_mul(100 + tolerance_pct) / 100;
+                let delta = 100.0 * (cur.min_ns as f64 - base.min_ns as f64)
+                    / base.min_ns.max(1) as f64;
+                if cur.min_ns > limit {
+                    println!(
+                        "FAIL {:<40} {} ns vs baseline {} ns ({delta:+.1}%, limit +{tolerance_pct}%)",
+                        cur.id, cur.min_ns, base.min_ns
+                    );
+                    failures += 1;
+                } else {
+                    println!(
+                        "ok   {:<40} {} ns vs baseline {} ns ({delta:+.1}%)",
+                        cur.id, cur.min_ns, base.min_ns
+                    );
+                }
+            }
+        }
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.id == cur.id) {
+            println!("new  {:<40} {} ns (not in baseline)", cur.id, cur.min_ns);
+        }
+    }
+
+    if failures > 0 {
+        println!("benchgate: {failures} regression(s) beyond +{tolerance_pct}%");
+        return ExitCode::FAILURE;
+    }
+    println!("benchgate: all {} baseline benchmarks within +{tolerance_pct}%", baseline.len());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,93 @@
+//! Engine errors.
+//!
+//! Every failure mode is typed and carries a `&'static str` or the
+//! offending values, so downstream crates (fleet, serve, simtest) can
+//! map engine errors into their own error enums without allocating and
+//! without losing the original diagnosis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A configuration value is unusable (zero regions, empty tenant
+    /// table, lookahead of zero, ...).
+    InvalidConfig(&'static str),
+    /// A simulated-time conversion or addition left the representable
+    /// range — the typed replacement for silent `u64` wraparound.
+    Time(&'static str),
+    /// A cross-shard message addressed a region outside the topology.
+    UnknownRegion {
+        /// The destination region the message named.
+        region: u32,
+        /// How many regions the topology actually has.
+        regions: usize,
+    },
+    /// A cross-shard send declared a latency below the lookahead
+    /// window. Delivering it would land inside the current window and
+    /// break the conservative barrier, so the send is rejected at the
+    /// source instead of corrupting determinism at the destination.
+    LookaheadViolation {
+        /// The latency the sender asked for, µs.
+        latency_us: u64,
+        /// The minimum latency the barrier permits, µs.
+        min_latency_us: u64,
+    },
+}
+
+impl EngineError {
+    /// The static diagnosis for config/time errors; a stable string for
+    /// the structured variants.
+    #[must_use]
+    pub fn message(&self) -> &'static str {
+        match self {
+            EngineError::InvalidConfig(msg) | EngineError::Time(msg) => msg,
+            EngineError::UnknownRegion { .. } => "message addressed an unknown region",
+            EngineError::LookaheadViolation { .. } => {
+                "cross-shard latency is below the lookahead window"
+            }
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig(what) => write!(f, "invalid engine configuration: {what}"),
+            EngineError::Time(what) => write!(f, "simulated-time error: {what}"),
+            EngineError::UnknownRegion { region, regions } => {
+                write!(f, "message addressed region {region} but only {regions} regions exist")
+            }
+            EngineError::LookaheadViolation { latency_us, min_latency_us } => write!(
+                f,
+                "cross-shard latency {latency_us}µs is below the {min_latency_us}µs lookahead \
+                 window"
+            ),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_stable() {
+        assert_eq!(EngineError::Time("clock overflow").message(), "clock overflow");
+        assert_eq!(EngineError::InvalidConfig("no regions").message(), "no regions");
+        let e = EngineError::UnknownRegion { region: 9, regions: 3 };
+        assert!(e.to_string().contains("region 9"));
+        let e = EngineError::LookaheadViolation { latency_us: 5, min_latency_us: 100 };
+        assert!(e.to_string().contains("5µs"));
+        assert!(e.to_string().contains("100µs"));
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<EngineError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! Fault hooks on the cross-shard message path.
+//!
+//! The coordinator consults these at the delivery barrier, so injected
+//! faults bend *when* (or whether) a message arrives without ever
+//! touching region state directly. Implementations must be pure
+//! functions of their arguments — the same `(src, dst, seq, time)`
+//! must always get the same answer — or determinism across worker
+//! counts is lost. `crates/simtest` adapts its canonical fault plans
+//! to this trait.
+
+/// Hooks consulted for every cross-shard envelope at the barrier.
+pub trait EngineFaults: Send + Sync {
+    /// Extra delivery delay for this message, µs (0 = none). Applied
+    /// on top of the envelope's own latency, so it can only push
+    /// delivery later — never inside the lookahead window.
+    fn message_extra_delay_us(&self, _src: u32, _dst: u32, _seq: u64) -> u64 {
+        0
+    }
+
+    /// If a partition covers this `src → dst` link at the message's
+    /// send time, the time the link heals; the message is held and
+    /// delivered at the heal time (when that is later than its own
+    /// delivery time).
+    fn partition_heal_us(&self, _src: u32, _dst: u32, _send_time_us: u64) -> Option<u64> {
+        None
+    }
+
+    /// Drop the message entirely. Dropped messages are counted in
+    /// [`MessageStats::dropped`] — the cross-shard conservation checker
+    /// accepts a loss only when it is accounted here.
+    ///
+    /// [`MessageStats::dropped`]: crate::MessageStats::dropped
+    fn drop_message(&self, _src: u32, _dst: u32, _seq: u64) -> bool {
+        false
+    }
+}
+
+/// The default: no faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoEngineFaults;
+
+impl EngineFaults for NoEngineFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_transparent() {
+        let f = NoEngineFaults;
+        assert_eq!(f.message_extra_delay_us(0, 1, 2), 0);
+        assert_eq!(f.partition_heal_us(0, 1, 2), None);
+        assert!(!f.drop_message(0, 1, 2));
+    }
+}

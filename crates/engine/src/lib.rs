@@ -1,0 +1,54 @@
+//! Deterministic discrete-event simulation substrate for the EDA
+//! cloud stack.
+//!
+//! Extracted from `crates/fleet` and generalized: the fleet simulator
+//! proved that a `(time_us, seq)`-keyed event heap plus seeded RNG
+//! streams makes an entire simulation a pure function of its inputs;
+//! this crate makes that core reusable and scales it across regions.
+//!
+//! The pieces, bottom up:
+//!
+//! 1. [`time`] — checked simulated-time arithmetic. Every float→µs
+//!    conversion and clock addition returns a typed [`EngineError`]
+//!    instead of the silent casts/wraps that reorder event heaps.
+//! 2. [`EventHeap`] — the `(time_us, seq)` priority queue: ascending
+//!    time, push-order ties, sequence counter owned by the heap.
+//! 3. [`metrics`] — byte-stable [`Histogram`]/[`Samples`]/[`fmt_f64`]
+//!    shared by every deterministic JSON report in the workspace.
+//! 4. [`ShardedSim`] — N independent [`RegionShard`] event loops
+//!    advancing under a conservative lookahead barrier, exchanging
+//!    [`Envelope`]s merged in `(send_time_us, region_id, seq)` order.
+//!    The merged timeline is byte-identical at any worker count and
+//!    any shard count; [`EngineFaults`] hooks bend the message path
+//!    (delay, partition, drop) without breaking that contract.
+//! 5. [`FairShare`] — per-tenant quotas and weighted fair-share
+//!    admission (stride scheduling over integer virtual time).
+//! 6. [`RegionSim`] — the multi-region workload built from all of the
+//!    above: tenant job streams, migration, staged rollout waves,
+//!    replicated cache invalidations, and a byte-stable
+//!    [`RegionReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fair;
+mod faults;
+mod heap;
+mod message;
+pub mod metrics;
+mod region;
+mod sharded;
+pub mod time;
+
+pub use error::EngineError;
+pub use fair::{AdmitRejection, FairShare, TenantCounters, TenantPolicy};
+pub use faults::{EngineFaults, NoEngineFaults};
+pub use heap::EventHeap;
+pub use message::{Envelope, Outbox};
+pub use metrics::{fmt_f64, Histogram, Samples};
+pub use region::{
+    synthetic_region_jobs, RegionCounters, RegionJob, RegionReport, RegionSim, RegionSimConfig,
+    TenantUsage,
+};
+pub use sharded::{MessageStats, RegionShard, ShardedSim};

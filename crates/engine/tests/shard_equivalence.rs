@@ -1,0 +1,83 @@
+//! Property tests for the sharded coordinator: when a workload sends
+//! no cross-shard traffic, sharded execution is equivalent to running
+//! each region as its own single-region simulation — and the merged
+//! report is byte-identical at every worker and shard count.
+
+use eda_cloud_engine::{synthetic_region_jobs, RegionJob, RegionSim, RegionSimConfig};
+use proptest::prelude::*;
+
+/// A config whose workload cannot generate cross-shard messages: no
+/// migration (threshold is never reached), no design updates (so no
+/// replicated invalidations), and no rollout waves.
+fn isolated_config(seed: u64, regions: u32, tenants: u32, jobs: u64) -> RegionSimConfig {
+    RegionSimConfig {
+        seed,
+        regions,
+        tenants,
+        jobs,
+        migrate_threshold: u32::MAX,
+        update_pct: 0,
+        rollout_waves: 0,
+        ..RegionSimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded execution of an isolated workload is byte-identical to
+    /// single-shard execution, for every worker/shard fan-out.
+    #[test]
+    fn multi_shard_equals_single_shard_without_cross_traffic(
+        seed in 0u64..1_000,
+        regions in 2u32..5,
+        tenants in 1u32..5,
+        jobs in 1u64..120,
+    ) {
+        let config = isolated_config(seed, regions, tenants, jobs);
+        let baseline = RegionSim::run(&config, 1, 1).expect("single shard runs");
+        prop_assert_eq!(baseline.messages.sent, 0, "workload must be cross-shard silent");
+        for (workers, shards) in [(1usize, regions as usize), (4, 2), (4, regions as usize)] {
+            let sharded = RegionSim::run(&config, workers, shards).expect("sharded runs");
+            prop_assert_eq!(
+                baseline.to_json(),
+                sharded.to_json(),
+                "workers={} shards={}", workers, shards
+            );
+        }
+    }
+
+    /// Each region of an isolated multi-region run behaves exactly like
+    /// a standalone single-region simulation fed only its own jobs.
+    #[test]
+    fn isolated_regions_match_standalone_single_region_runs(
+        seed in 0u64..1_000,
+        regions in 2u32..4,
+        jobs in 1u64..100,
+    ) {
+        let config = isolated_config(seed, regions, 3, jobs);
+        let all_jobs = synthetic_region_jobs(&config).expect("workload");
+        let combined = RegionSim::run(&config, 1, regions as usize).expect("combined runs");
+        for r in 0..regions {
+            let local: Vec<RegionJob> = all_jobs
+                .iter()
+                .filter(|j| j.region == r)
+                .map(|j| RegionJob { region: 0, ..*j })
+                .collect();
+            let solo_config = RegionSimConfig { regions: 1, ..config.clone() };
+            let solo = RegionSim::run_with(
+                &solo_config,
+                &local,
+                std::sync::Arc::new(eda_cloud_engine::NoEngineFaults),
+                1,
+                1,
+            )
+            .expect("standalone region runs");
+            prop_assert_eq!(
+                combined.regions[r as usize],
+                solo.regions[0],
+                "region {} diverged from its standalone twin", r
+            );
+        }
+    }
+}

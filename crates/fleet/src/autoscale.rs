@@ -1,5 +1,6 @@
 //! The warm-pool autoscaler policy.
 
+use eda_cloud_engine::time;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -50,7 +51,10 @@ pub(crate) struct Autoscaler {
 impl Autoscaler {
     pub(crate) fn new(config: &AutoscaleConfig) -> Self {
         Self {
-            window_us: (config.window_secs.max(0.0) * 1e6) as u64,
+            // Saturating by design: the window is a smoothing horizon,
+            // not an event time, so a NaN/negative config degrades to 0
+            // and an absurdly large one clamps instead of erroring.
+            window_us: time::saturating_secs_to_us(config.window_secs.max(0.0)),
             max_warm: config.max_warm,
             arrivals: VecDeque::new(),
         }

@@ -1,6 +1,7 @@
 //! Fleet-simulator errors.
 
 use eda_cloud_cloud::CloudError;
+use eda_cloud_engine::EngineError;
 use std::error::Error;
 use std::fmt;
 
@@ -39,6 +40,15 @@ impl From<CloudError> for FleetError {
     }
 }
 
+/// Engine-substrate failures (checked-time overflow, bad sim config)
+/// surface as fleet configuration errors, carrying the engine's static
+/// diagnosis.
+impl From<EngineError> for FleetError {
+    fn from(e: EngineError) -> Self {
+        FleetError::InvalidConfig(e.message())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,6 +61,14 @@ mod tests {
         let e = FleetError::InvalidConfig("job 2 has no stages");
         assert!(e.to_string().contains("no stages"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn engine_errors_keep_their_diagnosis() {
+        let e: FleetError = EngineError::Time("time overflows the microsecond clock").into();
+        assert_eq!(e, FleetError::InvalidConfig("time overflows the microsecond clock"));
+        let e: FleetError = EngineError::UnknownRegion { region: 1, regions: 1 }.into();
+        assert!(matches!(e, FleetError::InvalidConfig(_)));
     }
 
     #[test]

@@ -1,5 +1,9 @@
-//! Fleet metrics: counters, fixed-bucket histograms, and the
-//! [`FleetReport`] with its deterministic JSON rendering.
+//! Fleet metrics: counters and the [`FleetReport`] with its
+//! deterministic JSON rendering.
+//!
+//! The histogram/sample primitives moved to `eda-cloud-engine` when
+//! the event engine was extracted; [`Histogram`] is re-exported here
+//! so downstream crates (serve, simtest) keep their import paths.
 //!
 //! The workspace's `serde` is an offline marker stub, so the report
 //! writes its own JSON: keys in fixed order, floats printed with six
@@ -7,79 +11,12 @@
 //! their JSON strings are byte-identical, which is what the determinism
 //! tests and the CI same-seed diff assert.
 
+use eda_cloud_engine::fmt_f64;
 use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
-/// A histogram over fixed, caller-chosen bucket edges. A value lands in
-/// the first bucket whose upper edge is `>=` the value; values beyond
-/// the last edge land in the overflow bucket, so `counts` has
-/// `edges.len() + 1` entries.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Histogram {
-    edges: Vec<f64>,
-    counts: Vec<u64>,
-}
-
-impl Histogram {
-    /// A histogram over ascending bucket edges.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `edges` is empty or not strictly ascending.
-    #[must_use]
-    pub fn new(edges: Vec<f64>) -> Self {
-        assert!(!edges.is_empty(), "histogram needs at least one edge");
-        assert!(
-            edges.windows(2).all(|w| w[0] < w[1]),
-            "histogram edges must ascend"
-        );
-        let counts = vec![0; edges.len() + 1];
-        Self { edges, counts }
-    }
-
-    /// Record one observation.
-    pub fn record(&mut self, value: f64) {
-        let bucket = self
-            .edges
-            .iter()
-            .position(|&e| value <= e)
-            .unwrap_or(self.edges.len());
-        self.counts[bucket] += 1;
-    }
-
-    /// Bucket upper edges.
-    #[must_use]
-    pub fn edges(&self) -> &[f64] {
-        &self.edges
-    }
-
-    /// Per-bucket counts (last entry is the overflow bucket).
-    #[must_use]
-    pub fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    /// Total observations recorded.
-    #[must_use]
-    pub fn total(&self) -> u64 {
-        self.counts.iter().sum()
-    }
-
-    /// Render as `{"edges":[...],"counts":[...]}` with the same fixed
-    /// float formatting as [`FleetReport::to_json`] — byte-stable, so
-    /// other crates (the serve report) can embed histograms in their own
-    /// deterministic JSON documents.
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        let edges: Vec<String> = self.edges.iter().map(|e| fmt_f64(*e)).collect();
-        let counts: Vec<String> = self.counts.iter().map(u64::to_string).collect();
-        format!(
-            "{{\"edges\":[{}],\"counts\":[{}]}}",
-            edges.join(","),
-            counts.join(",")
-        )
-    }
-}
+pub use eda_cloud_engine::Histogram;
+pub(crate) use eda_cloud_engine::Samples;
 
 /// Monotone event counters accumulated over one simulation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -184,77 +121,17 @@ impl FleetReport {
     }
 }
 
-/// Fixed-precision float rendering for the JSON report (6 decimal
-/// places covers sub-cent costs and microsecond-rounded latencies).
-fn fmt_f64(v: f64) -> String {
-    format!("{v:.6}")
-}
-
-/// Running latency/cost samples; turned into mean/percentile scalars
-/// for the report.
-#[derive(Debug, Clone, Default)]
-pub(crate) struct Samples {
-    values: Vec<f64>,
-}
-
-impl Samples {
-    pub(crate) fn record(&mut self, value: f64) {
-        self.values.push(value);
-    }
-
-    pub(crate) fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            0.0
-        } else {
-            self.values.iter().sum::<f64>() / self.values.len() as f64
-        }
-    }
-
-    /// Nearest-rank percentile (`q` in `[0, 1]`); 0 when empty.
-    pub(crate) fn percentile(&self, q: f64) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        let mut sorted = self.values.clone();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_and_overflow() {
-        let mut h = Histogram::new(vec![10.0, 100.0]);
-        for v in [5.0, 10.0, 11.0, 250.0] {
-            h.record(v);
-        }
-        assert_eq!(h.counts(), &[2, 1, 1]);
-        assert_eq!(h.total(), 4);
-        assert_eq!(h.to_json(), "{\"edges\":[10.000000,100.000000],\"counts\":[2,1,1]}");
-    }
-
-    #[test]
-    #[should_panic(expected = "must ascend")]
-    fn histogram_rejects_unsorted_edges() {
-        let _ = Histogram::new(vec![10.0, 5.0]);
-    }
-
-    #[test]
-    fn samples_statistics() {
-        let mut s = Samples::default();
-        assert_eq!(s.mean(), 0.0);
-        assert_eq!(s.percentile(0.95), 0.0);
-        for v in [4.0, 1.0, 3.0, 2.0] {
-            s.record(v);
-        }
-        assert!((s.mean() - 2.5).abs() < 1e-12);
-        assert_eq!(s.percentile(0.5), 2.0);
-        assert_eq!(s.percentile(0.95), 4.0);
-        assert_eq!(s.percentile(0.0), 1.0);
+    fn reexported_histogram_is_the_engine_histogram() {
+        // The serve/simtest crates import `eda_cloud_fleet::Histogram`;
+        // the re-export must stay type-identical to the engine's.
+        let mut h: eda_cloud_engine::Histogram = Histogram::new(vec![10.0]);
+        h.record(5.0);
+        assert_eq!(h.counts(), &[1, 0]);
     }
 
     #[test]

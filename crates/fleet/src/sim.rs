@@ -23,44 +23,30 @@ use crate::metrics::{FleetCounters, FleetReport, Histogram, Samples};
 use crate::spot::{SpotInjector, SpotPolicy};
 use crate::{FleetError, FleetJob};
 use eda_cloud_cloud::{Catalog, InstanceType, Provisioner, VmState};
+use eda_cloud_engine::{time, EventHeap};
 use eda_cloud_trace::{Span, Tracer};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
-
-const MICROS: f64 = 1e6;
-
-/// Largest microsecond value convertible from `f64` without the
-/// saturating-cast cliff: beyond 2^63, `as u64` silently pins to
-/// `u64::MAX` and event times stop being meaningful.
-const MAX_US: f64 = 9.2e18;
+use std::collections::BTreeMap;
 
 /// Convert seconds to integer microseconds, rejecting values a
 /// saturating `as` cast would silently mangle: NaN (casts to 0),
 /// negatives (cast to 0), and times beyond the microsecond clock's
-/// range (pin to `u64::MAX`, reordering the event heap).
+/// range (pin to `u64::MAX`, reordering the event heap). Delegates to
+/// the engine's checked-time API; the engine's diagnosis strings are
+/// identical to the ones this crate used before the extraction.
 fn to_us(secs: f64) -> Result<u64, FleetError> {
-    if !secs.is_finite() || secs < 0.0 {
-        return Err(FleetError::InvalidConfig("time must be finite and >= 0"));
-    }
-    let us = (secs * MICROS).round();
-    if us > MAX_US {
-        return Err(FleetError::InvalidConfig("time overflows the microsecond clock"));
-    }
-    Ok(us as u64)
+    Ok(time::secs_to_us(secs)?)
 }
 
 fn to_secs(us: u64) -> f64 {
-    us as f64 / MICROS
+    time::us_to_secs(us)
 }
 
 /// A planned stage runtime in microseconds, or an error when the
 /// multiply would wrap `u64` (a >292-millennium stage is a bad plan,
 /// not a schedulable event).
 fn stage_duration_us(runtime_secs: u64) -> Result<u64, FleetError> {
-    runtime_secs
-        .checked_mul(1_000_000)
-        .ok_or(FleetError::InvalidConfig("stage runtime overflows the microsecond clock"))
+    Ok(time::secs_to_duration_us(runtime_secs)?)
 }
 
 /// Histogram bucket edges must be non-empty, finite, and strictly
@@ -250,33 +236,6 @@ enum Event {
     IdleReap { vm: u64, stamp: u64 },
 }
 
-struct HeapEntry {
-    t: u64,
-    seq: u64,
-    event: Event,
-}
-
-impl PartialEq for HeapEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-
-impl Eq for HeapEntry {}
-
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we pop earliest (t, seq).
-        (other.t, other.seq).cmp(&(self.t, self.seq))
-    }
-}
-
 struct JobState {
     plan_stage_count: usize,
     arrival_us: u64,
@@ -294,8 +253,9 @@ struct Engine<'a> {
     config: &'a FleetConfig,
     jobs: &'a [FleetJob],
     provisioner: Provisioner,
-    heap: BinaryHeap<HeapEntry>,
-    seq: u64,
+    /// The extracted deterministic event core: pops in `(time, seq)`
+    /// order, seq being a monotone push counter the heap owns.
+    heap: EventHeap<Event>,
     states: Vec<JobState>,
     /// Idle booted on-demand VMs, keyed by instance name; entries are
     /// `(vm, stamp)` reused LIFO. BTree keys keep any iteration
@@ -357,8 +317,7 @@ impl<'a> Engine<'a> {
             config,
             jobs,
             provisioner: Provisioner::new(*catalog.pricing()),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            heap: EventHeap::new(),
             states,
             warm: BTreeMap::new(),
             warm_count: 0,
@@ -380,9 +339,7 @@ impl<'a> Engine<'a> {
     }
 
     fn push(&mut self, t: u64, event: Event) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(HeapEntry { t, seq, event });
+        self.heap.push(t, event);
     }
 
     fn run(mut self) -> Result<FleetReport, FleetError> {
@@ -390,7 +347,7 @@ impl<'a> Engine<'a> {
             let t = self.states[index].arrival_us;
             self.push(t, Event::Arrival { job: index });
         }
-        while let Some(HeapEntry { t, event, .. }) = self.heap.pop() {
+        while let Some((t, event)) = self.heap.pop() {
             self.provisioner.advance_to(to_secs(t));
             self.sim_span.counter("events", 1);
             match event {
@@ -468,14 +425,7 @@ impl<'a> Engine<'a> {
         // The provisioner's boot interval gates readiness; +1 us of
         // slack absorbs float-to-integer rounding of `ready_at`.
         let ready_secs = self.provisioner.vm(vm)?.ready_at;
-        if !ready_secs.is_finite() || ready_secs < 0.0 {
-            return Err(FleetError::InvalidConfig("vm ready time must be finite and >= 0"));
-        }
-        let ready_us = (ready_secs * MICROS).ceil();
-        if ready_us > MAX_US {
-            return Err(FleetError::InvalidConfig("time overflows the microsecond clock"));
-        }
-        let ready = ready_us as u64 + 1;
+        let ready = time::checked_add_us(time::secs_to_us_ceil(ready_secs)?, 1)?;
         self.push(ready, Event::VmReady { job, vm });
         Ok(())
     }
@@ -504,10 +454,7 @@ impl<'a> Engine<'a> {
         // speed a stage up, so sub-100 percentages clamp to 100.
         let stall_pct = self.faults.stall_pct(job_id, stage_index).max(100);
         if stall_pct > 100 {
-            duration_us = duration_us
-                .checked_mul(stall_pct)
-                .map(|v| v / 100)
-                .ok_or(FleetError::InvalidConfig("stalled stage overflows the microsecond clock"))?;
+            duration_us = time::scale_us_pct(duration_us, stall_pct)?;
             let span = self.job_spans[job].child("fault/stall");
             span.attr("stage", stage_index);
             span.attr("pct", stall_pct);
@@ -516,20 +463,8 @@ impl<'a> Engine<'a> {
         // of its (possibly stalled) runtime — host failure semantics,
         // so it applies to on-demand VMs too.
         if let Some(fraction) = self.faults.interrupt(job_id, stage_index, attempt) {
-            if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
-                return Err(FleetError::InvalidConfig(
-                    "forced interrupt fraction must be in [0, 1]",
-                ));
-            }
-            let offset = duration_us as f64 * fraction;
-            if !offset.is_finite() || !(0.0..=MAX_US).contains(&offset) {
-                return Err(FleetError::InvalidConfig(
-                    "reclaim point must be a finite fraction of the stage",
-                ));
-            }
-            let reclaim_at = now
-                .checked_add(offset as u64)
-                .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+            let offset = time::fraction_of_us(duration_us, fraction)?;
+            let reclaim_at = time::checked_add_us(now, offset)?;
             let span = self.job_spans[job].child("fault/interrupt");
             span.attr("stage", stage_index);
             span.attr("attempt", attempt);
@@ -540,26 +475,17 @@ impl<'a> Engine<'a> {
         if on_spot {
             let market = self.config.spot.as_ref().expect("spot VM implies policy").market;
             if let Some(fraction) = self.injector.reclaim_fraction(runtime_secs as f64, &market) {
-                // The reclaim point is a fraction of the stage, so it
-                // inherits the stage's own range checks; the guards
-                // reject a NaN/out-of-range draw instead of letting the
-                // cast collapse it to 0 or `u64::MAX`.
-                let offset = duration_us as f64 * fraction;
-                if !offset.is_finite() || !(0.0..=MAX_US).contains(&offset) {
-                    return Err(FleetError::InvalidConfig(
-                        "reclaim point must be a finite fraction of the stage",
-                    ));
-                }
-                let reclaim_at = now
-                    .checked_add(offset as u64)
-                    .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+                // The reclaim point is a fraction of the stage; the
+                // checked helper rejects a NaN/out-of-range draw
+                // instead of letting the cast collapse it to 0 or
+                // `u64::MAX`.
+                let offset = time::fraction_of_us(duration_us, fraction)?;
+                let reclaim_at = time::checked_add_us(now, offset)?;
                 self.push(reclaim_at, Event::Reclaim { job, vm });
                 return Ok(());
             }
         }
-        let done_at = now
-            .checked_add(duration_us)
-            .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+        let done_at = time::checked_add_us(now, duration_us)?;
         self.push(done_at, Event::StageDone { job, vm });
         Ok(())
     }
@@ -602,9 +528,7 @@ impl<'a> Engine<'a> {
             Some(policy) => policy.backoff_secs(self.states[job].attempt),
             None => SpotPolicy::typical().backoff_secs(self.states[job].attempt),
         };
-        let retry_at = now
-            .checked_add(to_us(backoff)?)
-            .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+        let retry_at = time::checked_add_us(now, to_us(backoff)?)?;
         self.push(retry_at, Event::Retry { job });
         Ok(())
     }
@@ -659,9 +583,8 @@ impl<'a> Engine<'a> {
             self.stamp += 1;
             self.warm.entry(name).or_default().push((vm, stamp));
             self.warm_count += 1;
-            let reap_at = now
-                .checked_add(to_us(self.config.autoscale.max_idle_secs.max(0.0))?)
-                .ok_or(FleetError::InvalidConfig("time overflows the microsecond clock"))?;
+            let reap_at =
+                time::checked_add_us(now, to_us(self.config.autoscale.max_idle_secs.max(0.0))?)?;
             self.push(reap_at, Event::IdleReap { vm, stamp });
             Ok(())
         } else {

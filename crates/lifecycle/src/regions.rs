@@ -1,0 +1,218 @@
+//! Region-by-region staged rollout.
+//!
+//! The single-region [`RolloutManager`](crate::RolloutManager) answers
+//! one question: is this canary safe to promote *here*? A multi-region
+//! deployment asks the staged form of the question: roll the candidate
+//! out one region at a time, in region order, promoting region `k+1`'s
+//! canary only after region `k`'s guardrails passed — and abort the
+//! whole wave the moment any region rolls back. [`StagedRegionRollout`]
+//! drives one `RolloutManager` per region through exactly that state
+//! machine. It is plain sequential integer state, so a wave replayed
+//! from the same join stream lands on the same decision in every
+//! region.
+
+use crate::{RolloutDecision, RolloutManager};
+
+/// Where a staged wave stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StagedStatus {
+    /// The canary is live in `region`; its guardrails are accumulating.
+    InFlight {
+        /// The region currently under canary.
+        region: u32,
+    },
+    /// Every region promoted; the wave is fully rolled out.
+    Completed,
+    /// A region's guardrails failed; the wave stopped there.
+    Aborted {
+        /// The region that failed.
+        region: u32,
+        /// Which guardrail failed ([`RolloutDecision::RollbackError`]
+        /// or [`RolloutDecision::RollbackLatency`]).
+        decision: RolloutDecision,
+    },
+}
+
+/// One canary wave staged across regions in region order.
+#[derive(Debug, Clone)]
+pub struct StagedRegionRollout {
+    managers: Vec<RolloutManager>,
+    decisions: Vec<Option<RolloutDecision>>,
+    status: StagedStatus,
+}
+
+impl StagedRegionRollout {
+    /// A wave over `regions` regions, each guarded by a fresh
+    /// [`RolloutManager`] with the given thresholds (see
+    /// [`RolloutManager::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regions == 0`, or on the thresholds
+    /// `RolloutManager::new` rejects.
+    #[must_use]
+    pub fn new(
+        regions: usize,
+        min_joins: usize,
+        promote_max_error_pct: u64,
+        latency_budget_us: u64,
+    ) -> Self {
+        assert!(regions > 0, "a staged rollout needs at least one region");
+        Self {
+            managers: (0..regions)
+                .map(|_| RolloutManager::new(min_joins, promote_max_error_pct, latency_budget_us))
+                .collect(),
+            decisions: vec![None; regions],
+            status: StagedStatus::InFlight { region: 0 },
+        }
+    }
+
+    /// Where the wave stands.
+    #[must_use]
+    pub fn status(&self) -> StagedStatus {
+        self.status
+    }
+
+    /// The region whose canary is currently live, if the wave is still
+    /// in flight.
+    #[must_use]
+    pub fn current_region(&self) -> Option<u32> {
+        match self.status {
+            StagedStatus::InFlight { region } => Some(region),
+            StagedStatus::Completed | StagedStatus::Aborted { .. } => None,
+        }
+    }
+
+    /// Final decision per region: `None` for regions the wave never
+    /// reached (after an abort).
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<RolloutDecision>] {
+        &self.decisions
+    }
+
+    /// Record a canary-arm join for the in-flight region. Joins for any
+    /// other region (or after the wave ended) are stale traffic and are
+    /// dropped.
+    pub fn record_canary(&mut self, region: u32, mape_micros: u64, latency_us: u64) {
+        if self.current_region() == Some(region) {
+            self.managers[region as usize].record_canary(mape_micros, latency_us);
+        }
+    }
+
+    /// Record a primary-arm join observed in the in-flight region.
+    pub fn record_primary(&mut self, region: u32, mape_micros: u64) {
+        if self.current_region() == Some(region) {
+            self.managers[region as usize].record_primary(mape_micros);
+        }
+    }
+
+    /// Evaluate the in-flight region's guardrails and advance the wave:
+    /// a promotion moves the canary to the next region (completing the
+    /// wave after the last), a rollback aborts it, pending stays put.
+    /// Returns the in-flight region's decision, or `Pending` when the
+    /// wave has already ended.
+    pub fn evaluate(&mut self) -> RolloutDecision {
+        let Some(region) = self.current_region() else {
+            return RolloutDecision::Pending;
+        };
+        let decision = self.managers[region as usize].evaluate();
+        match decision {
+            RolloutDecision::Pending => {}
+            RolloutDecision::Promote => {
+                self.decisions[region as usize] = Some(decision);
+                let next = region as usize + 1;
+                self.status = if next == self.managers.len() {
+                    StagedStatus::Completed
+                } else {
+                    StagedStatus::InFlight { region: next as u32 }
+                };
+            }
+            RolloutDecision::RollbackError | RolloutDecision::RollbackLatency => {
+                self.decisions[region as usize] = Some(decision);
+                self.status = StagedStatus::Aborted { region, decision };
+            }
+        }
+        decision
+    }
+
+    /// Regions that promoted so far.
+    #[must_use]
+    pub fn promoted_regions(&self) -> u64 {
+        self.decisions
+            .iter()
+            .filter(|d| matches!(d, Some(RolloutDecision::Promote)))
+            .count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_promote(wave: &mut StagedRegionRollout, region: u32) {
+        wave.record_canary(region, 50_000, 1_000);
+        wave.record_primary(region, 100_000);
+    }
+
+    #[test]
+    fn wave_advances_region_by_region_and_completes() {
+        let mut wave = StagedRegionRollout::new(3, 1, 90, 10_000);
+        assert_eq!(wave.current_region(), Some(0));
+        for region in 0..3u32 {
+            feed_promote(&mut wave, region);
+            assert_eq!(wave.evaluate(), RolloutDecision::Promote, "region {region}");
+        }
+        assert_eq!(wave.status(), StagedStatus::Completed);
+        assert_eq!(wave.promoted_regions(), 3);
+        assert_eq!(wave.evaluate(), RolloutDecision::Pending, "ended waves stay ended");
+    }
+
+    #[test]
+    fn rollback_aborts_the_wave_and_skips_later_regions() {
+        let mut wave = StagedRegionRollout::new(3, 1, 90, 10_000);
+        feed_promote(&mut wave, 0);
+        assert_eq!(wave.evaluate(), RolloutDecision::Promote);
+        // Region 1's canary is worse than its primary: rollback.
+        wave.record_canary(1, 200_000, 1_000);
+        wave.record_primary(1, 100_000);
+        assert_eq!(wave.evaluate(), RolloutDecision::RollbackError);
+        assert_eq!(
+            wave.status(),
+            StagedStatus::Aborted { region: 1, decision: RolloutDecision::RollbackError }
+        );
+        assert_eq!(wave.decisions(), &[
+            Some(RolloutDecision::Promote),
+            Some(RolloutDecision::RollbackError),
+            None,
+        ]);
+        // Joins for the region the wave never reached are dropped.
+        feed_promote(&mut wave, 2);
+        assert_eq!(wave.evaluate(), RolloutDecision::Pending);
+        assert_eq!(wave.promoted_regions(), 1);
+    }
+
+    #[test]
+    fn stale_traffic_for_other_regions_is_ignored() {
+        let mut wave = StagedRegionRollout::new(2, 1, 90, 10_000);
+        // Joins for region 1 while region 0 is in flight must not
+        // advance region 1's manager.
+        feed_promote(&mut wave, 1);
+        assert_eq!(wave.evaluate(), RolloutDecision::Pending, "region 0 has no joins");
+        feed_promote(&mut wave, 0);
+        assert_eq!(wave.evaluate(), RolloutDecision::Promote);
+        // Region 1 starts from scratch.
+        assert_eq!(wave.evaluate(), RolloutDecision::Pending);
+        feed_promote(&mut wave, 1);
+        assert_eq!(wave.evaluate(), RolloutDecision::Promote);
+        assert_eq!(wave.status(), StagedStatus::Completed);
+    }
+
+    #[test]
+    fn latency_breach_aborts_with_the_latency_decision() {
+        let mut wave = StagedRegionRollout::new(2, 1, 90, 500);
+        wave.record_canary(0, 10_000, 501);
+        wave.record_primary(0, 100_000);
+        assert_eq!(wave.evaluate(), RolloutDecision::RollbackLatency);
+        assert!(matches!(wave.status(), StagedStatus::Aborted { region: 0, .. }));
+    }
+}

@@ -22,6 +22,9 @@
 //!   shed with the typed [`ServeError::Overloaded`].
 //! * **Result cache** ([`LruCache`]) — design fingerprint → per-stage
 //!   predictions, with hit/miss accounting in the report.
+//! * **Geo routing** ([`GeoServer`]) — per-region replicas behind the
+//!   engine's weighted fair-share admission, so multi-tenant traffic
+//!   is bounded to each tenant's share before any replica sees it.
 //! * **Planning** ([`Planner`]) — feasible [`RequestKind::Plan`]
 //!   requests get an exact MCKP deployment ([`PlanSummary`]); the
 //!   built-in [`CostTablePlanner`] prices a flat hourly-rate table,
@@ -64,6 +67,7 @@
 mod cache;
 mod error;
 mod faults;
+mod geo;
 mod planner;
 mod queue;
 mod registry;
@@ -74,6 +78,7 @@ mod server;
 pub use cache::LruCache;
 pub use error::ServeError;
 pub use faults::{NoServeFaults, ServeFaults, SharedServeFaults};
+pub use geo::{GeoConfig, GeoReport, GeoRequest, GeoServer, GeoTenantUsage};
 pub use planner::{CostTablePlanner, PlanSummary, Planner, VCPUS};
 pub use queue::AdmissionQueue;
 pub use registry::{ModelRegistry, ModelSnapshot, STAGE_NAMES};

@@ -7,6 +7,7 @@
 //! in the system under test, which is exactly what the planted
 //! guardrail bug demonstrates.
 
+use eda_cloud_engine::RegionReport;
 use eda_cloud_fleet::FleetReport;
 use eda_cloud_lifecycle::{
     ape_micros, Arm, FeedbackEvent, LifecycleConfig, LifecycleReport, RolloutDecision,
@@ -89,6 +90,55 @@ pub fn check_serve_conservation(
             ));
             break;
         }
+    }
+    violations
+}
+
+/// Cross-shard conservation: every cross-region message a shard sent
+/// is delivered or explicitly dropped by the fault plan — partitions
+/// and injected delays may bend delivery times, never lose envelopes.
+/// Jobs are conserved the same way: every submitted or migrated-in job
+/// reaches a terminal outcome (served, quota-rejected, or shed), and
+/// migration itself is zero-sum across regions.
+#[must_use]
+pub fn check_cross_shard_conservation(report: &RegionReport) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let m = &report.messages;
+    if m.delivered + m.dropped != m.sent {
+        violations.push(Violation::new(
+            "cross_shard_conservation",
+            format!(
+                "sent {} != delivered {} + dropped {}",
+                m.sent, m.delivered, m.dropped
+            ),
+        ));
+    }
+    let sum = |f: fn(&eda_cloud_engine::RegionCounters) -> u64| {
+        report.regions.iter().map(f).sum::<u64>()
+    };
+    let migrated_out = sum(|c| c.migrated_out);
+    let migrated_in = sum(|c| c.migrated_in);
+    // Dropped migrations are the only way an outbound job fails to
+    // land; anything else is a lost envelope.
+    if migrated_in + m.dropped < migrated_out {
+        violations.push(Violation::new(
+            "cross_shard_conservation",
+            format!(
+                "{migrated_out} jobs migrated out but only {migrated_in} arrived \
+                 ({} messages dropped in total)",
+                m.dropped
+            ),
+        ));
+    }
+    let terminal = sum(|c| c.served) + sum(|c| c.quota_rejected) + sum(|c| c.shed);
+    let entered = sum(|c| c.submitted) + migrated_in - migrated_out;
+    if terminal != entered {
+        violations.push(Violation::new(
+            "cross_shard_conservation",
+            format!(
+                "{entered} jobs entered region queues but {terminal} reached a terminal outcome"
+            ),
+        ));
     }
     violations
 }

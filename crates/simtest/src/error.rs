@@ -1,5 +1,6 @@
 //! Simtest errors.
 
+use eda_cloud_engine::EngineError;
 use eda_cloud_fleet::FleetError;
 use eda_cloud_lifecycle::LifecycleError;
 use eda_cloud_serve::ServeError;
@@ -23,6 +24,8 @@ pub enum SimtestError {
     /// The lifecycle phase rejected its configuration or a registry
     /// operation.
     Lifecycle(LifecycleError),
+    /// The engine phase rejected its multi-region configuration.
+    Engine(EngineError),
     /// [`crate::shrink_plan`] was asked to minimize a plan that does
     /// not violate any invariant — there is nothing to reproduce.
     ShrinkOnPassingPlan,
@@ -36,6 +39,7 @@ impl fmt::Display for SimtestError {
             SimtestError::Fleet(e) => write!(f, "fleet phase failed: {e}"),
             SimtestError::Serve(e) => write!(f, "serve phase failed: {e}"),
             SimtestError::Lifecycle(e) => write!(f, "lifecycle phase failed: {e}"),
+            SimtestError::Engine(e) => write!(f, "engine phase failed: {e}"),
             SimtestError::ShrinkOnPassingPlan => {
                 write!(f, "cannot shrink a fault plan that violates no invariant")
             }
@@ -49,6 +53,7 @@ impl Error for SimtestError {
             SimtestError::Fleet(e) => Some(e),
             SimtestError::Serve(e) => Some(e),
             SimtestError::Lifecycle(e) => Some(e),
+            SimtestError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +77,12 @@ impl From<LifecycleError> for SimtestError {
     }
 }
 
+impl From<EngineError> for SimtestError {
+    fn from(e: EngineError) -> Self {
+        SimtestError::Engine(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +100,9 @@ mod tests {
         let e: SimtestError =
             LifecycleError::Config { message: "requests must be positive".into() }.into();
         assert!(e.to_string().contains("lifecycle"));
+        assert!(e.source().is_some());
+        let e: SimtestError = EngineError::InvalidConfig("region sim needs a region").into();
+        assert!(e.to_string().contains("engine"));
         assert!(e.source().is_some());
         assert!(SimtestError::ShrinkOnPassingPlan.to_string().contains("shrink"));
     }

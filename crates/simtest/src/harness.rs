@@ -9,10 +9,14 @@
 //! `(config, plan)` pair produces byte-identical reports at 1, 2, or
 //! 8 workers.
 
+use crate::report::EnginePhase;
 use crate::{
     check, FaultEvent, FaultPlan, PlanFaults, SimtestError, SimtestReport, Violation,
 };
 use eda_cloud_cloud::Catalog;
+use eda_cloud_engine::{
+    synthetic_region_jobs, EngineFaults, RegionReport, RegionSim, RegionSimConfig,
+};
 use eda_cloud_fleet::{
     poisson_arrivals, FleetConfig, FleetJob, FleetReport, FleetSimulator, JobPlan, PlannedStage,
     SharedFleetFaults,
@@ -51,6 +55,10 @@ pub struct SimtestConfig {
     pub serve_requests: usize,
     /// Requests in the lifecycle stream.
     pub lifecycle_requests: usize,
+    /// Regions in the engine phase's multi-region simulation.
+    pub engine_regions: usize,
+    /// Jobs in the engine phase's multi-region workload.
+    pub engine_jobs: usize,
     /// Arm the deliberately planted guardrail bug in the lifecycle
     /// controller. Requires the `planted-guardrail-bug` feature; exists
     /// so the invariant suite can demonstrate catching a real
@@ -66,6 +74,8 @@ impl Default for SimtestConfig {
             fleet_jobs: 6,
             serve_requests: 48,
             lifecycle_requests: 160,
+            engine_regions: 3,
+            engine_jobs: 120,
             planted_guardrail_bug: false,
         }
     }
@@ -95,6 +105,14 @@ impl SimtestConfig {
             return Err(SimtestError::Config(
                 "lifecycle_requests must be at least 48 (the controller needs calibration traffic)",
             ));
+        }
+        if self.engine_regions < 2 {
+            return Err(SimtestError::Config(
+                "engine_regions must be at least 2 (cross-shard faults need a link to cut)",
+            ));
+        }
+        if self.engine_jobs == 0 {
+            return Err(SimtestError::Config("engine_jobs must be positive"));
         }
         Ok(())
     }
@@ -135,6 +153,8 @@ pub struct SimtestRun {
     pub lifecycle: LifecycleReport,
     /// The lifecycle phase's feedback log, join order.
     pub feedback: Vec<FeedbackEvent>,
+    /// The engine phase's full multi-region report.
+    pub regions: RegionReport,
 }
 
 /// The fleet workload: four-stage jobs shaped like Table I's
@@ -288,6 +308,26 @@ pub fn run_simtest_traced(
     violations.extend(check::check_monotonic_time(&lifecycle));
     violations.extend(check::check_guardrail_soundness(&lifecycle, &feedback, &lifecycle_config));
 
+    // Engine phase: the multi-region simulation under the plan's
+    // cross-shard faults. Delays and partitions bend delivery times;
+    // the conservation checker demands that no envelope (and no
+    // migrated job) is lost without being accounted as dropped.
+    let region_config = RegionSimConfig {
+        seed: config.seed,
+        regions: config.engine_regions as u32,
+        jobs: config.engine_jobs as u64,
+        ..RegionSimConfig::default()
+    };
+    let region_jobs = synthetic_region_jobs(&region_config)?;
+    let regions = RegionSim::run_with(
+        &region_config,
+        &region_jobs,
+        Arc::clone(&hooks) as Arc<dyn EngineFaults>,
+        config.workers,
+        config.engine_regions,
+    )?;
+    violations.extend(check::check_cross_shard_conservation(&regions));
+
     // Corruption phase: every scheduled snapshot bit-flip must be
     // rejected by the registry's checksum with a typed error.
     let snapshot_text = ModelSnapshot::seeded(&ModelConfig::fast(), config.seed).to_text();
@@ -316,21 +356,38 @@ pub fn run_simtest_traced(
         }
     }
 
+    let sum = |f: fn(&eda_cloud_engine::RegionCounters) -> u64| {
+        regions.regions.iter().map(f).sum::<u64>()
+    };
+    let engine = EnginePhase {
+        submitted: sum(|c| c.submitted),
+        served: sum(|c| c.served),
+        quota_rejected: sum(|c| c.quota_rejected),
+        shed: sum(|c| c.shed),
+        migrated: sum(|c| c.migrated_out),
+        sent: regions.messages.sent,
+        delivered: regions.messages.delivered,
+        dropped: regions.messages.dropped,
+        delayed: regions.messages.delayed,
+        held: regions.messages.held,
+    };
     let report = SimtestReport {
         seed: config.seed,
         plan: plan.clone(),
         fleet: fleet.counters,
         serve: serve.counters,
         lifecycle: lifecycle.counters,
+        engine,
         fleet_digest: crate::report::fnv1a64(fleet.to_json().as_bytes()),
         serve_digest: crate::report::fnv1a64(serve.to_json().as_bytes()),
         lifecycle_digest: crate::report::fnv1a64(lifecycle.to_json().as_bytes()),
+        engine_digest: crate::report::fnv1a64(regions.to_json().as_bytes()),
         fault_spans,
         corruption_injected,
         corruption_rejected,
         violations,
     };
-    Ok(SimtestRun { report, fleet, serve, serve_outcomes, lifecycle, feedback })
+    Ok(SimtestRun { report, fleet, serve, serve_outcomes, lifecycle, feedback, regions })
 }
 
 #[cfg(test)]
@@ -344,6 +401,8 @@ mod tests {
         assert!(
             SimtestConfig { lifecycle_requests: 10, ..Default::default() }.validate().is_err()
         );
+        assert!(SimtestConfig { engine_regions: 1, ..Default::default() }.validate().is_err());
+        assert!(SimtestConfig { engine_jobs: 0, ..Default::default() }.validate().is_err());
         SimtestConfig::default().validate().expect("defaults are valid");
     }
 

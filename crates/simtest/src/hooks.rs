@@ -8,6 +8,7 @@
 //! injection is deterministic at any worker count.
 
 use crate::{FaultEvent, FaultPlan, PPM};
+use eda_cloud_engine::EngineFaults;
 use eda_cloud_fleet::FleetFaults;
 use eda_cloud_lifecycle::{Arm, LifecycleFaults};
 use eda_cloud_serve::ServeFaults;
@@ -117,6 +118,34 @@ impl LifecycleFaults for PlanFaults {
     }
 }
 
+impl EngineFaults for PlanFaults {
+    fn message_extra_delay_us(&self, src: u32, dst: u32, seq: u64) -> u64 {
+        self.plan
+            .events
+            .iter()
+            .find_map(|event| match *event {
+                FaultEvent::CrossShardDelay { src: s, dst: d, seq_lo, seq_hi, extra_us }
+                    if s == src && d == dst && (seq_lo..=seq_hi).contains(&seq) =>
+                {
+                    Some(extra_us)
+                }
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    fn partition_heal_us(&self, src: u32, dst: u32, send_time_us: u64) -> Option<u64> {
+        self.plan.events.iter().find_map(|event| match *event {
+            FaultEvent::RegionPartition { src: s, dst: d, from_us, heal_us }
+                if s == src && d == dst && (from_us..heal_us).contains(&send_time_us) =>
+            {
+                Some(heal_us)
+            }
+            _ => None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +161,19 @@ mod tests {
                 FaultEvent::FeedbackDelay { ordinal: 11, extra_us: 1_000_000 },
                 FaultEvent::FeedbackDrop { ordinal: 13 },
                 FaultEvent::CanaryLatencySpike { ord_lo: 20, ord_hi: 30, spike_us: 500_000 },
+                FaultEvent::CrossShardDelay {
+                    src: 0,
+                    dst: 2,
+                    seq_lo: 4,
+                    seq_hi: 6,
+                    extra_us: 70_000,
+                },
+                FaultEvent::RegionPartition {
+                    src: 2,
+                    dst: 1,
+                    from_us: 100_000,
+                    heal_us: 400_000,
+                },
             ],
         })
     }
@@ -162,6 +204,21 @@ mod tests {
     }
 
     #[test]
+    fn engine_hooks_match_identity_exactly() {
+        let h = hooks();
+        assert_eq!(h.message_extra_delay_us(0, 2, 4), 70_000);
+        assert_eq!(h.message_extra_delay_us(0, 2, 6), 70_000);
+        assert_eq!(h.message_extra_delay_us(0, 2, 7), 0, "sequence outside the window");
+        assert_eq!(h.message_extra_delay_us(2, 0, 5), 0, "links are directional");
+        assert_eq!(h.partition_heal_us(2, 1, 100_000), Some(400_000));
+        assert_eq!(h.partition_heal_us(2, 1, 399_999), Some(400_000));
+        assert_eq!(h.partition_heal_us(2, 1, 400_000), None, "healed at the boundary");
+        assert_eq!(h.partition_heal_us(2, 1, 99_999), None, "before the cut");
+        assert_eq!(h.partition_heal_us(1, 2, 200_000), None, "reverse direction is up");
+        assert!(!h.drop_message(0, 2, 5), "plans never drop silently");
+    }
+
+    #[test]
     fn empty_plan_is_inert() {
         let h = PlanFaults::new(FaultPlan::empty(7));
         assert_eq!(h.interrupt(0, 0, 0), None);
@@ -169,6 +226,8 @@ mod tests {
         assert!(!h.force_shed(0) && !h.wipe_cache(0) && !h.drop_feedback(0));
         assert_eq!(h.feedback_extra_delay_us(0), 0);
         assert_eq!(h.latency_spike_us(0, Arm::Canary), 0);
+        assert_eq!(h.message_extra_delay_us(0, 1, 0), 0);
+        assert_eq!(h.partition_heal_us(0, 1, 0), None);
         assert_eq!(h.plan().events.len(), 0);
     }
 }

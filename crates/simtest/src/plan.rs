@@ -88,6 +88,35 @@ pub enum FaultEvent {
         /// Added latency, µs.
         spike_us: u64,
     },
+    /// Engine: delay cross-shard messages from region `src` to region
+    /// `dst` with source sequence numbers in `seq_lo..=seq_hi` by an
+    /// extra `extra_us` (a congested inter-region link).
+    CrossShardDelay {
+        /// Source region of the delayed messages.
+        src: u32,
+        /// Destination region of the delayed messages.
+        dst: u32,
+        /// First delayed source sequence number.
+        seq_lo: u64,
+        /// Last delayed source sequence number (inclusive).
+        seq_hi: u64,
+        /// Extra delivery delay, µs.
+        extra_us: u64,
+    },
+    /// Engine: partition the `src → dst` link — messages sent in
+    /// `from_us..heal_us` are held at the destination until the
+    /// partition heals at `heal_us`.
+    RegionPartition {
+        /// Source region of the partitioned link.
+        src: u32,
+        /// Destination region of the partitioned link.
+        dst: u32,
+        /// Partition start on the simulated clock, µs (inclusive).
+        from_us: u64,
+        /// Heal time on the simulated clock, µs (exclusive for sends,
+        /// the earliest delivery time for held messages).
+        heal_us: u64,
+    },
 }
 
 impl FaultEvent {
@@ -103,6 +132,8 @@ impl FaultEvent {
             FaultEvent::FeedbackDrop { .. } => "feedback_drop",
             FaultEvent::SnapshotCorruption { .. } => "snapshot_corruption",
             FaultEvent::CanaryLatencySpike { .. } => "canary_latency_spike",
+            FaultEvent::CrossShardDelay { .. } => "cross_shard_delay",
+            FaultEvent::RegionPartition { .. } => "region_partition",
         }
     }
 
@@ -136,6 +167,14 @@ impl FaultEvent {
                 "{{\"kind\":\"canary_latency_spike\",\"ord_lo\":{ord_lo},\"ord_hi\":{ord_hi},\
                  \"spike_us\":{spike_us}}}"
             ),
+            FaultEvent::CrossShardDelay { src, dst, seq_lo, seq_hi, extra_us } => format!(
+                "{{\"kind\":\"cross_shard_delay\",\"src\":{src},\"dst\":{dst},\
+                 \"seq_lo\":{seq_lo},\"seq_hi\":{seq_hi},\"extra_us\":{extra_us}}}"
+            ),
+            FaultEvent::RegionPartition { src, dst, from_us, heal_us } => format!(
+                "{{\"kind\":\"region_partition\",\"src\":{src},\"dst\":{dst},\
+                 \"from_us\":{from_us},\"heal_us\":{heal_us}}}"
+            ),
         }
     }
 }
@@ -167,8 +206,9 @@ impl FaultPlan {
         let jobs = config.fleet_jobs.max(1) as u64;
         let serve_ords = config.serve_requests.max(1) as u64;
         let life_ords = config.lifecycle_requests.max(1) as u64;
+        let regions = config.engine_regions.max(2) as u32;
         let events = (0..faults)
-            .map(|_| match rng.gen_range(0u32..8) {
+            .map(|_| match rng.gen_range(0u32..10) {
                 0 => {
                     let job_lo = rng.gen_range(0..jobs);
                     FaultEvent::SpotStorm {
@@ -197,12 +237,35 @@ impl FaultPlan {
                 },
                 5 => FaultEvent::FeedbackDrop { ordinal: rng.gen_range(0..life_ords) },
                 6 => FaultEvent::SnapshotCorruption { byte_index: rng.gen_range(0u64..65_536) },
-                _ => {
+                7 => {
                     let ord_lo = rng.gen_range(0..life_ords);
                     FaultEvent::CanaryLatencySpike {
                         ord_lo,
                         ord_hi: (ord_lo + rng.gen_range(0u64..32)).min(life_ords - 1),
                         spike_us: rng.gen_range(100_000u64..20_000_000),
+                    }
+                }
+                8 => {
+                    let src = rng.gen_range(0..regions);
+                    let dst = (src + rng.gen_range(1..regions)) % regions;
+                    let seq_lo = rng.gen_range(0u64..16);
+                    FaultEvent::CrossShardDelay {
+                        src,
+                        dst,
+                        seq_lo,
+                        seq_hi: seq_lo + rng.gen_range(0u64..8),
+                        extra_us: rng.gen_range(10_000u64..500_000),
+                    }
+                }
+                _ => {
+                    let src = rng.gen_range(0..regions);
+                    let dst = (src + rng.gen_range(1..regions)) % regions;
+                    let from_us = rng.gen_range(0u64..2_000_000);
+                    FaultEvent::RegionPartition {
+                        src,
+                        dst,
+                        from_us,
+                        heal_us: from_us + rng.gen_range(100_000u64..2_000_000),
                     }
                 }
             })
@@ -243,6 +306,24 @@ impl FaultPlan {
                 | FaultEvent::CanaryLatencySpike { ord_lo, ord_hi, .. } => {
                     if ord_lo > ord_hi {
                         Some(format!("ordinal range {ord_lo}..={ord_hi} is inverted"))
+                    } else {
+                        None
+                    }
+                }
+                FaultEvent::CrossShardDelay { src, dst, seq_lo, seq_hi, .. } => {
+                    if src == dst {
+                        Some(format!("cross-shard link {src} -> {dst} is a self-loop"))
+                    } else if seq_lo > seq_hi {
+                        Some(format!("sequence range {seq_lo}..={seq_hi} is inverted"))
+                    } else {
+                        None
+                    }
+                }
+                FaultEvent::RegionPartition { src, dst, from_us, heal_us } => {
+                    if src == dst {
+                        Some(format!("partitioned link {src} -> {dst} is a self-loop"))
+                    } else if from_us >= heal_us {
+                        Some(format!("partition window {from_us}..{heal_us} is empty"))
                     } else {
                         None
                     }
@@ -421,6 +502,35 @@ fn parse_event(object: &str) -> Result<FaultEvent, SimtestError> {
             let v = take(&fields, &["ord_lo", "ord_hi", "spike_us"])?;
             FaultEvent::CanaryLatencySpike { ord_lo: v[0], ord_hi: v[1], spike_us: v[2] }
         }
+        "cross_shard_delay" => {
+            let v = take(&fields, &["src", "dst", "seq_lo", "seq_hi", "extra_us"])?;
+            let region = |v: u64| {
+                u32::try_from(v).map_err(|_| SimtestError::Plan {
+                    message: format!("region id {v} overflows u32"),
+                })
+            };
+            FaultEvent::CrossShardDelay {
+                src: region(v[0])?,
+                dst: region(v[1])?,
+                seq_lo: v[2],
+                seq_hi: v[3],
+                extra_us: v[4],
+            }
+        }
+        "region_partition" => {
+            let v = take(&fields, &["src", "dst", "from_us", "heal_us"])?;
+            let region = |v: u64| {
+                u32::try_from(v).map_err(|_| SimtestError::Plan {
+                    message: format!("region id {v} overflows u32"),
+                })
+            };
+            FaultEvent::RegionPartition {
+                src: region(v[0])?,
+                dst: region(v[1])?,
+                from_us: v[2],
+                heal_us: v[3],
+            }
+        }
         other => {
             return Err(SimtestError::Plan { message: format!("unknown fault kind `{other}`") })
         }
@@ -444,6 +554,14 @@ mod tests {
                 FaultEvent::FeedbackDrop { ordinal: 23 },
                 FaultEvent::SnapshotCorruption { byte_index: 341 },
                 FaultEvent::CanaryLatencySpike { ord_lo: 0, ord_hi: 159, spike_us: 10_000_000 },
+                FaultEvent::CrossShardDelay {
+                    src: 0,
+                    dst: 2,
+                    seq_lo: 3,
+                    seq_hi: 8,
+                    extra_us: 120_000,
+                },
+                FaultEvent::RegionPartition { src: 1, dst: 0, from_us: 100_000, heal_us: 900_000 },
             ],
         }
     }
@@ -466,10 +584,12 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.events.len(), 32);
         a.validate().expect("generated plans are always valid");
-        // All eight kinds show up in a 32-event draw.
+        // All ten kinds show up in a 64-event draw.
+        let wide = FaultPlan::generate(21, 64, &config);
+        wide.validate().expect("generated plans are always valid");
         let kinds: std::collections::BTreeSet<&str> =
-            a.events.iter().map(FaultEvent::kind).collect();
-        assert_eq!(kinds.len(), 8, "kinds drawn: {kinds:?}");
+            wide.events.iter().map(FaultEvent::kind).collect();
+        assert_eq!(kinds.len(), 10, "kinds drawn: {kinds:?}");
         assert_ne!(FaultPlan::generate(22, 32, &config), a, "seed changes the plan");
     }
 
@@ -524,6 +644,27 @@ mod tests {
             events: vec![FaultEvent::OverloadBurst { ord_lo: 9, ord_hi: 4 }],
         };
         assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })));
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::CrossShardDelay {
+                src: 1,
+                dst: 1,
+                seq_lo: 0,
+                seq_hi: 4,
+                extra_us: 10_000,
+            }],
+        };
+        assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })), "self-loop link");
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::RegionPartition {
+                src: 0,
+                dst: 1,
+                from_us: 500_000,
+                heal_us: 500_000,
+            }],
+        };
+        assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })), "empty window");
     }
 
     #[test]

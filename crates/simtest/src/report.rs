@@ -39,6 +39,32 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Engine-phase counters: the multi-region simulation's job and
+/// cross-shard message accounting, folded across regions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnginePhase {
+    /// Jobs in the multi-region workload.
+    pub submitted: u64,
+    /// Jobs served to completion across regions.
+    pub served: u64,
+    /// Jobs rejected by tenant quotas or share bounds.
+    pub quota_rejected: u64,
+    /// Jobs shed on full queues.
+    pub shed: u64,
+    /// Jobs migrated between regions under overload.
+    pub migrated: u64,
+    /// Cross-shard messages sent.
+    pub sent: u64,
+    /// Cross-shard messages delivered.
+    pub delivered: u64,
+    /// Cross-shard messages dropped by the fault plan.
+    pub dropped: u64,
+    /// Messages the plan delayed past their natural delivery time.
+    pub delayed: u64,
+    /// Messages held behind a region partition until it healed.
+    pub held: u64,
+}
+
 /// The folded outcome of one harness run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimtestReport {
@@ -52,12 +78,16 @@ pub struct SimtestReport {
     pub serve: ServeCounters,
     /// Lifecycle-loop counters.
     pub lifecycle: LifecycleCounters,
+    /// Engine-phase (multi-region) counters.
+    pub engine: EnginePhase,
     /// FNV-1a digest of the fleet report's canonical JSON.
     pub fleet_digest: u64,
     /// FNV-1a digest of the serve report's canonical JSON.
     pub serve_digest: u64,
     /// FNV-1a digest of the lifecycle report's canonical JSON.
     pub lifecycle_digest: u64,
+    /// FNV-1a digest of the region report's canonical JSON.
+    pub engine_digest: u64,
     /// Trace spans marked as injected faults, summed over the loops.
     pub fault_spans: u64,
     /// Snapshot corruptions the plan scheduled.
@@ -130,6 +160,23 @@ impl SimtestReport {
             l.promotions,
             l.rollbacks,
         ));
+        let e = &self.engine;
+        out.push_str(&format!(
+            "  \"engine\": {{\"digest\": \"{:016x}\", \"submitted\": {}, \"served\": {}, \
+             \"quota_rejected\": {}, \"shed\": {}, \"migrated\": {}, \"sent\": {}, \
+             \"delivered\": {}, \"dropped\": {}, \"delayed\": {}, \"held\": {}}},\n",
+            self.engine_digest,
+            e.submitted,
+            e.served,
+            e.quota_rejected,
+            e.shed,
+            e.migrated,
+            e.sent,
+            e.delivered,
+            e.dropped,
+            e.delayed,
+            e.held,
+        ));
         out.push_str(&format!(
             "  \"faults\": {{\"events\": {}, \"fault_spans\": {}, \"corruption_injected\": {}, \
              \"corruption_rejected\": {}}},\n",
@@ -186,9 +233,11 @@ mod tests {
             fleet: FleetCounters::default(),
             serve: ServeCounters::default(),
             lifecycle: LifecycleCounters::default(),
+            engine: EnginePhase::default(),
             fleet_digest: 0xdead_beef,
             serve_digest: 1,
             lifecycle_digest: 2,
+            engine_digest: 3,
             fault_spans: 0,
             corruption_injected: 0,
             corruption_rejected: 0,

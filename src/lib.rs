@@ -11,6 +11,10 @@
 //! * [`flow`] — synthesis, placement, routing, and STA engines.
 //! * [`perf`] — performance-counter and machine-execution models.
 //! * [`cloud`] — instance catalog, pricing, provisioning.
+//! * [`engine`] — deterministic discrete-event substrate: the
+//!   `(time, seq)` event heap, checked simulated-time arithmetic,
+//!   sharded multi-region simulation with a conservative lookahead
+//!   barrier, and per-tenant weighted fair-share admission.
 //! * [`gcn`] — the runtime-prediction Graph Convolutional Network.
 //! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
 //! * [`fleet`] — deterministic discrete-event fleet simulator.
@@ -38,6 +42,7 @@
 
 pub use eda_cloud_cloud as cloud;
 pub use eda_cloud_core as core;
+pub use eda_cloud_engine as engine;
 pub use eda_cloud_fleet as fleet;
 pub use eda_cloud_flow as flow;
 pub use eda_cloud_gcn as gcn;
