@@ -1,8 +1,10 @@
-//! Criterion benches for the GCN stack: sparse aggregation, dense
-//! matmul, forward/backward passes, and a full training step.
+//! Criterion benches for the GCN stack: sparse aggregation (allocating
+//! and allocation-free CSR kernels), dense matmul, forward/backward
+//! passes, a full training step, and float vs int8-quantized
+//! per-request inference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eda_cloud_gcn::{GraphSample, Matrix, ModelConfig, RuntimePredictor};
+use eda_cloud_gcn::{GraphSample, Matrix, ModelConfig, QuantizedPredictor, RuntimePredictor};
 use eda_cloud_netlist::{generators, DesignGraph};
 use std::hint::black_box;
 
@@ -16,6 +18,16 @@ fn bench_spmm(c: &mut Criterion) {
     let dense = Matrix::zeros(s.node_count(), 32);
     c.bench_function("spmm_aes_x32", |b| {
         b.iter(|| black_box(s.a_norm.matmul(black_box(&dense))));
+    });
+    // The allocation-free CSR kernel the model hot paths run on.
+    let mut out = Matrix::zeros(0, 0);
+    c.bench_function("spmm_into_aes_x32", |b| {
+        b.iter(|| {
+            s.a_norm
+                .matmul_into(black_box(&dense), &mut out)
+                .expect("valid operands");
+            black_box(&out);
+        });
     });
 }
 
@@ -35,7 +47,10 @@ fn bench_model(c: &mut Criterion) {
     let s = sample();
     let mut group = c.benchmark_group("model");
     group.sample_size(10);
-    for (label, config) in [("fast", ModelConfig::fast()), ("paper", ModelConfig::paper())] {
+    for (label, config) in [
+        ("fast", ModelConfig::fast()),
+        ("paper", ModelConfig::paper()),
+    ] {
         let model = RuntimePredictor::new(&config, 3);
         group.bench_function(format!("forward_{label}"), |b| {
             b.iter(|| black_box(model.predict_log(black_box(&s))));
@@ -45,6 +60,23 @@ fn bench_model(c: &mut Criterion) {
             b.iter(|| black_box(m.train_step(black_box(&s), 1e-3)));
         });
     }
+    group.finish();
+}
+
+fn bench_quantized(c: &mut Criterion) {
+    // Float vs int8 per-request inference at the paper architecture —
+    // the serving-path comparison the quantized snapshot exists for.
+    let s = sample();
+    let float = RuntimePredictor::new(&ModelConfig::paper(), 3);
+    let quant = QuantizedPredictor::quantize(&float);
+    let mut group = c.benchmark_group("infer_request");
+    group.sample_size(10);
+    group.bench_function("float_paper", |b| {
+        b.iter(|| black_box(float.predict_log(black_box(&s))));
+    });
+    group.bench_function("int8_paper", |b| {
+        b.iter(|| black_box(quant.predict_log(black_box(&s))));
+    });
     group.finish();
 }
 
@@ -58,6 +90,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_spmm, bench_dense_matmul, bench_model
+    targets = bench_spmm, bench_dense_matmul, bench_model, bench_quantized
 }
 criterion_main!(benches);

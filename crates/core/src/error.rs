@@ -3,6 +3,7 @@
 use eda_cloud_cloud::CloudError;
 use eda_cloud_fleet::FleetError;
 use eda_cloud_flow::FlowError;
+use eda_cloud_gcn::GcnError;
 use eda_cloud_lifecycle::LifecycleError;
 use eda_cloud_mckp::MckpError;
 use eda_cloud_serve::ServeError;
@@ -34,6 +35,9 @@ pub enum WorkflowError {
         /// The stage whose corpus came out empty.
         stage: &'static str,
     },
+    /// Model training failed (empty split, degenerate architecture,
+    /// diverged loss).
+    Train(GcnError),
 }
 
 impl fmt::Display for WorkflowError {
@@ -49,6 +53,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::EmptyDataset { stage } => {
                 write!(f, "dataset for stage `{stage}` is empty")
             }
+            WorkflowError::Train(e) => write!(f, "model training failed: {e}"),
         }
     }
 }
@@ -64,6 +69,7 @@ impl Error for WorkflowError {
             WorkflowError::Lifecycle(e) => Some(e),
             WorkflowError::Simtest(e) => Some(e),
             WorkflowError::EmptyDataset { .. } => None,
+            WorkflowError::Train(e) => Some(e),
         }
     }
 }
@@ -110,6 +116,12 @@ impl From<SimtestError> for WorkflowError {
     }
 }
 
+impl From<GcnError> for WorkflowError {
+    fn from(e: GcnError) -> Self {
+        WorkflowError::Train(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,12 +136,18 @@ mod tests {
         let e: WorkflowError = FleetError::InvalidConfig("no stages").into();
         assert!(e.to_string().contains("fleet simulator"));
         assert!(e.source().is_some());
-        let e: WorkflowError =
-            ServeError::Overloaded { ordinal: 3, queue_depth: 4, capacity: 4 }.into();
+        let e: WorkflowError = ServeError::Overloaded {
+            ordinal: 3,
+            queue_depth: 4,
+            capacity: 4,
+        }
+        .into();
         assert!(e.to_string().contains("serving"));
         assert!(e.source().is_some());
-        let e: WorkflowError =
-            LifecycleError::Config { message: "requests must be positive".into() }.into();
+        let e: WorkflowError = LifecycleError::Config {
+            message: "requests must be positive".into(),
+        }
+        .into();
         assert!(e.to_string().contains("lifecycle"));
         assert!(e.source().is_some());
         let e: WorkflowError = SimtestError::Config("fleet_jobs must be positive").into();
@@ -138,6 +156,9 @@ mod tests {
         let e = WorkflowError::EmptyDataset { stage: "routing" };
         assert!(e.to_string().contains("routing"));
         assert!(e.source().is_none());
+        let e: WorkflowError = GcnError::EmptyTrainingSet.into();
+        assert!(e.to_string().contains("model training"));
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -30,15 +30,17 @@ impl StagePredictors {
     /// # Errors
     ///
     /// Returns [`WorkflowError::EmptyDataset`] if a stage corpus is
-    /// empty.
+    /// empty, and [`WorkflowError::Train`] if the training loop itself
+    /// fails (degenerate architecture, diverged loss).
     pub fn train(datasets: &StageDatasets, trainer: &Trainer) -> Result<Self, WorkflowError> {
-        let fit = |samples: &[GraphSample], stage: &'static str| -> Result<TrainOutcome, WorkflowError> {
-            if samples.is_empty() {
-                return Err(WorkflowError::EmptyDataset { stage });
-            }
-            let split = DatasetSplit::by_design(samples, 0.2, trainer.seed);
-            Ok(trainer.fit(samples, &split))
-        };
+        let fit =
+            |samples: &[GraphSample], stage: &'static str| -> Result<TrainOutcome, WorkflowError> {
+                if samples.is_empty() {
+                    return Err(WorkflowError::EmptyDataset { stage });
+                }
+                let split = DatasetSplit::by_design(samples, 0.2, trainer.seed);
+                Ok(trainer.try_fit(samples, &split)?)
+            };
         Ok(Self {
             synthesis: fit(&datasets.synthesis, "synthesis")?,
             placement: fit(&datasets.placement, "placement")?,
@@ -113,8 +115,7 @@ mod tests {
         trainer.epochs = 25; // keep the unit test quick
         let predictors = StagePredictors::train(&data, &trainer).expect("training");
         // Predict on a corpus sample (structure only; targets unused).
-        let runtimes =
-            predictors.predict_design(&data.synthesis[0], &data.routing[0]);
+        let runtimes = predictors.predict_design(&data.synthesis[0], &data.routing[0]);
         assert_eq!(runtimes.len(), 4);
         for sr in &runtimes {
             assert!(sr.runtimes_secs.iter().all(|&t| t > 0.0));

@@ -164,11 +164,7 @@ impl Router {
         // I/O pins concentrate on the die edges; the boundary columns
         // need tracks proportional to pin density (real floorplans
         // widen routing resources near the pad ring).
-        let pin_density = placement
-            .pi_pins
-            .len()
-            .max(placement.po_pins.len()) as f64
-            / grid as f64;
+        let pin_density = placement.pi_pins.len().max(placement.po_pins.len()) as f64 / grid as f64;
         let capacity = self
             .capacity
             .max((demand as f64 / edges * 2.5).ceil() as u16)
@@ -225,40 +221,69 @@ impl Router {
                 buckets[region_of(routed[i].0.src.1)].push(i);
             }
             probe.instr(pending.len() as u64);
-            // Parallel routing round.
+            // Batched parallel routing round. The region partition is
+            // fixed by the simulated machine; how many *host* threads
+            // chew through the buckets is an independent knob
+            // (`ctx.route_workers`): worker `t` takes every
+            // `workers`-th non-empty bucket. Each bucket still routes
+            // against the same committed-usage snapshot and produces
+            // its own delta and counters, and the serial merge below
+            // re-sorts outcomes into canonical bucket-index order — so
+            // results are bit-identical at any worker count.
             let background = state.usage.clone();
             let history = state.history.clone();
             let routed_view = &routed;
             // One bucket's round output: routed (net index, path) pairs,
             // its private usage delta, and its probe counters.
             type BucketOutcome = (Vec<(usize, Vec<u32>)>, GridDelta, CounterSet);
-            let mut results: Vec<BucketOutcome> = Vec::new();
-            crossbeam::scope(|scope| {
-                let handles: Vec<_> = buckets
-                    .iter()
-                    .filter(|b| !b.is_empty())
-                    .map(|bucket| {
-                        let machine = ctx.machine;
-                        let background = &background;
-                        let history = &history;
-                        scope.spawn(move |_| {
-                            let mut delta =
-                                GridState::with_background(grid, capacity, background, history);
-                            let mut wprobe = PerfProbe::for_machine(&machine);
-                            let paths: Vec<(usize, Vec<u32>)> = bucket
-                                .iter()
-                                .map(|&i| (i, delta.route(routed_view[i].0, &mut wprobe)))
-                                .collect();
-                            (paths, delta.into_delta(), wprobe.counters())
+            let nonempty: Vec<(usize, &Vec<usize>)> = buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| !b.is_empty())
+                .collect();
+            let workers = if ctx.route_workers == 0 {
+                nonempty.len()
+            } else {
+                ctx.route_workers
+            }
+            .clamp(1, nonempty.len().max(1));
+            let mut results: Vec<(usize, BucketOutcome)> = Vec::new();
+            if !nonempty.is_empty() {
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|t| {
+                            let machine = ctx.machine;
+                            let background = &background;
+                            let history = &history;
+                            let nonempty = &nonempty;
+                            scope.spawn(move |_| {
+                                let mut outcomes: Vec<(usize, BucketOutcome)> = Vec::new();
+                                for &(bi, bucket) in nonempty.iter().skip(t).step_by(workers) {
+                                    let mut delta = GridState::with_background(
+                                        grid, capacity, background, history,
+                                    );
+                                    let mut wprobe = PerfProbe::for_machine(&machine);
+                                    let paths: Vec<(usize, Vec<u32>)> = bucket
+                                        .iter()
+                                        .map(|&i| (i, delta.route(routed_view[i].0, &mut wprobe)))
+                                        .collect();
+                                    outcomes
+                                        .push((bi, (paths, delta.into_delta(), wprobe.counters())));
+                                }
+                                outcomes
+                            })
                         })
-                    })
-                    .collect();
-                for h in handles {
-                    results.push(h.join().expect("router worker panicked"));
-                }
-            })
-            .expect("router thread scope");
-            for (paths, delta, counters) in results {
+                        .collect();
+                    for h in handles {
+                        results.extend(h.join().expect("router worker panicked"));
+                    }
+                })
+                .expect("router thread scope");
+            }
+            // Canonical commit order: by bucket index, regardless of
+            // which worker finished first.
+            results.sort_by_key(|&(bi, _)| bi);
+            for (_, (paths, delta, counters)) in results {
                 state.merge_delta(&delta);
                 worker_counters.push(counters);
                 for (i, path) in paths {
@@ -518,10 +543,8 @@ impl GridState {
             for (k, &(ddx, ddy)) in DELTAS.iter().enumerate() {
                 let nxi = x as i64 + ddx;
                 let nyi = y as i64 + ddy;
-                let inside = nxi >= x0 as i64
-                    && nxi <= x1 as i64
-                    && nyi >= y0 as i64
-                    && nyi <= y1 as i64;
+                let inside =
+                    nxi >= x0 as i64 && nxi <= x1 as i64 && nyi >= y0 as i64 && nyi <= y1 as i64;
                 probe.branch(0xD3, inside);
                 if !inside {
                     continue;
@@ -715,7 +738,11 @@ mod tests {
             },
             &mut probe,
         );
-        assert!(path.len() > 5, "detour should be longer than 5, got {}", path.len());
+        assert!(
+            path.len() > 5,
+            "detour should be longer than 5, got {}",
+            path.len()
+        );
     }
 
     #[test]
@@ -728,8 +755,20 @@ mod tests {
         let history = state.history.clone();
         let mut w1 = GridState::with_background(16, 4, &background, &history);
         let mut w2 = GridState::with_background(16, 4, &background, &history);
-        let p1 = w1.route(Connection { src: (1, 2), dst: (6, 2) }, &mut probe);
-        let p2 = w2.route(Connection { src: (1, 2), dst: (6, 2) }, &mut probe);
+        let p1 = w1.route(
+            Connection {
+                src: (1, 2),
+                dst: (6, 2),
+            },
+            &mut probe,
+        );
+        let p2 = w2.route(
+            Connection {
+                src: (1, 2),
+                dst: (6, 2),
+            },
+            &mut probe,
+        );
         state.merge_delta(&w1.into_delta());
         state.merge_delta(&w2.into_delta());
         let total: u64 = state.usage.iter().map(|&u| u64::from(u)).sum();
@@ -745,9 +784,14 @@ mod tests {
             let e = base.edge_index(x, 3, 0);
             base.usage[e] = 3;
         }
-        let mut worker =
-            GridState::with_background(16, 1, &base.usage, &base.history);
-        let path = worker.route(Connection { src: (2, 3), dst: (9, 3) }, &mut probe);
+        let mut worker = GridState::with_background(16, 1, &base.usage, &base.history);
+        let path = worker.route(
+            Connection {
+                src: (2, 3),
+                dst: (9, 3),
+            },
+            &mut probe,
+        );
         assert!(path.len() > 7, "detour expected, got {}", path.len());
         // The delta records only the worker's own commits.
         let delta = worker.into_delta();
@@ -762,9 +806,7 @@ mod tests {
         // parallel rounds create conflicts.
         let (r, _) = routed_design(generators::multiplier(10), 4);
         assert!(r.iterations >= 1);
-        assert!(
-            (r.overflowed_edges as f64) <= 0.02 * (2 * r.grid * r.grid) as f64
-        );
+        assert!((r.overflowed_edges as f64) <= 0.02 * (2 * r.grid * r.grid) as f64);
     }
 
     #[test]
@@ -798,5 +840,48 @@ mod tests {
         let (b, _) = routed(2);
         assert_eq!(a.wirelength, b.wirelength);
         assert_eq!(a.overflowed_edges, b.overflowed_edges);
+    }
+
+    #[test]
+    fn route_workers_never_change_results() {
+        // The batched rounds must be bit-identical at any host worker
+        // count: same paths, same overflow negotiation, same simulated
+        // counters. Only `measured_wall_secs` may differ.
+        let aig = generators::multiplier(12);
+        let ctx = ExecContext::with_vcpus(4);
+        let (nl, _) = Synthesizer::new()
+            .with_verification(false)
+            .run(&aig, &Recipe::balanced(), &ctx)
+            .unwrap();
+        let (pl, _) = Placer::new().run(&nl, &ctx).unwrap();
+        let route = |route_workers: usize| {
+            let ctx = ExecContext::with_vcpus(4).with_route_workers(route_workers);
+            Router::new().run(&nl, &pl, &ctx).unwrap()
+        };
+        let (base, base_report) = route(0); // historical one-thread-per-bucket
+        assert!(base.global_connections > 0, "partition actually split work");
+        for workers in [1usize, 2, 8] {
+            let (r, report) = route(workers);
+            assert_eq!(r.wirelength, base.wirelength, "workers {workers}");
+            assert_eq!(
+                r.overflowed_edges, base.overflowed_edges,
+                "workers {workers}"
+            );
+            assert_eq!(r.iterations, base.iterations, "workers {workers}");
+            assert_eq!(
+                r.local_connections, base.local_connections,
+                "workers {workers}"
+            );
+            assert_eq!(
+                r.global_connections, base.global_connections,
+                "workers {workers}"
+            );
+            assert_eq!(report.counters, base_report.counters, "workers {workers}");
+            assert_eq!(
+                report.runtime_secs.to_bits(),
+                base_report.runtime_secs.to_bits(),
+                "workers {workers}"
+            );
+        }
     }
 }

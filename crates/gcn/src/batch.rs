@@ -107,7 +107,10 @@ impl GraphBatch {
             chunks.push(Self::pack_chunk(&samples[start..end], &pad));
             start = end;
         }
-        Self { chunks, len: samples.len() }
+        Self {
+            chunks,
+            len: samples.len(),
+        }
     }
 
     /// Pack one consecutive run of samples into a chunk.
@@ -127,7 +130,11 @@ impl GraphBatch {
         }
         let blocks: Vec<&SparseMatrix> = samples.iter().map(|s| &s.a_norm).collect();
         let a_norm = SparseMatrix::block_diagonal(&blocks, &offsets, total);
-        BatchChunk { a_norm, features, segments }
+        BatchChunk {
+            a_norm,
+            features,
+            segments,
+        }
     }
 
     /// Number of samples in the batch.
@@ -194,7 +201,11 @@ mod tests {
         for stride in [4usize, 16, 64] {
             let padded_batch = GraphBatch::pack_padded(&refs, stride);
             assert!(padded_batch.node_rows() >= refs.iter().map(|s| s.node_count()).sum());
-            assert_eq!(model.predict_log_batch(&padded_batch), packed, "stride {stride}");
+            assert_eq!(
+                model.predict_log_batch(&padded_batch),
+                packed,
+                "stride {stride}"
+            );
         }
     }
 
@@ -209,14 +220,22 @@ mod tests {
         let batched = model.predict_log_batch(&batch);
         assert_eq!(batched.len(), many.len());
         for (s, got) in many.iter().zip(&batched) {
-            assert_eq!(*got, model.predict_log(s), "bitwise across chunk boundaries");
+            assert_eq!(
+                *got,
+                model.predict_log(s),
+                "bitwise across chunk boundaries"
+            );
         }
         // The chunk-row target is a pure performance knob: one sample
         // per chunk and one monolithic chunk both reproduce the default
         // packing bit for bit.
         for target in [1usize, usize::MAX] {
             let repacked = GraphBatch::pack_chunked(&many, 8, target);
-            assert_eq!(model.predict_log_batch(&repacked), batched, "target {target}");
+            assert_eq!(
+                model.predict_log_batch(&repacked),
+                batched,
+                "target {target}"
+            );
         }
     }
 

@@ -1,0 +1,141 @@
+//! Typed errors for the GCN kernels and training loop.
+
+use std::fmt;
+
+/// Errors surfaced by the GCN crate's fallible APIs instead of the
+/// panics the hot paths used to hide: degenerate architectures, empty
+/// training sets, diverged losses, and malformed sparse operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GcnError {
+    /// The training split selects no samples.
+    EmptyTrainingSet,
+    /// A split index points past the end of the sample corpus.
+    SampleOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The corpus length.
+        len: usize,
+    },
+    /// The architecture has no GCN layers, or a layer (or the FC
+    /// stage) has zero width.
+    ZeroDimLayer,
+    /// An epoch's mean loss left the finite range — the run has
+    /// diverged and further steps only corrupt the weights.
+    NonFiniteLoss {
+        /// Zero-based epoch at which the loss became non-finite.
+        epoch: usize,
+    },
+    /// Two operands of a matrix kernel disagree in shape.
+    ShapeMismatch {
+        /// The kernel that rejected its operands.
+        op: &'static str,
+        /// `(rows, cols)` the kernel expected of the right-hand side.
+        expected: (usize, usize),
+        /// `(rows, cols)` it found.
+        found: (usize, usize),
+    },
+    /// A CSR entry's column index points outside the matrix — the
+    /// operand is corrupt (e.g. deserialized from a damaged document).
+    ColumnOutOfRange {
+        /// Row holding the offending entry.
+        row: usize,
+        /// The out-of-range column index.
+        col: usize,
+        /// The matrix's column count.
+        cols: usize,
+    },
+    /// A CSR row-offset table is inconsistent with its entry arrays.
+    CorruptSparse {
+        /// First row whose offsets are inconsistent.
+        row: usize,
+    },
+}
+
+impl fmt::Display for GcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcnError::EmptyTrainingSet => write!(f, "training set is empty"),
+            GcnError::SampleOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "split references sample {index} but the corpus has {len}"
+                )
+            }
+            GcnError::ZeroDimLayer => {
+                write!(
+                    f,
+                    "model architecture has a zero-width layer (or no GCN layers)"
+                )
+            }
+            GcnError::NonFiniteLoss { epoch } => {
+                write!(f, "non-finite loss at epoch {epoch}: training diverged")
+            }
+            GcnError::ShapeMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{op}: shape mismatch, expected {}x{} but found {}x{}",
+                    expected.0, expected.1, found.0, found.1
+                )
+            }
+            GcnError::ColumnOutOfRange { row, col, cols } => {
+                write!(f, "sparse row {row} holds column {col}, outside 0..{cols}")
+            }
+            GcnError::CorruptSparse { row } => {
+                write!(
+                    f,
+                    "sparse row {row} has an offset table inconsistent with its entries"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GcnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_payload() {
+        let cases: Vec<(GcnError, &str)> = vec![
+            (GcnError::EmptyTrainingSet, "empty"),
+            (GcnError::SampleOutOfRange { index: 9, len: 3 }, "sample 9"),
+            (GcnError::ZeroDimLayer, "zero-width"),
+            (GcnError::NonFiniteLoss { epoch: 4 }, "epoch 4"),
+            (
+                GcnError::ShapeMismatch {
+                    op: "spmm",
+                    expected: (2, 3),
+                    found: (4, 5),
+                },
+                "2x3",
+            ),
+            (
+                GcnError::ColumnOutOfRange {
+                    row: 1,
+                    col: 7,
+                    cols: 4,
+                },
+                "column 7",
+            ),
+            (GcnError::CorruptSparse { row: 2 }, "row 2"),
+        ];
+        for (e, needle) in cases {
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn trait_bounds() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<GcnError>();
+    }
+}

@@ -1,8 +1,28 @@
 //! Network layers with manual backpropagation.
 
-use crate::{Matrix, SparseMatrix};
+use crate::{GcnError, Matrix, SparseMatrix};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Reusable scratch buffers for [`GcnLayer::infer_into`]. One instance
+/// amortizes the two intermediate products across every layer of every
+/// request in a serving loop — after the first call the steady state
+/// allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct InferScratch {
+    /// `Ā·H` aggregation product.
+    agg: Matrix,
+    /// `H·B` self-term product.
+    selfterm: Matrix,
+}
+
+impl InferScratch {
+    /// Empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// One graph-convolution layer implementing the paper's Equation (2):
 ///
@@ -70,12 +90,44 @@ impl GcnLayer {
     /// materializing the backward caches. Serving runs batches of
     /// thousands of node rows, where the cache clones triple the
     /// memory traffic for state inference never reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch or corrupt adjacency
+    /// ([`GcnLayer::infer_into`] is the fallible form).
     #[must_use]
     pub fn infer(&self, a_norm: &SparseMatrix, input: &Matrix) -> Matrix {
-        let mut out = a_norm.matmul(input).matmul(&self.w);
-        out.add_assign(&input.matmul(&self.b));
-        out.relu_in_place();
+        let mut scratch = InferScratch::new();
+        let mut out = Matrix::zeros(0, 0);
+        self.infer_into(a_norm, input, &mut scratch, &mut out)
+            .unwrap_or_else(|e| panic!("{e}"));
         out
+    }
+
+    /// [`GcnLayer::infer`] into caller-owned buffers: `out` receives
+    /// the activations and `scratch` absorbs the two intermediate
+    /// products, so a warm serving loop runs the whole layer stack
+    /// without allocating. Output is bit-identical to
+    /// [`GcnLayer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the adjacency kernel's typed errors (see
+    /// [`SparseMatrix::matmul_into`]); `out`/`scratch` hold
+    /// unspecified partial products after an error.
+    pub fn infer_into(
+        &self,
+        a_norm: &SparseMatrix,
+        input: &Matrix,
+        scratch: &mut InferScratch,
+        out: &mut Matrix,
+    ) -> Result<(), GcnError> {
+        a_norm.matmul_into(input, &mut scratch.agg)?;
+        scratch.agg.matmul_into(&self.w, out);
+        input.matmul_into(&self.b, &mut scratch.selfterm);
+        out.add_assign(&scratch.selfterm);
+        out.relu_in_place();
+        Ok(())
     }
 
     /// Backward pass: given `∂L/∂H'`, produce parameter gradients and
@@ -92,7 +144,9 @@ impl GcnLayer {
         let db = cache.input.transpose().matmul(&dz);
         // dH = Āᵀ (dZ Wᵀ) + dZ Bᵀ
         let dzw = dz.matmul(&self.w.transpose());
-        let dh = a_norm.matmul_transposed(&dzw).add(&dz.matmul(&self.b.transpose()));
+        let dh = a_norm
+            .matmul_transposed(&dzw)
+            .add(&dz.matmul(&self.b.transpose()));
         (GcnGrads { dw, db }, dh)
     }
 

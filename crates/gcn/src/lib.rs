@@ -34,16 +34,20 @@
 
 mod adam;
 mod batch;
+mod error;
 mod graph_data;
 mod layers;
 mod model;
+mod quant;
 mod tensor;
 mod train;
 
 pub use adam::Adam;
 pub use batch::{GraphBatch, CHUNK_TARGET_ROWS};
+pub use error::GcnError;
 pub use graph_data::GraphSample;
-pub use layers::{DenseLayer, GcnLayer};
+pub use layers::{DenseLayer, GcnLayer, InferScratch};
 pub use model::{saturating_exp, LoadWeightsError, ModelConfig, RuntimePredictor, MAX_LOG_SECS};
+pub use quant::{QuantizedMatrix, QuantizedPredictor};
 pub use tensor::{Matrix, SparseMatrix};
 pub use train::{DatasetSplit, TrainOutcome, TrainReport, Trainer};

@@ -3,7 +3,7 @@
 use crate::adam::Adam;
 use crate::batch::GraphBatch;
 use crate::layers::{DenseLayer, GcnLayer};
-use crate::{GraphSample, Matrix};
+use crate::{GcnError, GraphSample, Matrix};
 use eda_cloud_netlist::FEATURE_DIM;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -82,9 +82,9 @@ pub fn saturating_exp(log_secs: f64) -> f64 {
 /// still grows with design size, preserving the size signal).
 #[derive(Debug, Clone)]
 pub struct RuntimePredictor {
-    gcn: Vec<GcnLayer>,
-    fc: DenseLayer,
-    head: DenseLayer,
+    pub(crate) gcn: Vec<GcnLayer>,
+    pub(crate) fc: DenseLayer,
+    pub(crate) head: DenseLayer,
     adam: Vec<Adam>,
     config: ModelConfig,
 }
@@ -94,10 +94,26 @@ impl RuntimePredictor {
     ///
     /// # Panics
     ///
-    /// Panics if the config has no GCN layers.
+    /// Panics if the config has no GCN layers or a zero-width layer
+    /// ([`RuntimePredictor::try_new`] is the fallible form).
     #[must_use]
     pub fn new(config: &ModelConfig, seed: u64) -> Self {
         assert!(!config.gcn_dims.is_empty(), "need at least one GCN layer");
+        Self::try_new(config, seed).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`RuntimePredictor::new`], rejecting degenerate architectures
+    /// (no GCN layers, a zero-width GCN layer, or `fc_dim == 0`) with
+    /// a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GcnError::ZeroDimLayer`] for any of the degenerate
+    /// shapes above.
+    pub fn try_new(config: &ModelConfig, seed: u64) -> Result<Self, GcnError> {
+        if config.gcn_dims.is_empty() || config.gcn_dims.contains(&0) || config.fc_dim == 0 {
+            return Err(GcnError::ZeroDimLayer);
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut gcn = Vec::new();
         let mut in_dim = FEATURE_DIM;
@@ -116,13 +132,13 @@ impl RuntimePredictor {
             adam.push(Adam::new(layer.w.rows(), layer.w.cols()));
             adam.push(Adam::new(layer.bias.rows(), layer.bias.cols()));
         }
-        Self {
+        Ok(Self {
             gcn,
             fc,
             head,
             adam,
             config: config.clone(),
-        }
+        })
     }
 
     /// The architecture this model was built with.
@@ -175,7 +191,11 @@ impl RuntimePredictor {
         let l = self.predict_log(sample);
         [1, 2, 3].map(|k| {
             let diff = l[0] - l[k];
-            if diff.is_nan() { 1.0 } else { diff.clamp(-MAX_LOG_SECS, MAX_LOG_SECS).exp() }
+            if diff.is_nan() {
+                1.0
+            } else {
+                diff.clamp(-MAX_LOG_SECS, MAX_LOG_SECS).exp()
+            }
         })
     }
 
@@ -196,7 +216,9 @@ impl RuntimePredictor {
         // Arithmetic and accumulation order match `GcnLayer::forward`
         // exactly, so the output stays bit-identical to the per-sample
         // path.
-        let d = self.gcn.last().expect("at least one layer").w.cols();
+        // The FC layer's input width equals the last GCN layer's output
+        // width by construction, without an `expect` in the hot path.
+        let d = self.fc.w.rows();
         let mut pooled = Matrix::zeros(batch.len(), d);
         let mut h = Matrix::zeros(0, 0);
         let mut agg = Matrix::zeros(0, 0);
@@ -206,7 +228,10 @@ impl RuntimePredictor {
         for chunk in &batch.chunks {
             h.clone_from(&chunk.features);
             for layer in &self.gcn {
-                chunk.a_norm.matmul_into(&h, &mut agg);
+                chunk
+                    .a_norm
+                    .matmul_into(&h, &mut agg)
+                    .expect("batch adjacency is validated at pack time");
                 agg.matmul_into(&layer.w, &mut next);
                 h.matmul_into(&layer.b, &mut tmp);
                 next.add_assign(&tmp);
@@ -440,6 +465,34 @@ mod tests {
         let _ = RuntimePredictor::new(&cfg, 0);
     }
 
+    /// Regression: degenerate architectures used to be reachable only
+    /// as panics; `try_new` must surface them as typed errors.
+    #[test]
+    fn try_new_rejects_degenerate_architectures() {
+        let degenerate = [
+            ModelConfig {
+                gcn_dims: vec![],
+                fc_dim: 8,
+            },
+            ModelConfig {
+                gcn_dims: vec![32, 0],
+                fc_dim: 8,
+            },
+            ModelConfig {
+                gcn_dims: vec![32],
+                fc_dim: 0,
+            },
+        ];
+        for cfg in degenerate {
+            assert_eq!(
+                RuntimePredictor::try_new(&cfg, 0).err(),
+                Some(crate::GcnError::ZeroDimLayer),
+                "{cfg:?}"
+            );
+        }
+        assert!(RuntimePredictor::try_new(&ModelConfig::fast(), 0).is_ok());
+    }
+
     #[test]
     fn saturating_exp_never_overflows() {
         assert!(saturating_exp(1e9).is_finite());
@@ -460,7 +513,10 @@ mod tests {
             *v = 5.0e3;
         }
         let raw = model.predict_log(&s);
-        assert!(raw.iter().all(|l| *l > MAX_LOG_SECS), "setup: logs overflow");
+        assert!(
+            raw.iter().all(|l| *l > MAX_LOG_SECS),
+            "setup: logs overflow"
+        );
         let secs = model.predict_secs(&s);
         assert!(secs.iter().all(|t| t.is_finite() && *t > 0.0), "{secs:?}");
         let sp = model.predict_speedups(&s);
@@ -550,7 +606,9 @@ impl RuntimePredictor {
     /// Returns [`LoadWeightsError`] on version/shape mismatches or
     /// unparsable numbers.
     pub fn load_weights(text: &str) -> Result<Self, LoadWeightsError> {
-        let err = |m: &str| LoadWeightsError { message: m.to_owned() };
+        let err = |m: &str| LoadWeightsError {
+            message: m.to_owned(),
+        };
         let mut lines = text.lines();
         if lines.next() != Some("gcn-runtime-predictor v1") {
             return Err(err("unknown header"));
@@ -603,7 +661,11 @@ impl RuntimePredictor {
                     // `"NaN"` and `"inf"` parse as valid f64s, but a
                     // snapshot carrying them is corrupt: reject at load
                     // time instead of letting them poison serving.
-                    if v.is_finite() { Ok(v) } else { Err(err("non-finite value")) }
+                    if v.is_finite() {
+                        Ok(v)
+                    } else {
+                        Err(err("non-finite value"))
+                    }
                 })
                 .collect::<Result<_, _>>()?;
             let expected = rows

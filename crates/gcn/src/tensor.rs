@@ -1,5 +1,6 @@
 //! Dense and sparse matrix primitives.
 
+use crate::GcnError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -14,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// let b = Matrix::identity(2);
 /// assert_eq!(a.matmul(&b), a);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -56,7 +57,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -119,6 +124,16 @@ impl Matrix {
         self.rows = rows;
         self.cols = cols;
         self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshape to `rows x cols` *without* clearing surviving elements,
+    /// for kernels that overwrite every element before reading any —
+    /// skipping the memset [`Matrix::reshape_zeroed`] pays on multi-MB
+    /// outputs. Space beyond the previous length is still zeroed.
+    pub(crate) fn reshape_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
         self.data.resize(rows * cols, 0.0);
     }
 
@@ -203,7 +218,11 @@ impl Matrix {
     /// Panics on a shape mismatch.
     #[must_use]
     pub fn add(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -223,7 +242,11 @@ impl Matrix {
     ///
     /// Panics on a shape mismatch.
     pub fn axpy(&mut self, alpha: f64, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
             *a += alpha * b;
         }
@@ -246,7 +269,11 @@ impl Matrix {
     ///
     /// Panics on a shape mismatch.
     pub fn add_assign(&mut self, rhs: &Matrix) {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(&rhs.data) {
             *a += b;
         }
@@ -395,7 +422,10 @@ impl SparseMatrix {
         let mut prev_end = 0usize;
         for (block, &base) in blocks.iter().zip(row_offsets) {
             assert_eq!(block.rows, block.cols, "blocks must be square");
-            assert!(base >= prev_end, "row offsets must ascend past the previous block");
+            assert!(
+                base >= prev_end,
+                "row offsets must ascend past the previous block"
+            );
             prev_end = base + block.rows;
             assert!(prev_end <= total, "block overruns the batched dimension");
             for (r, c, v) in block.entries() {
@@ -409,11 +439,13 @@ impl SparseMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `self.cols != dense.rows()`.
+    /// Panics if `self.cols != dense.rows()` or the CSR arrays are
+    /// corrupt ([`SparseMatrix::matmul_into`] is the fallible form).
     #[must_use]
     pub fn matmul(&self, dense: &Matrix) -> Matrix {
         let mut out = Matrix::zeros(0, 0);
-        self.matmul_into(dense, &mut out);
+        self.matmul_into(dense, &mut out)
+            .unwrap_or_else(|e| panic!("{e}"));
         out
     }
 
@@ -422,24 +454,57 @@ impl SparseMatrix {
     /// loop needs this). `out` is reshaped and zeroed; the result is
     /// bit-identical to [`SparseMatrix::matmul`].
     ///
-    /// # Panics
+    /// This is the serving hot kernel, laid out SIMD-friendly: the
+    /// output row is resolved once per CSR row (not once per stored
+    /// entry) and the inner loop is a unit-stride `out += v * dense_row`
+    /// AXPY over contiguous slices, which autovectorizes. Each output
+    /// element accumulates its terms in CSR storage order, so the
+    /// result is bit-identical to the naive triple loop.
     ///
-    /// Panics if `self.cols != dense.rows()`.
-    pub fn matmul_into(&self, dense: &Matrix, out: &mut Matrix) {
-        assert_eq!(self.cols, dense.rows(), "inner dimensions must agree");
+    /// # Errors
+    ///
+    /// Returns [`GcnError::ShapeMismatch`] when `self.cols` does not
+    /// match `dense.rows()`, [`GcnError::ColumnOutOfRange`] when a
+    /// stored entry's column index points outside the matrix, and
+    /// [`GcnError::CorruptSparse`] when the row-offset table is
+    /// inconsistent (both arise from deserialized or hand-built
+    /// operands — [`SparseMatrix::from_triplets`] never produces
+    /// them). `out` holds an unspecified partial product after an
+    /// error.
+    pub fn matmul_into(&self, dense: &Matrix, out: &mut Matrix) -> Result<(), GcnError> {
+        if self.cols != dense.rows() {
+            return Err(GcnError::ShapeMismatch {
+                op: "sparse matmul",
+                expected: (self.cols, dense.cols()),
+                found: (dense.rows(), dense.cols()),
+            });
+        }
         let c = dense.cols();
         out.reshape_zeroed(self.rows, c);
+        let dense_data = &dense.data;
+        let out_data = &mut out.data;
         for r in 0..self.rows {
-            for k in self.offsets[r] as usize..self.offsets[r + 1] as usize {
-                let j = self.indices[k] as usize;
-                let v = self.values[k];
-                let drow = dense.row(j);
-                let orow = &mut out.data_mut()[r * c..(r + 1) * c];
+            let (lo, hi) = (self.offsets[r] as usize, self.offsets[r + 1] as usize);
+            let (idx, vals) = match (self.indices.get(lo..hi), self.values.get(lo..hi)) {
+                (Some(i), Some(v)) => (i, v),
+                _ => return Err(GcnError::CorruptSparse { row: r }),
+            };
+            let orow = &mut out_data[r * c..(r + 1) * c];
+            for (&j, &v) in idx.iter().zip(vals) {
+                let j = j as usize;
+                let Some(drow) = dense_data.get(j * c..j * c + c) else {
+                    return Err(GcnError::ColumnOutOfRange {
+                        row: r,
+                        col: j,
+                        cols: self.cols,
+                    });
+                };
                 for (o, &d) in orow.iter_mut().zip(drow) {
                     *o += v * d;
                 }
             }
         }
+        Ok(())
     }
 
     /// Transposed sparse-dense product `selfᵀ * dense` (needed to push
@@ -540,6 +605,59 @@ mod tests {
     #[should_panic(expected = "sorted by row")]
     fn unsorted_triplets_panic() {
         let _ = SparseMatrix::from_triplets(2, 2, &[(1, 0, 1.0), (0, 1, 1.0)]);
+    }
+
+    /// Regression: a CSR entry whose column index points outside the
+    /// matrix (a deserialized or hand-built operand — `from_triplets`
+    /// rejects it up front) used to index the dense operand silently
+    /// out of bounds; now it is a typed error.
+    #[test]
+    fn out_of_range_column_is_a_typed_error() {
+        let corrupt = SparseMatrix {
+            rows: 2,
+            cols: 2,
+            offsets: vec![0, 1, 2],
+            indices: vec![0, 2], // column 2 in a 2-column matrix
+            values: vec![1.0, 1.0],
+        };
+        let x = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(0, 0);
+        assert_eq!(
+            corrupt.matmul_into(&x, &mut out),
+            Err(GcnError::ColumnOutOfRange {
+                row: 1,
+                col: 2,
+                cols: 2
+            })
+        );
+    }
+
+    /// Regression: an offset table overrunning the entry arrays used to
+    /// panic on slicing; now it is a typed error naming the row.
+    #[test]
+    fn inconsistent_offsets_are_a_typed_error() {
+        let corrupt = SparseMatrix {
+            rows: 2,
+            cols: 2,
+            offsets: vec![0, 3, 4], // claims 4 entries, arrays hold 1
+            indices: vec![0],
+            values: vec![1.0],
+        };
+        let x = Matrix::zeros(2, 2);
+        let mut out = Matrix::zeros(0, 0);
+        assert_eq!(
+            corrupt.matmul_into(&x, &mut out),
+            Err(GcnError::CorruptSparse { row: 0 })
+        );
+    }
+
+    /// The panicking wrapper carries the typed error's message.
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn sparse_matmul_wrapper_panics_on_mismatch() {
+        let a = SparseMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        let x = Matrix::zeros(2, 2);
+        let _ = a.matmul(&x);
     }
 
     #[test]

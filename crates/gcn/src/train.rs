@@ -1,6 +1,6 @@
 //! Training loop, dataset splitting, and accuracy metrics.
 
-use crate::{GraphSample, ModelConfig, RuntimePredictor};
+use crate::{GcnError, GraphSample, ModelConfig, RuntimePredictor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,7 +48,11 @@ impl DatasetSplit {
         let n_test = if designs.len() <= 1 || test_fraction == 0.0 {
             // Empty corpus, a single design family (which must stay in
             // training), or nothing held out.
-            if test_fraction >= 1.0 { designs.len() } else { 0 }
+            if test_fraction >= 1.0 {
+                designs.len()
+            } else {
+                0
+            }
         } else if test_fraction >= 1.0 {
             designs.len()
         } else {
@@ -162,22 +166,59 @@ impl Trainer {
     ///
     /// # Panics
     ///
-    /// Panics if the split references out-of-range samples or the
-    /// training set is empty.
+    /// Panics if the split references out-of-range samples, the
+    /// training set is empty, the architecture is degenerate, or the
+    /// loss diverges ([`Trainer::try_fit`] is the fallible form).
     #[must_use]
     pub fn fit(&self, samples: &[GraphSample], split: &DatasetSplit) -> TrainOutcome {
         assert!(!split.train.is_empty(), "training set is empty");
-        let mut model = RuntimePredictor::new(&self.config, self.seed);
+        self.try_fit(samples, split)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Trainer::fit`] with the old panics surfaced as typed errors.
+    ///
+    /// # Errors
+    ///
+    /// - [`GcnError::EmptyTrainingSet`] when the split selects no
+    ///   training samples.
+    /// - [`GcnError::SampleOutOfRange`] when either split half indexes
+    ///   past the corpus (checked up front, before any epoch runs).
+    /// - [`GcnError::ZeroDimLayer`] for a degenerate architecture.
+    /// - [`GcnError::NonFiniteLoss`] when an epoch's mean loss leaves
+    ///   the finite range — training has diverged and further epochs
+    ///   would only corrupt the weights.
+    pub fn try_fit(
+        &self,
+        samples: &[GraphSample],
+        split: &DatasetSplit,
+    ) -> Result<TrainOutcome, GcnError> {
+        if split.train.is_empty() {
+            return Err(GcnError::EmptyTrainingSet);
+        }
+        for &i in split.train.iter().chain(&split.test) {
+            if i >= samples.len() {
+                return Err(GcnError::SampleOutOfRange {
+                    index: i,
+                    len: samples.len(),
+                });
+            }
+        }
+        let mut model = RuntimePredictor::try_new(&self.config, self.seed)?;
         let mut order: Vec<usize> = split.train.clone();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xE70C);
         let mut epoch_losses = Vec::with_capacity(self.epochs);
-        for _ in 0..self.epochs {
+        for epoch in 0..self.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0;
             for &i in &order {
                 total += model.train_step(&samples[i], self.lr);
             }
-            epoch_losses.push(total / order.len() as f64);
+            let mean = total / order.len() as f64;
+            if !mean.is_finite() {
+                return Err(GcnError::NonFiniteLoss { epoch });
+            }
+            epoch_losses.push(mean);
         }
         let mut test_errors = Vec::new();
         for &i in &split.test {
@@ -191,14 +232,14 @@ impl Trainer {
         } else {
             test_errors.iter().sum::<f64>() / test_errors.len() as f64
         };
-        TrainOutcome {
+        Ok(TrainOutcome {
             model,
             report: TrainReport {
                 epoch_losses,
                 test_errors,
                 mean_error,
             },
-        }
+        })
     }
 }
 
@@ -220,7 +261,13 @@ impl RuntimePredictor {
     /// `(weights, samples, epochs, lr, seed)` always produces
     /// bit-identical weights, no matter which thread runs the call.
     /// An empty buffer or zero epochs leaves the model untouched.
-    pub fn fine_tune(&mut self, samples: &[&GraphSample], epochs: usize, lr: f64, seed: u64) -> Vec<f64> {
+    pub fn fine_tune(
+        &mut self,
+        samples: &[&GraphSample],
+        epochs: usize,
+        lr: f64,
+        seed: u64,
+    ) -> Vec<f64> {
         if samples.is_empty() {
             return Vec::new();
         }
@@ -263,10 +310,7 @@ mod tests {
                 // split test; the training test uses the real pipeline).
                 for (vi, variant) in ["raw", "balanced"].iter().enumerate() {
                     let t1 = base * (1.0 + vi as f64 * 0.07);
-                    let sample = GraphSample::new(
-                        &g2,
-                        [t1, t1 / 1.6, t1 / 2.4, t1 / 3.0],
-                    );
+                    let sample = GraphSample::new(&g2, [t1, t1 / 1.6, t1 / 2.4, t1 / 3.0]);
                     let mut named = sample;
                     named.name = format!("{family}{size}.{variant}");
                     samples.push(named);
@@ -365,6 +409,100 @@ mod tests {
         let outcome = trainer.fit(&samples, &split);
         assert_eq!(outcome.report.test_errors.len(), 0);
         assert_eq!(outcome.report.mean_error, 0.0);
+    }
+
+    /// Regression: an empty training split used to be reachable only
+    /// as an assert panic inside `fit`.
+    #[test]
+    fn try_fit_reports_empty_training_set() {
+        let samples = corpus();
+        let split = DatasetSplit {
+            train: vec![],
+            test: vec![0],
+        };
+        let e = Trainer::fast().try_fit(&samples, &split).unwrap_err();
+        assert_eq!(e, GcnError::EmptyTrainingSet);
+    }
+
+    /// Regression: a split indexing past the corpus used to panic on
+    /// `samples[i]` mid-epoch; now it is rejected up front.
+    #[test]
+    fn try_fit_reports_out_of_range_split() {
+        let samples = corpus();
+        let n = samples.len();
+        let mut trainer = Trainer::fast();
+        trainer.epochs = 1;
+        for split in [
+            DatasetSplit {
+                train: vec![0, n],
+                test: vec![],
+            },
+            DatasetSplit {
+                train: vec![0],
+                test: vec![n + 3],
+            },
+        ] {
+            let e = trainer.try_fit(&samples, &split).unwrap_err();
+            assert_eq!(
+                e,
+                GcnError::SampleOutOfRange {
+                    index: split
+                        .train
+                        .iter()
+                        .chain(&split.test)
+                        .copied()
+                        .find(|&i| i >= n)
+                        .unwrap(),
+                    len: n
+                }
+            );
+        }
+    }
+
+    /// Regression: a degenerate architecture used to panic inside
+    /// `RuntimePredictor::new` when reached through the trainer.
+    #[test]
+    fn try_fit_reports_zero_dim_layer() {
+        let samples = corpus();
+        let split = DatasetSplit::by_design(&samples, 0.2, 3);
+        let mut trainer = Trainer::fast();
+        trainer.config.gcn_dims = vec![];
+        let e = trainer.try_fit(&samples, &split).unwrap_err();
+        assert_eq!(e, GcnError::ZeroDimLayer);
+    }
+
+    /// A corrupt label (NaN log target) makes the first epoch's mean
+    /// loss non-finite; the run stops with a typed error instead of
+    /// grinding every remaining epoch on poisoned weights.
+    #[test]
+    fn try_fit_reports_non_finite_loss() {
+        let mut samples = corpus();
+        samples[0].log_targets[0] = f64::NAN;
+        let split = DatasetSplit {
+            train: (0..samples.len()).collect(),
+            test: vec![],
+        };
+        let trainer = Trainer::fast();
+        match trainer.try_fit(&samples, &split) {
+            Err(GcnError::NonFiniteLoss { epoch: 0 }) => {}
+            other => panic!("expected NonFiniteLoss at epoch 0, got {other:?}"),
+        }
+    }
+
+    /// `try_fit` and `fit` agree bit-for-bit on a healthy run.
+    #[test]
+    fn try_fit_matches_fit() {
+        let samples = corpus();
+        let split = DatasetSplit::by_design(&samples, 0.2, 3);
+        let mut trainer = Trainer::fast();
+        trainer.epochs = 2;
+        let a = trainer.fit(&samples, &split);
+        let b = trainer.try_fit(&samples, &split).expect("healthy run");
+        assert_eq!(a.report, b.report);
+        assert_eq!(
+            a.model.predict_log(&samples[0]),
+            b.model.predict_log(&samples[0])
+        );
     }
 
     #[test]

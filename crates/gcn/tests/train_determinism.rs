@@ -82,7 +82,10 @@ fn fine_tune_is_bit_reproducible() {
     };
     let (w1, l1) = run();
     let (w2, l2) = run();
-    assert_eq!(w1, w2, "same seed + same buffer must give identical weights");
+    assert_eq!(
+        w1, w2,
+        "same seed + same buffer must give identical weights"
+    );
     assert_eq!(l1, l2);
 
     // A different seed must visit the samples in a different order and
@@ -125,7 +128,9 @@ fn fine_tune_fanout_is_worker_invariant() {
                 }
             }
         });
-        out.into_iter().map(|w| w.expect("all stages filled")).collect()
+        out.into_iter()
+            .map(|w| w.expect("all stages filled"))
+            .collect()
     };
     let w1 = fan_out(1);
     let w2 = fan_out(2);

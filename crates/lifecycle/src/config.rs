@@ -66,6 +66,11 @@ pub struct LifecycleConfig {
     /// Promote only if the canary's mean serving latency stays within
     /// this budget, µs.
     pub canary_latency_budget_us: u64,
+    /// Publish each retrained candidate as an int8 quantized snapshot
+    /// instead of float, so the canary judges the quantized serving
+    /// path head-to-head against the float primary. Guardrails,
+    /// routing, and promotion are identical either way.
+    pub quantize_canary: bool,
 }
 
 impl Default for LifecycleConfig {
@@ -93,6 +98,7 @@ impl Default for LifecycleConfig {
             canary_min: 8,
             promote_max_error_pct: 90,
             canary_latency_budget_us: 50_000,
+            quantize_canary: false,
         }
     }
 }
@@ -104,7 +110,11 @@ impl LifecycleConfig {
     ///
     /// Returns [`LifecycleError::Config`] naming the offending knob.
     pub fn validate(&self) -> Result<(), LifecycleError> {
-        let err = |m: &str| Err(LifecycleError::Config { message: m.to_owned() });
+        let err = |m: &str| {
+            Err(LifecycleError::Config {
+                message: m.to_owned(),
+            })
+        };
         // NaN compares Greater with nothing, so this also rejects NaN.
         let positive =
             |x: f64| x.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater) && x.is_finite();
@@ -163,37 +173,126 @@ mod tests {
 
     #[test]
     fn default_config_validates() {
-        LifecycleConfig::default().validate().expect("defaults are sane");
+        LifecycleConfig::default()
+            .validate()
+            .expect("defaults are sane");
     }
 
     #[test]
     fn each_bad_knob_is_named() {
         let cases: Vec<(LifecycleConfig, &str)> = vec![
-            (LifecycleConfig { requests: 0, ..Default::default() }, "requests"),
-            (LifecycleConfig { rate_per_sec: 0.0, ..Default::default() }, "rate_per_sec"),
-            (LifecycleConfig { drift_factor: -1.0, ..Default::default() }, "drift_factor"),
-            (LifecycleConfig { learning_rate: 0.0, ..Default::default() }, "learning_rate"),
-            (LifecycleConfig { canary_every: 0, ..Default::default() }, "canary_every"),
-            (LifecycleConfig { canary_min: 0, ..Default::default() }, "canary_min"),
-            (LifecycleConfig { calibration: 0, ..Default::default() }, "calibration"),
-            (LifecycleConfig { min_retrain: 0, ..Default::default() }, "min_retrain"),
-            (LifecycleConfig { replay_capacity: 1, ..Default::default() }, "replay_capacity"),
             (
-                LifecycleConfig { promote_max_error_pct: 0, ..Default::default() },
+                LifecycleConfig {
+                    requests: 0,
+                    ..Default::default()
+                },
+                "requests",
+            ),
+            (
+                LifecycleConfig {
+                    rate_per_sec: 0.0,
+                    ..Default::default()
+                },
+                "rate_per_sec",
+            ),
+            (
+                LifecycleConfig {
+                    drift_factor: -1.0,
+                    ..Default::default()
+                },
+                "drift_factor",
+            ),
+            (
+                LifecycleConfig {
+                    learning_rate: 0.0,
+                    ..Default::default()
+                },
+                "learning_rate",
+            ),
+            (
+                LifecycleConfig {
+                    canary_every: 0,
+                    ..Default::default()
+                },
+                "canary_every",
+            ),
+            (
+                LifecycleConfig {
+                    canary_min: 0,
+                    ..Default::default()
+                },
+                "canary_min",
+            ),
+            (
+                LifecycleConfig {
+                    calibration: 0,
+                    ..Default::default()
+                },
+                "calibration",
+            ),
+            (
+                LifecycleConfig {
+                    min_retrain: 0,
+                    ..Default::default()
+                },
+                "min_retrain",
+            ),
+            (
+                LifecycleConfig {
+                    replay_capacity: 1,
+                    ..Default::default()
+                },
+                "replay_capacity",
+            ),
+            (
+                LifecycleConfig {
+                    promote_max_error_pct: 0,
+                    ..Default::default()
+                },
                 "promote_max_error_pct",
             ),
-            (LifecycleConfig { ph_lambda_micros: 0, ..Default::default() }, "Page-Hinkley"),
+            (
+                LifecycleConfig {
+                    ph_lambda_micros: 0,
+                    ..Default::default()
+                },
+                "Page-Hinkley",
+            ),
         ];
         for (config, needle) in cases {
             let e = config.validate().expect_err(needle);
-            assert!(e.to_string().contains(needle), "{e} should mention {needle}");
+            assert!(
+                e.to_string().contains(needle),
+                "{e} should mention {needle}"
+            );
         }
     }
 
     #[test]
     fn worker_resolution_caps_at_four() {
-        assert_eq!(LifecycleConfig { workers: 2, ..Default::default() }.resolved_workers(), 2);
-        assert_eq!(LifecycleConfig { workers: 16, ..Default::default() }.resolved_workers(), 4);
-        assert!(LifecycleConfig { workers: 0, ..Default::default() }.resolved_workers() >= 1);
+        assert_eq!(
+            LifecycleConfig {
+                workers: 2,
+                ..Default::default()
+            }
+            .resolved_workers(),
+            2
+        );
+        assert_eq!(
+            LifecycleConfig {
+                workers: 16,
+                ..Default::default()
+            }
+            .resolved_workers(),
+            4
+        );
+        assert!(
+            LifecycleConfig {
+                workers: 0,
+                ..Default::default()
+            }
+            .resolved_workers()
+                >= 1
+        );
     }
 }

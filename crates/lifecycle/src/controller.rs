@@ -22,14 +22,14 @@
 use crate::{
     ape_micros, log_bias_micros, Arm, DesignBaseline, DriftDetector, DriftSignal, FeedbackEvent,
     LifecycleConfig, LifecycleCounters, LifecycleError, LifecycleReport, NoLifecycleFaults,
-    ReplayBuffer, Retrainer, RolloutDecision, RolloutManager, RuntimeOracle,
-    SharedLifecycleFaults, StageErrors, TimelineEvent,
+    ReplayBuffer, Retrainer, RolloutDecision, RolloutManager, RuntimeOracle, SharedLifecycleFaults,
+    StageErrors, TimelineEvent,
 };
 use eda_cloud_fleet::Histogram;
 use eda_cloud_gcn::{GraphBatch, ModelConfig};
 use eda_cloud_serve::{
-    design_pool, synthetic_requests, LruCache, ModelRegistry, ModelSnapshot, ServeDesign,
-    WorkloadConfig, STAGE_NAMES,
+    design_pool, synthetic_requests, LruCache, ModelRegistry, ModelSnapshot, QuantizedSnapshot,
+    ServeDesign, ServingSnapshot, WorkloadConfig, STAGE_NAMES,
 };
 use eda_cloud_trace::Tracer;
 use std::collections::BTreeMap;
@@ -170,6 +170,7 @@ impl LifecycleController {
         } else {
             seeded
         };
+        let frozen = ServingSnapshot::from(frozen);
         let mut registry = ModelRegistry::new();
         let frozen_version = registry.publish(MODEL_NAME, frozen.clone());
 
@@ -178,8 +179,9 @@ impl LifecycleController {
         let mut frozen_preds: BTreeMap<u64, [[f64; 4]; 4]> = BTreeMap::new();
         let mut serve_free_at = 0u64;
         let mut latencies_us: Vec<u64> = Vec::with_capacity(requests.len());
-        let mut latency_hist =
-            Histogram::new(vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]);
+        let mut latency_hist = Histogram::new(vec![
+            1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+        ]);
 
         // Control state.
         let mut counters = LifecycleCounters::default();
@@ -189,9 +191,13 @@ impl LifecycleController {
             DriftDetector::new(cfg.calibration, cfg.ph_delta_micros, cfg.ph_lambda_micros)
         });
         let mut baselines = std::array::from_fn::<_, 4, _>(|_| DesignBaseline::new());
-        let mut buffers = std::array::from_fn::<_, 4, _>(|_| ReplayBuffer::new(cfg.replay_capacity));
-        let mut rollout =
-            RolloutManager::new(cfg.canary_min, cfg.promote_max_error_pct, cfg.canary_latency_budget_us);
+        let mut buffers =
+            std::array::from_fn::<_, 4, _>(|_| ReplayBuffer::new(cfg.replay_capacity));
+        let mut rollout = RolloutManager::new(
+            cfg.canary_min,
+            cfg.promote_max_error_pct,
+            cfg.canary_latency_budget_us,
+        );
         let mut mode = Mode::Monitor;
         let mut seen: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
         let mut retrain_round = 0u64;
@@ -229,13 +235,18 @@ impl LifecycleController {
                         }
                     };
                     let arm = match canary {
-                        Some(c) if c.version == version && request.ordinal.is_multiple_of(c.every) => {
+                        Some(c)
+                            if c.version == version && request.ordinal.is_multiple_of(c.every) =>
+                        {
                             Arm::Canary
                         }
                         _ => Arm::Primary,
                     };
-                    let service_us =
-                        if cache_hit { cfg.per_hit_us } else { cfg.per_miss_us };
+                    let service_us = if cache_hit {
+                        cfg.per_hit_us
+                    } else {
+                        cfg.per_miss_us
+                    };
                     let start = time_us.max(serve_free_at);
                     let done = start + service_us;
                     serve_free_at = done;
@@ -250,7 +261,14 @@ impl LifecycleController {
                     let span = self.tracer.root_at(request.ordinal, "request");
                     span.attr("design", &request.design.name);
                     span.attr("version", version);
-                    span.attr("arm", if arm == Arm::Canary { "canary" } else { "primary" });
+                    span.attr(
+                        "arm",
+                        if arm == Arm::Canary {
+                            "canary"
+                        } else {
+                            "primary"
+                        },
+                    );
                     span.attr("cache", if cache_hit { "hit" } else { "miss" });
                     span.attr("latency_us", latency_us);
                     if spike_us > 0 {
@@ -380,10 +398,20 @@ impl LifecycleController {
                                     seed: cfg.seed ^ (0x5E7A + retrain_round),
                                 };
                                 retrain_round += 1;
-                                let base = registry.primary(MODEL_NAME)?.1.clone();
+                                // Retrains always run in float: a
+                                // quantized primary is dequantized back
+                                // into the warm start.
+                                let base = registry.primary(MODEL_NAME)?.1.to_float();
                                 let (candidate, trained_on) =
                                     retrainer.retrain(&base, &buffers, workers);
-                                let version = registry.publish(MODEL_NAME, candidate);
+                                let version = if cfg.quantize_canary {
+                                    registry.publish(
+                                        MODEL_NAME,
+                                        QuantizedSnapshot::quantize(&candidate),
+                                    )
+                                } else {
+                                    registry.publish(MODEL_NAME, candidate)
+                                };
                                 counters.retrains += 1;
                                 timeline.push(TimelineEvent {
                                     time_us,
@@ -436,9 +464,8 @@ impl LifecycleController {
                             }
                             let decision = rollout.evaluate();
                             if decision != RolloutDecision::Pending {
-                                let candidate = registry
-                                    .canary(MODEL_NAME)
-                                    .map_or(0, |c| c.version);
+                                let candidate =
+                                    registry.canary(MODEL_NAME).map_or(0, |c| c.version);
                                 let (kind, label) = match decision {
                                     RolloutDecision::Promote => {
                                         registry.promote(MODEL_NAME, candidate)?;
@@ -512,7 +539,7 @@ impl LifecycleController {
 /// One forward pass over a single design: a 1-element batch through
 /// the snapshot's stage fan-out (joined by stage index, so the result
 /// is worker-invariant).
-fn predict_one(snapshot: &ModelSnapshot, design: &ServeDesign, workers: usize) -> [[f64; 4]; 4] {
+fn predict_one(snapshot: &ServingSnapshot, design: &ServeDesign, workers: usize) -> [[f64; 4]; 4] {
     let aig = GraphBatch::pack(&[&design.aig]);
     let netlist = GraphBatch::pack(&[&design.netlist]);
     snapshot.predict_batches(&aig, &netlist, workers)[0]
@@ -539,7 +566,9 @@ fn percentile_us(sorted: &[u64], pct: u64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let rank = (pct * sorted.len() as u64).div_ceil(100).clamp(1, sorted.len() as u64);
+    let rank = (pct * sorted.len() as u64)
+        .div_ceil(100)
+        .clamp(1, sorted.len() as u64);
     sorted[rank as usize - 1]
 }
 
@@ -563,21 +592,38 @@ mod tests {
 
     #[test]
     fn full_arc_detects_retrains_and_promotes() {
-        let (report, feedback) =
-            LifecycleController::new(quick_config()).expect("valid").run().expect("runs");
+        let (report, feedback) = LifecycleController::new(quick_config())
+            .expect("valid")
+            .run()
+            .expect("runs");
         assert_eq!(report.counters.requests, 200);
         assert_eq!(report.counters.feedback_joins, 200);
         assert_eq!(feedback.len(), 200);
-        assert!(report.counters.drift_detections > 0, "drift must be detected");
+        assert!(
+            report.counters.drift_detections > 0,
+            "drift must be detected"
+        );
         assert!(report.counters.retrains > 0);
         assert!(report.counters.canaries_started > 0);
         assert!(report.counters.promotions > 0, "candidate must promote");
         assert!(report.final_primary_version > 1);
         let kinds: Vec<&str> = report.timeline.iter().map(|e| e.kind).collect();
-        let detect = kinds.iter().position(|k| *k == "drift_detected").expect("detect");
-        let retrain = kinds.iter().position(|k| *k == "retrained").expect("retrain");
-        let promote = kinds.iter().position(|k| *k == "promoted").expect("promote");
-        assert!(detect < retrain && retrain < promote, "events in causal order: {kinds:?}");
+        let detect = kinds
+            .iter()
+            .position(|k| *k == "drift_detected")
+            .expect("detect");
+        let retrain = kinds
+            .iter()
+            .position(|k| *k == "retrained")
+            .expect("retrain");
+        let promote = kinds
+            .iter()
+            .position(|k| *k == "promoted")
+            .expect("promote");
+        assert!(
+            detect < retrain && retrain < promote,
+            "events in causal order: {kinds:?}"
+        );
         for (k, stage) in report.stages.iter().enumerate() {
             assert!(
                 stage.post_rollout_active.mean_micros() < stage.post_rollout_frozen.mean_micros(),
@@ -593,7 +639,10 @@ mod tests {
             requests: 120,
             ..quick_config()
         };
-        let (report, _) = LifecycleController::new(config).expect("valid").run().expect("runs");
+        let (report, _) = LifecycleController::new(config)
+            .expect("valid")
+            .run()
+            .expect("runs");
         assert_eq!(report.counters.drift_detections, 0);
         assert_eq!(report.counters.retrains, 0);
         assert_eq!(report.counters.promotions, 0);
@@ -605,12 +654,75 @@ mod tests {
     fn useless_candidate_rolls_back() {
         // Zero retrain epochs publish an unchanged candidate: its error
         // equals the primary's, which fails a sub-100% guardrail.
-        let config = LifecycleConfig { retrain_epochs: 0, ..quick_config() };
-        let (report, _) = LifecycleController::new(config).expect("valid").run().expect("runs");
+        let config = LifecycleConfig {
+            retrain_epochs: 0,
+            ..quick_config()
+        };
+        let (report, _) = LifecycleController::new(config)
+            .expect("valid")
+            .run()
+            .expect("runs");
         assert!(report.counters.retrains > 0);
         assert_eq!(report.counters.promotions, 0);
-        assert!(report.counters.rollbacks > 0, "identical candidate must roll back");
+        assert!(
+            report.counters.rollbacks > 0,
+            "identical candidate must roll back"
+        );
         assert_eq!(report.final_primary_version, 1, "primary never moves");
+    }
+
+    #[test]
+    fn quantized_canary_arc_is_deterministic() {
+        // Candidates published as int8 snapshots walk the same detect →
+        // retrain → canary arc, judged by the same guardrails, and the
+        // whole run stays byte-identical across repeats and workers.
+        let run = |workers: usize| {
+            let config = LifecycleConfig {
+                quantize_canary: true,
+                workers,
+                ..quick_config()
+            };
+            LifecycleController::new(config)
+                .expect("valid")
+                .run()
+                .expect("runs")
+        };
+        // Bit-exact projection of a feedback log for comparison.
+        type FeedbackDigest = Vec<(u64, u32, Arm, u64, [[u64; 4]; 4], u64)>;
+        let digest = |fs: &[FeedbackEvent]| -> FeedbackDigest {
+            fs.iter()
+                .map(|f| {
+                    (
+                        f.ordinal,
+                        f.version,
+                        f.arm,
+                        f.design.fingerprint,
+                        f.predicted.map(|s| s.map(f64::to_bits)),
+                        f.latency_us,
+                    )
+                })
+                .collect()
+        };
+        let (report, feedback) = run(1);
+        assert!(report.counters.drift_detections > 0);
+        assert!(report.counters.retrains > 0);
+        assert!(
+            report.counters.canaries_started > 0,
+            "quantized candidate canaries"
+        );
+        assert!(
+            report.counters.promotions + report.counters.rollbacks > 0,
+            "guardrails must reach a verdict on the quantized candidate"
+        );
+        assert!(
+            feedback.iter().any(|f| f.version > 1),
+            "some joins are served by the int8 snapshot"
+        );
+        for w in [2usize, 4] {
+            let (again, again_feedback) = run(w);
+            assert_eq!(report.to_json(), again.to_json(), "workers {w}");
+            assert_eq!(digest(&feedback), digest(&again_feedback), "workers {w}");
+        }
     }
 
     #[test]
@@ -620,8 +732,10 @@ mod tests {
         // must be re-predicted by the new model. If the cache ignored
         // versions, every post-promotion join would still carry the
         // frozen model's predictions.
-        let (report, feedback) =
-            LifecycleController::new(quick_config()).expect("valid").run().expect("runs");
+        let (report, feedback) = LifecycleController::new(quick_config())
+            .expect("valid")
+            .run()
+            .expect("runs");
         assert!(report.counters.promotions > 0);
         let post = feedback.iter().filter(|f| f.version > 1).count();
         assert!(post > 0, "some joins served by the promoted model");
@@ -644,7 +758,10 @@ mod tests {
 
     #[test]
     fn bad_config_is_rejected() {
-        let bad = LifecycleConfig { requests: 0, ..Default::default() };
+        let bad = LifecycleConfig {
+            requests: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             LifecycleController::new(bad),
             Err(LifecycleError::Config { .. })
@@ -661,10 +778,18 @@ mod tests {
             ordinal == 5
         }
         fn feedback_extra_delay_us(&self, ordinal: u64) -> u64 {
-            if ordinal == 9 { 2_000_000 } else { 0 }
+            if ordinal == 9 {
+                2_000_000
+            } else {
+                0
+            }
         }
         fn latency_spike_us(&self, ordinal: u64, _arm: Arm) -> u64 {
-            if ordinal == 12 { 400_000 } else { 0 }
+            if ordinal == 12 {
+                400_000
+            } else {
+                0
+            }
         }
     }
 
@@ -686,14 +811,23 @@ mod tests {
             faulty.counters.feedback_joins + faulty.counters.feedback_dropped,
             faulty.counters.requests
         );
-        assert!(feedback.iter().all(|f| f.ordinal != 5), "dropped join never lands");
+        assert!(
+            feedback.iter().all(|f| f.ordinal != 5),
+            "dropped join never lands"
+        );
 
         // The delayed join still arrives, carrying its original payload.
-        assert!(feedback.iter().any(|f| f.ordinal == 9), "delayed join still lands");
+        assert!(
+            feedback.iter().any(|f| f.ordinal == 9),
+            "delayed join still lands"
+        );
 
         // The spike is observed by latency stats and the join.
         let spiked = feedback.iter().find(|f| f.ordinal == 12).expect("join 12");
-        assert!(spiked.latency_us >= 400_000, "spike lands on observed latency");
+        assert!(
+            spiked.latency_us >= 400_000,
+            "spike lands on observed latency"
+        );
         assert!(faulty.p95_latency_us >= clean.p95_latency_us);
 
         // Same plan, same bytes.
@@ -711,7 +845,11 @@ mod tests {
         struct CanarySpike;
         impl crate::LifecycleFaults for CanarySpike {
             fn latency_spike_us(&self, _ordinal: u64, arm: Arm) -> u64 {
-                if arm == Arm::Canary { 10_000_000 } else { 0 }
+                if arm == Arm::Canary {
+                    10_000_000
+                } else {
+                    0
+                }
             }
         }
         let run = |bug: bool| {
@@ -727,6 +865,9 @@ mod tests {
         assert_eq!(sound.counters.promotions, 0, "sound guardrail rolls back");
         assert!(sound.counters.rollbacks > 0);
         let buggy = run(true);
-        assert!(buggy.counters.promotions > 0, "planted bug promotes a degraded canary");
+        assert!(
+            buggy.counters.promotions > 0,
+            "planted bug promotes a degraded canary"
+        );
     }
 }

@@ -81,7 +81,9 @@ pub use faults::{NoServeFaults, ServeFaults, SharedServeFaults};
 pub use geo::{GeoConfig, GeoReport, GeoRequest, GeoServer, GeoTenantUsage};
 pub use planner::{CostTablePlanner, PlanSummary, Planner, VCPUS};
 pub use queue::AdmissionQueue;
-pub use registry::{ModelRegistry, ModelSnapshot, STAGE_NAMES};
+pub use registry::{
+    CanaryState, ModelRegistry, ModelSnapshot, QuantizedSnapshot, ServingSnapshot, STAGE_NAMES,
+};
 pub use report::{ServeCounters, ServeReport};
 pub use request::{
     design_pool, synthetic_requests, RequestKind, ServeDesign, ServeRequest, WorkloadConfig,

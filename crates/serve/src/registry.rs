@@ -16,7 +16,7 @@
 //! version.
 
 use crate::ServeError;
-use eda_cloud_gcn::{GraphBatch, ModelConfig, RuntimePredictor};
+use eda_cloud_gcn::{GraphBatch, ModelConfig, QuantizedPredictor, RuntimePredictor};
 use std::collections::BTreeMap;
 
 /// Stage names in flow order; index-aligned with every `[T; 4]` that
@@ -79,7 +79,12 @@ impl ModelSnapshot {
         routing: RuntimePredictor,
         sta: RuntimePredictor,
     ) -> Self {
-        Self { synthesis, placement, routing, sta }
+        Self {
+            synthesis,
+            placement,
+            routing,
+            sta,
+        }
     }
 
     /// A snapshot of four freshly initialized (untrained) predictors —
@@ -171,7 +176,9 @@ impl ModelSnapshot {
         let body_len = text.len() - rest.len();
         let footer = next_line(&mut rest).ok_or_else(|| err("missing `checksum` footer".into()))?;
         let Some(hex) = footer.strip_prefix("checksum ") else {
-            return Err(err(format!("expected `checksum <16 hex digits>`, found `{footer}`")));
+            return Err(err(format!(
+                "expected `checksum <16 hex digits>`, found `{footer}`"
+            )));
         };
         if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(err(format!("malformed checksum `{hex}`")));
@@ -219,36 +226,328 @@ impl ModelSnapshot {
             let batch = if k == 0 { aig } else { netlist };
             self.stage(k).predict_secs_batch(batch)
         };
-        let mut per_stage: Vec<Option<Vec<[f64; 4]>>> = vec![None, None, None, None];
-        let w = workers.clamp(1, 4);
-        if w == 1 {
-            for (k, slot) in per_stage.iter_mut().enumerate() {
-                *slot = Some(run_stage(k));
-            }
-        } else {
-            let results = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..w)
-                    .map(|t| {
-                        let run_stage = &run_stage;
-                        scope.spawn(move || {
-                            (t..4).step_by(w).map(|k| (k, run_stage(k))).collect::<Vec<_>>()
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("stage worker"))
-                    .collect::<Vec<_>>()
-            });
-            for (k, secs) in results {
-                per_stage[k] = Some(secs);
-            }
+        fan_out_stages(&run_stage, aig.len(), workers)
+    }
+}
+
+/// Run the four independent per-stage forwards, optionally over scoped
+/// threads, and join the results **by stage index** — the canonical
+/// commit order that keeps the output bit-identical at every worker
+/// count. Shared by the float and int8 snapshot types.
+fn fan_out_stages<F>(run_stage: &F, len: usize, workers: usize) -> Vec<[[f64; 4]; 4]>
+where
+    F: Fn(usize) -> Vec<[f64; 4]> + Sync,
+{
+    let mut per_stage: Vec<Option<Vec<[f64; 4]>>> = vec![None, None, None, None];
+    let w = workers.clamp(1, 4);
+    if w == 1 {
+        for (k, slot) in per_stage.iter_mut().enumerate() {
+            *slot = Some(run_stage(k));
         }
-        let per_stage: Vec<Vec<[f64; 4]>> =
-            per_stage.into_iter().map(|s| s.expect("all stages ran")).collect();
-        (0..aig.len())
-            .map(|i| [per_stage[0][i], per_stage[1][i], per_stage[2][i], per_stage[3][i]])
-            .collect()
+    } else {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..w)
+                .map(|t| {
+                    scope.spawn(move || {
+                        (t..4)
+                            .step_by(w)
+                            .map(|k| (k, run_stage(k)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("stage worker"))
+                .collect::<Vec<_>>()
+        });
+        for (k, secs) in results {
+            per_stage[k] = Some(secs);
+        }
+    }
+    let per_stage: Vec<Vec<[f64; 4]>> = per_stage
+        .into_iter()
+        .map(|s| s.expect("all stages ran"))
+        .collect();
+    (0..len)
+        .map(|i| {
+            [
+                per_stage[0][i],
+                per_stage[1][i],
+                per_stage[2][i],
+                per_stage[3][i],
+            ]
+        })
+        .collect()
+}
+
+/// The four per-stage predictors, quantized to int8 for serving (see
+/// [`eda_cloud_gcn::QuantizedPredictor`]). Versioned alongside float
+/// snapshots in the [`ModelRegistry`] via [`ServingSnapshot`], so a
+/// lifecycle controller can canary a quantized candidate head-to-head
+/// against its float primary on the same request stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedSnapshot {
+    /// Synthesis model (consumes the AIG view of a design).
+    pub synthesis: QuantizedPredictor,
+    /// Placement model (consumes the netlist view).
+    pub placement: QuantizedPredictor,
+    /// Routing model.
+    pub routing: QuantizedPredictor,
+    /// STA model.
+    pub sta: QuantizedPredictor,
+}
+
+impl QuantizedSnapshot {
+    /// Quantize every stage of a float snapshot. Deterministic: the
+    /// same float snapshot always produces the same int8 snapshot.
+    #[must_use]
+    pub fn quantize(snapshot: &ModelSnapshot) -> Self {
+        Self {
+            synthesis: QuantizedPredictor::quantize(&snapshot.synthesis),
+            placement: QuantizedPredictor::quantize(&snapshot.placement),
+            routing: QuantizedPredictor::quantize(&snapshot.routing),
+            sta: QuantizedPredictor::quantize(&snapshot.sta),
+        }
+    }
+
+    /// Reconstruct a float snapshot from the dequantized weights — the
+    /// warm start used when retraining from a quantized base.
+    #[must_use]
+    pub fn dequantize(&self) -> ModelSnapshot {
+        ModelSnapshot::new(
+            self.synthesis.dequantize(),
+            self.placement.dequantize(),
+            self.routing.dequantize(),
+            self.sta.dequantize(),
+        )
+    }
+
+    /// The predictor for stage index `k` (see [`STAGE_NAMES`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 4`.
+    #[must_use]
+    pub fn stage(&self, k: usize) -> &QuantizedPredictor {
+        match k {
+            0 => &self.synthesis,
+            1 => &self.placement,
+            2 => &self.routing,
+            3 => &self.sta,
+            _ => panic!("stage index {k} out of range"),
+        }
+    }
+
+    /// Serialize to the canonical `eda-serve-snapshot v2-int8` text
+    /// format: the same stage-delimited, checksummed layout as
+    /// [`ModelSnapshot::to_text`], embedding each stage's
+    /// `gcn-runtime-predictor-q8 v1` weight document.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("eda-serve-snapshot v2-int8\n");
+        for (k, name) in STAGE_NAMES.iter().enumerate() {
+            out.push_str(&format!("stage {name}\n"));
+            out.push_str(&self.stage(k).save_weights());
+            out.push_str(&format!("end {name}\n"));
+        }
+        out.push_str(&format!("checksum {:016x}\n", fnv1a64(out.as_bytes())));
+        out
+    }
+
+    /// Parse a document produced by [`QuantizedSnapshot::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Snapshot`] on a bad header, missing or
+    /// misordered stage delimiters, malformed embedded weights, or a
+    /// missing/mismatched `checksum` footer.
+    pub fn from_text(text: &str) -> Result<Self, ServeError> {
+        let err = |m: String| ServeError::Snapshot { message: m };
+        let mut rest = text;
+        if next_line(&mut rest) != Some("eda-serve-snapshot v2-int8") {
+            return Err(err("unknown header".into()));
+        }
+        let mut stages = Vec::with_capacity(4);
+        for name in STAGE_NAMES {
+            let open = next_line(&mut rest).unwrap_or_default();
+            if open != format!("stage {name}") {
+                return Err(err(format!("expected `stage {name}`, found `{open}`")));
+            }
+            let close = format!("end {name}");
+            let mut doc = String::new();
+            loop {
+                let Some(line) = next_line(&mut rest) else {
+                    return Err(err(format!("missing `{close}`")));
+                };
+                if line == close {
+                    break;
+                }
+                doc.push_str(line);
+                doc.push('\n');
+            }
+            stages.push(QuantizedPredictor::load_weights(&doc)?);
+        }
+        let body_len = text.len() - rest.len();
+        let footer = next_line(&mut rest).ok_or_else(|| err("missing `checksum` footer".into()))?;
+        let Some(hex) = footer.strip_prefix("checksum ") else {
+            return Err(err(format!(
+                "expected `checksum <16 hex digits>`, found `{footer}`"
+            )));
+        };
+        if hex.len() != 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(err(format!("malformed checksum `{hex}`")));
+        }
+        let stated = u64::from_str_radix(hex, 16).expect("validated hex");
+        if !rest.is_empty() {
+            return Err(err("trailing content after checksum footer".into()));
+        }
+        let computed = fnv1a64(&text.as_bytes()[..body_len]);
+        if stated != computed {
+            return Err(err(format!(
+                "checksum mismatch: stated {stated:016x}, computed {computed:016x}"
+            )));
+        }
+        let mut stages = stages.into_iter();
+        let (s, p, r, t) = (
+            stages.next().expect("stage"),
+            stages.next().expect("stage"),
+            stages.next().expect("stage"),
+            stages.next().expect("stage"),
+        );
+        Ok(Self {
+            synthesis: s,
+            placement: p,
+            routing: r,
+            sta: t,
+        })
+    }
+
+    /// Batched prediction over every stage — same contract and worker
+    /// invariance as [`ModelSnapshot::predict_batches`], running the
+    /// int8 kernels.
+    #[must_use]
+    pub fn predict_batches(
+        &self,
+        aig: &GraphBatch,
+        netlist: &GraphBatch,
+        workers: usize,
+    ) -> Vec<[[f64; 4]; 4]> {
+        assert_eq!(aig.len(), netlist.len(), "views must be index-aligned");
+        if aig.is_empty() {
+            return Vec::new();
+        }
+        let run_stage = |k: usize| -> Vec<[f64; 4]> {
+            let batch = if k == 0 { aig } else { netlist };
+            self.stage(k).predict_secs_batch(batch)
+        };
+        fan_out_stages(&run_stage, aig.len(), workers)
+    }
+}
+
+/// A snapshot in either numeric format, as stored and served by the
+/// [`ModelRegistry`]: the float predictors a trainer produces, or
+/// their int8 quantized replica. Everything downstream of the registry
+/// — the server, the lifecycle controller's canary router — dispatches
+/// through this enum, so a quantized candidate flows through the exact
+/// code path of a float one.
+#[derive(Debug, Clone)]
+pub enum ServingSnapshot {
+    /// Full-precision `f64` predictors.
+    Float(ModelSnapshot),
+    /// Int8 fixed-point predictors.
+    Int8(QuantizedSnapshot),
+}
+
+impl From<ModelSnapshot> for ServingSnapshot {
+    fn from(s: ModelSnapshot) -> Self {
+        ServingSnapshot::Float(s)
+    }
+}
+
+impl From<QuantizedSnapshot> for ServingSnapshot {
+    fn from(s: QuantizedSnapshot) -> Self {
+        ServingSnapshot::Int8(s)
+    }
+}
+
+impl ServingSnapshot {
+    /// Whether this is the int8 variant.
+    #[must_use]
+    pub fn is_quantized(&self) -> bool {
+        matches!(self, ServingSnapshot::Int8(_))
+    }
+
+    /// The float snapshot, if this is the float variant.
+    #[must_use]
+    pub fn as_float(&self) -> Option<&ModelSnapshot> {
+        match self {
+            ServingSnapshot::Float(s) => Some(s),
+            ServingSnapshot::Int8(_) => None,
+        }
+    }
+
+    /// The quantized snapshot, if this is the int8 variant.
+    #[must_use]
+    pub fn as_int8(&self) -> Option<&QuantizedSnapshot> {
+        match self {
+            ServingSnapshot::Float(_) => None,
+            ServingSnapshot::Int8(s) => Some(s),
+        }
+    }
+
+    /// A float snapshot in either case: a clone of the float variant,
+    /// or the dequantized reconstruction of the int8 one — the warm
+    /// start a retraining loop needs regardless of what is deployed.
+    #[must_use]
+    pub fn to_float(&self) -> ModelSnapshot {
+        match self {
+            ServingSnapshot::Float(s) => s.clone(),
+            ServingSnapshot::Int8(s) => s.dequantize(),
+        }
+    }
+
+    /// Dispatching [`ModelSnapshot::predict_batches`] /
+    /// [`QuantizedSnapshot::predict_batches`].
+    #[must_use]
+    pub fn predict_batches(
+        &self,
+        aig: &GraphBatch,
+        netlist: &GraphBatch,
+        workers: usize,
+    ) -> Vec<[[f64; 4]; 4]> {
+        match self {
+            ServingSnapshot::Float(s) => s.predict_batches(aig, netlist, workers),
+            ServingSnapshot::Int8(s) => s.predict_batches(aig, netlist, workers),
+        }
+    }
+
+    /// Serialize to the variant's canonical text format; the header
+    /// line identifies the variant for [`ServingSnapshot::from_text`].
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        match self {
+            ServingSnapshot::Float(s) => s.to_text(),
+            ServingSnapshot::Int8(s) => s.to_text(),
+        }
+    }
+
+    /// Parse either snapshot format, dispatching on the header line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Snapshot`] for an unknown header or any
+    /// error of the variant parser.
+    pub fn from_text(text: &str) -> Result<Self, ServeError> {
+        if text.starts_with("eda-serve-snapshot v1\n") {
+            Ok(ServingSnapshot::Float(ModelSnapshot::from_text(text)?))
+        } else if text.starts_with("eda-serve-snapshot v2-int8\n") {
+            Ok(ServingSnapshot::Int8(QuantizedSnapshot::from_text(text)?))
+        } else {
+            Err(ServeError::Snapshot {
+                message: "unknown header".into(),
+            })
+        }
     }
 }
 
@@ -270,7 +569,7 @@ pub struct CanaryState {
 /// deterministic slice of requests until it is promoted or rolled back.
 #[derive(Debug, Clone, Default)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, Vec<ModelSnapshot>>,
+    models: BTreeMap<String, Vec<ServingSnapshot>>,
     primary: BTreeMap<String, u32>,
     canary: BTreeMap<String, CanaryState>,
 }
@@ -285,11 +584,17 @@ impl ModelRegistry {
     /// Store a snapshot under `name`; returns its version (1-based,
     /// monotonically increasing per name). The first publish under a
     /// name becomes its primary; later publishes leave the primary
-    /// untouched until an explicit [`ModelRegistry::promote`].
-    pub fn publish(&mut self, name: impl Into<String>, snapshot: ModelSnapshot) -> u32 {
+    /// untouched until an explicit [`ModelRegistry::promote`]. Accepts
+    /// a float [`ModelSnapshot`], an int8 [`QuantizedSnapshot`], or a
+    /// [`ServingSnapshot`] directly.
+    pub fn publish(
+        &mut self,
+        name: impl Into<String>,
+        snapshot: impl Into<ServingSnapshot>,
+    ) -> u32 {
         let name = name.into();
         let versions = self.models.entry(name.clone()).or_default();
-        versions.push(snapshot);
+        versions.push(snapshot.into());
         let version = versions.len() as u32;
         self.primary.entry(name).or_insert(version);
         version
@@ -301,12 +606,14 @@ impl ModelRegistry {
     ///
     /// Returns [`ServeError::UnknownModel`] if nothing was published
     /// under `name`.
-    pub fn latest(&self, name: &str) -> Result<(u32, &ModelSnapshot), ServeError> {
+    pub fn latest(&self, name: &str) -> Result<(u32, &ServingSnapshot), ServeError> {
         let versions = self
             .models
             .get(name)
             .filter(|v| !v.is_empty())
-            .ok_or_else(|| ServeError::UnknownModel { name: name.to_owned() })?;
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_owned(),
+            })?;
         Ok((versions.len() as u32, versions.last().expect("non-empty")))
     }
 
@@ -316,11 +623,13 @@ impl ModelRegistry {
     ///
     /// Returns [`ServeError::UnknownModel`] if the name or version does
     /// not exist.
-    pub fn get(&self, name: &str, version: u32) -> Result<&ModelSnapshot, ServeError> {
+    pub fn get(&self, name: &str, version: u32) -> Result<&ServingSnapshot, ServeError> {
         self.models
             .get(name)
             .and_then(|v| v.get(version.checked_sub(1)? as usize))
-            .ok_or_else(|| ServeError::UnknownModel { name: format!("{name}@v{version}") })
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: format!("{name}@v{version}"),
+            })
     }
 
     /// Registered model names in sorted order.
@@ -336,11 +645,13 @@ impl ModelRegistry {
     ///
     /// Returns [`ServeError::UnknownModel`] if nothing was published
     /// under `name`.
-    pub fn primary(&self, name: &str) -> Result<(u32, &ModelSnapshot), ServeError> {
+    pub fn primary(&self, name: &str) -> Result<(u32, &ServingSnapshot), ServeError> {
         let version = *self
             .primary
             .get(name)
-            .ok_or_else(|| ServeError::UnknownModel { name: name.to_owned() })?;
+            .ok_or_else(|| ServeError::UnknownModel {
+                name: name.to_owned(),
+            })?;
         Ok((version, self.get(name, version)?))
     }
 
@@ -354,7 +665,9 @@ impl ModelRegistry {
     /// candidate is already the primary.
     pub fn set_canary(&mut self, name: &str, version: u32, every: u64) -> Result<(), ServeError> {
         if every == 0 {
-            return Err(ServeError::Snapshot { message: "canary `every` must be > 0".into() });
+            return Err(ServeError::Snapshot {
+                message: "canary `every` must be > 0".into(),
+            });
         }
         let _ = self.get(name, version)?;
         let (primary_version, _) = self.primary(name)?;
@@ -363,7 +676,8 @@ impl ModelRegistry {
                 message: format!("{name}@v{version} is already primary"),
             });
         }
-        self.canary.insert(name.to_owned(), CanaryState { version, every });
+        self.canary
+            .insert(name.to_owned(), CanaryState { version, every });
         Ok(())
     }
 
@@ -402,7 +716,7 @@ impl ModelRegistry {
     ///
     /// Returns [`ServeError::UnknownModel`] if nothing was published
     /// under `name`.
-    pub fn route(&self, name: &str, ordinal: u64) -> Result<(u32, &ModelSnapshot), ServeError> {
+    pub fn route(&self, name: &str, ordinal: u64) -> Result<(u32, &ServingSnapshot), ServeError> {
         if let Some(state) = self.canary.get(name) {
             if ordinal.is_multiple_of(state.every) {
                 return Ok((state.version, self.get(name, state.version)?));
@@ -428,7 +742,11 @@ mod tests {
         let snap = ModelSnapshot::seeded(&ModelConfig::fast(), 7);
         let text = snap.to_text();
         let loaded = ModelSnapshot::from_text(&text).expect("parses");
-        assert_eq!(loaded.to_text(), text, "canonical bytes survive the round trip");
+        assert_eq!(
+            loaded.to_text(),
+            text,
+            "canonical bytes survive the round trip"
+        );
         let s = sample();
         for k in 0..4 {
             assert_eq!(
@@ -457,11 +775,16 @@ mod tests {
         let text = snap.to_text();
         assert!(text.ends_with('\n'));
         let footer = text.lines().last().expect("non-empty");
-        assert!(footer.starts_with("checksum "), "canonical text ends with the footer: {footer}");
+        assert!(
+            footer.starts_with("checksum "),
+            "canonical text ends with the footer: {footer}"
+        );
 
         // Missing footer, corrupted footer, and trailing bytes are all
         // typed errors.
-        let without = text.strip_suffix(&format!("{footer}\n")).expect("footer is last");
+        let without = text
+            .strip_suffix(&format!("{footer}\n"))
+            .expect("footer is last");
         let e = ModelSnapshot::from_text(without).unwrap_err();
         assert!(e.to_string().contains("checksum"), "{e}");
         let e = ModelSnapshot::from_text(&format!("{text}extra\n")).unwrap_err();
@@ -474,11 +797,16 @@ mod tests {
         // number) is caught by the digest even though the structure is
         // intact.
         let body_end = text.len() - footer.len() - 1;
-        let digit = text[..body_end].rfind(['1', '2', '3']).expect("a digit exists");
+        let digit = text[..body_end]
+            .rfind(['1', '2', '3'])
+            .expect("a digit exists");
         let mut flipped = text.into_bytes();
         flipped[digit] = if flipped[digit] == b'1' { b'7' } else { b'1' };
         let flipped = String::from_utf8(flipped).expect("ascii-safe edit");
-        assert!(ModelSnapshot::from_text(&flipped).is_err(), "bit rot must not load");
+        assert!(
+            ModelSnapshot::from_text(&flipped).is_err(),
+            "bit rot must not load"
+        );
     }
 
     #[test]
@@ -491,9 +819,16 @@ mod tests {
         let (latest, _) = reg.latest("prod").expect("published");
         assert_eq!(latest, 2);
         let s = sample();
-        let pinned = reg.get("prod", 1).expect("v1 kept");
+        let pinned = reg
+            .get("prod", 1)
+            .expect("v1 kept")
+            .as_float()
+            .expect("float snapshot");
         let fresh = ModelSnapshot::seeded(&ModelConfig::fast(), 1);
-        assert_eq!(pinned.stage(0).predict_log(&s), fresh.stage(0).predict_log(&s));
+        assert_eq!(
+            pinned.stage(0).predict_log(&s),
+            fresh.stage(0).predict_log(&s)
+        );
         assert!(reg.get("prod", 3).is_err());
         assert!(reg.get("prod", 0).is_err());
         assert_eq!(reg.names(), vec!["prod"]);
@@ -511,15 +846,28 @@ mod tests {
         // Invalid canaries are typed errors.
         assert!(reg.set_canary("prod", v2, 0).is_err());
         assert!(reg.set_canary("prod", 9, 4).is_err());
-        assert!(reg.set_canary("prod", 1, 4).is_err(), "primary can't canary itself");
+        assert!(
+            reg.set_canary("prod", 1, 4).is_err(),
+            "primary can't canary itself"
+        );
         assert!(reg.set_canary("nope", 1, 4).is_err());
 
         reg.set_canary("prod", v2, 4).expect("canary starts");
-        assert_eq!(reg.canary("prod"), Some(CanaryState { version: 2, every: 4 }));
+        assert_eq!(
+            reg.canary("prod"),
+            Some(CanaryState {
+                version: 2,
+                every: 4
+            })
+        );
         // Deterministic split: multiples of `every` hit the candidate.
         for ordinal in 0..12u64 {
             let (version, _) = reg.route("prod", ordinal).expect("routes");
-            assert_eq!(version, if ordinal % 4 == 0 { 2 } else { 1 }, "ordinal {ordinal}");
+            assert_eq!(
+                version,
+                if ordinal % 4 == 0 { 2 } else { 1 },
+                "ordinal {ordinal}"
+            );
         }
 
         // Rollback: candidate slice stops, primary unchanged.
@@ -550,7 +898,11 @@ mod tests {
         let batch = GraphBatch::pack(&refs);
         let one = snap.predict_batches(&batch, &batch, 1);
         for workers in [2usize, 4, 8] {
-            assert_eq!(snap.predict_batches(&batch, &batch, workers), one, "workers {workers}");
+            assert_eq!(
+                snap.predict_batches(&batch, &batch, workers),
+                one,
+                "workers {workers}"
+            );
         }
         // And each row matches the unbatched per-stage prediction.
         for (i, s) in samples.iter().enumerate() {
@@ -558,5 +910,109 @@ mod tests {
                 assert_eq!(*stage_pred, snap.stage(k).predict_secs(s));
             }
         }
+    }
+
+    #[test]
+    fn quantized_snapshot_roundtrip_is_bit_identical() {
+        let float = ModelSnapshot::seeded(&ModelConfig::fast(), 11);
+        let snap = QuantizedSnapshot::quantize(&float);
+        let text = snap.to_text();
+        assert!(text.starts_with("eda-serve-snapshot v2-int8\n"));
+        let loaded = QuantizedSnapshot::from_text(&text).expect("parses");
+        assert_eq!(loaded, snap, "weights survive the round trip exactly");
+        assert_eq!(
+            loaded.to_text(),
+            text,
+            "canonical bytes survive the round trip"
+        );
+        let s = sample();
+        for k in 0..4 {
+            assert_eq!(
+                loaded.stage(k).predict_log(&s),
+                snap.stage(k).predict_log(&s),
+                "stage {k} predictions must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_snapshot_rejects_malformed_documents() {
+        assert!(QuantizedSnapshot::from_text("nonsense").is_err());
+        let snap = QuantizedSnapshot::quantize(&ModelSnapshot::seeded(&ModelConfig::fast(), 4));
+        let text = snap.to_text();
+        assert!(QuantizedSnapshot::from_text(&text[..text.len() / 2]).is_err());
+        let swapped = text.replace("stage placement", "stage routing");
+        let e = QuantizedSnapshot::from_text(&swapped).unwrap_err();
+        assert!(e.to_string().contains("placement"), "{e}");
+        let footer = text.lines().last().expect("non-empty");
+        let zeroed = text.replace(footer, "checksum 0000000000000000");
+        let e = QuantizedSnapshot::from_text(&zeroed).unwrap_err();
+        assert!(e.to_string().contains("mismatch"), "{e}");
+        let e = QuantizedSnapshot::from_text(&format!("{text}extra\n")).unwrap_err();
+        assert!(e.to_string().contains("trailing"), "{e}");
+        // The float parser refuses the int8 header and vice versa.
+        assert!(ModelSnapshot::from_text(&text).is_err());
+        let float_text = ModelSnapshot::seeded(&ModelConfig::fast(), 4).to_text();
+        assert!(QuantizedSnapshot::from_text(&float_text).is_err());
+    }
+
+    #[test]
+    fn quantized_batched_predictions_are_worker_invariant() {
+        let float = ModelSnapshot::seeded(&ModelConfig::fast(), 5);
+        let snap = QuantizedSnapshot::quantize(&float);
+        let samples: Vec<GraphSample> = ["adder", "parity", "multiplier"]
+            .iter()
+            .map(|f| {
+                let aig = generators::build_family(f, 5).expect("family");
+                GraphSample::new(&DesignGraph::from_aig(&aig), [1.0; 4])
+            })
+            .collect();
+        let refs: Vec<&GraphSample> = samples.iter().collect();
+        let batch = GraphBatch::pack(&refs);
+        let one = snap.predict_batches(&batch, &batch, 1);
+        for workers in [2usize, 4, 8] {
+            assert_eq!(
+                snap.predict_batches(&batch, &batch, workers),
+                one,
+                "workers {workers}"
+            );
+        }
+        for row in &one {
+            for stage in row {
+                assert!(stage.iter().all(|v| v.is_finite() && *v > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn serving_snapshot_dispatches_both_formats() {
+        let float = ModelSnapshot::seeded(&ModelConfig::fast(), 6);
+        let quant = QuantizedSnapshot::quantize(&float);
+        let sf = ServingSnapshot::from(float.clone());
+        let sq = ServingSnapshot::from(quant.clone());
+        assert!(!sf.is_quantized() && sq.is_quantized());
+        assert!(sf.as_float().is_some() && sf.as_int8().is_none());
+        assert!(sq.as_int8().is_some() && sq.as_float().is_none());
+
+        // Text round trip picks the right parser from the header.
+        let back = ServingSnapshot::from_text(&sf.to_text()).expect("float parses");
+        assert!(!back.is_quantized());
+        assert_eq!(back.to_text(), sf.to_text());
+        let back = ServingSnapshot::from_text(&sq.to_text()).expect("int8 parses");
+        assert!(back.is_quantized());
+        assert_eq!(back.to_text(), sq.to_text());
+        assert!(ServingSnapshot::from_text("eda-serve-snapshot v9\n").is_err());
+
+        // to_float: identity for floats, dequantize for int8 — and
+        // re-quantizing the dequantized weights reproduces the codes.
+        assert_eq!(sf.to_float().to_text(), float.to_text());
+        assert_eq!(QuantizedSnapshot::quantize(&sq.to_float()), quant);
+
+        // A registry holds both variants side by side.
+        let mut reg = ModelRegistry::new();
+        let v1 = reg.publish("prod", float);
+        let v2 = reg.publish("prod", quant);
+        assert!(!reg.get("prod", v1).expect("v1").is_quantized());
+        assert!(reg.get("prod", v2).expect("v2").is_quantized());
     }
 }

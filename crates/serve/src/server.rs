@@ -13,8 +13,8 @@
 //! and every outcome are byte-identical across runs and worker counts.
 
 use crate::{
-    AdmissionQueue, LruCache, ModelSnapshot, NoServeFaults, PlanSummary, Planner, RequestKind,
-    ServeCounters, ServeError, ServeReport, ServeRequest, SharedServeFaults,
+    AdmissionQueue, LruCache, NoServeFaults, PlanSummary, Planner, RequestKind, ServeCounters,
+    ServeError, ServeReport, ServeRequest, ServingSnapshot, SharedServeFaults,
 };
 use eda_cloud_fleet::Histogram;
 use eda_cloud_gcn::{GraphBatch, GraphSample};
@@ -126,7 +126,7 @@ impl RequestOutcome {
 
 /// The prediction & planning server.
 pub struct Server {
-    snapshot: ModelSnapshot,
+    snapshot: ServingSnapshot,
     planner: Box<dyn Planner>,
     config: ServeConfig,
     tracer: Tracer,
@@ -134,18 +134,23 @@ pub struct Server {
 }
 
 impl Server {
-    /// Build a server over a frozen model snapshot and a planner.
+    /// Build a server over a frozen model snapshot — float or int8
+    /// quantized — and a planner.
     ///
     /// # Panics
     ///
     /// Panics if `max_batch`, `queue_capacity`, or `pad_stride` is
     /// zero.
     #[must_use]
-    pub fn new(snapshot: ModelSnapshot, planner: Box<dyn Planner>, config: ServeConfig) -> Self {
+    pub fn new(
+        snapshot: impl Into<ServingSnapshot>,
+        planner: Box<dyn Planner>,
+        config: ServeConfig,
+    ) -> Self {
         assert!(config.max_batch > 0, "max batch must be positive");
         assert!(config.pad_stride > 0, "pad stride must be positive");
         Self {
-            snapshot,
+            snapshot: snapshot.into(),
             planner,
             config,
             tracer: Tracer::disabled(),
@@ -193,7 +198,9 @@ impl Server {
         requests: &[ServeRequest],
     ) -> Result<(ServeReport, Vec<RequestOutcome>), ServeError> {
         assert!(
-            requests.windows(2).all(|w| w[0].arrival_us <= w[1].arrival_us),
+            requests
+                .windows(2)
+                .all(|w| w[0].arrival_us <= w[1].arrival_us),
             "requests must be sorted by arrival time"
         );
         let workers = self.config.resolved_workers();
@@ -204,8 +211,9 @@ impl Server {
         let mut counters = ServeCounters::default();
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
         let mut latencies_us: Vec<u64> = Vec::with_capacity(requests.len());
-        let mut latency_hist =
-            Histogram::new(vec![1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0]);
+        let mut latency_hist = Histogram::new(vec![
+            1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+        ]);
         let mut batch_hist = Histogram::new(vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
         let mut depth_hist = Histogram::new(vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
         let mut max_depth = 0usize;
@@ -236,17 +244,26 @@ impl Server {
                     span.attr("outcome", "shed");
                     span.attr("queue_depth", queue_depth);
                     span.attr("fault", "force_shed");
-                    outcomes.push(RequestOutcome::Shed { ordinal, queue_depth });
+                    outcomes.push(RequestOutcome::Shed {
+                        ordinal,
+                        queue_depth,
+                    });
                     continue;
                 }
-                if let Err(ServeError::Overloaded { ordinal, queue_depth, .. }) =
-                    queue.try_admit(request)
+                if let Err(ServeError::Overloaded {
+                    ordinal,
+                    queue_depth,
+                    ..
+                }) = queue.try_admit(request)
                 {
                     counters.shed += 1;
                     let span = self.tracer.root_at(ordinal, "request");
                     span.attr("outcome", "shed");
                     span.attr("queue_depth", queue_depth);
-                    outcomes.push(RequestOutcome::Shed { ordinal, queue_depth });
+                    outcomes.push(RequestOutcome::Shed {
+                        ordinal,
+                        queue_depth,
+                    });
                 }
             }
             let depth = queue.len();
@@ -278,8 +295,9 @@ impl Server {
                 if let Some(hit) = cache.get(&(version, request.design.fingerprint)) {
                     cached[i] = Some(hit);
                 } else {
-                    let slot =
-                        *slot_of.entry(request.design.fingerprint).or_insert_with(|| {
+                    let slot = *slot_of
+                        .entry(request.design.fingerprint)
+                        .or_insert_with(|| {
                             miss_designs.push(request.design.clone());
                             miss_designs.len() - 1
                         });
@@ -291,11 +309,11 @@ impl Server {
                 Vec::new()
             } else {
                 let aig_refs: Vec<&GraphSample> = miss_designs.iter().map(|d| &d.aig).collect();
-                let net_refs: Vec<&GraphSample> =
-                    miss_designs.iter().map(|d| &d.netlist).collect();
+                let net_refs: Vec<&GraphSample> = miss_designs.iter().map(|d| &d.netlist).collect();
                 let aig_batch = GraphBatch::pack_padded(&aig_refs, self.config.pad_stride);
                 let net_batch = GraphBatch::pack_padded(&net_refs, self.config.pad_stride);
-                self.snapshot.predict_batches(&aig_batch, &net_batch, workers)
+                self.snapshot
+                    .predict_batches(&aig_batch, &net_batch, workers)
             };
             counters.gcn_predictions += miss_designs.len() as u64;
             for (design, secs) in miss_designs.iter().zip(&miss_secs) {
@@ -400,7 +418,7 @@ fn percentile_ms(sorted_us: &[u64], q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{design_pool, synthetic_requests, CostTablePlanner, WorkloadConfig};
+    use crate::{design_pool, synthetic_requests, CostTablePlanner, ModelSnapshot, WorkloadConfig};
     use eda_cloud_gcn::ModelConfig;
 
     fn server(config: ServeConfig) -> Server {
@@ -415,20 +433,30 @@ mod tests {
         let pool = design_pool();
         synthetic_requests(
             &pool,
-            &WorkloadConfig { requests, rate_per_sec, seed, ..Default::default() },
+            &WorkloadConfig {
+                requests,
+                rate_per_sec,
+                seed,
+                ..Default::default()
+            },
         )
     }
 
     #[test]
     fn serves_every_request_and_accounts_for_all() {
         let requests = workload(48, 150.0, 7);
-        let (report, outcomes) = server(ServeConfig::default()).run(7, &requests).expect("runs");
+        let (report, outcomes) = server(ServeConfig::default())
+            .run(7, &requests)
+            .expect("runs");
         assert_eq!(report.counters.requests, 48);
         assert_eq!(report.counters.completed + report.counters.shed, 48);
         assert_eq!(outcomes.len(), 48);
         assert!(outcomes.windows(2).all(|w| w[0].ordinal() < w[1].ordinal()));
         assert!(report.counters.batches > 0);
-        assert!(report.counters.cache_hits > 0, "pool smaller than stream => hits");
+        assert!(
+            report.counters.cache_hits > 0,
+            "pool smaller than stream => hits"
+        );
         assert!(report.counters.gcn_predictions <= report.counters.cache_misses);
         assert!(report.counters.plans > 0);
         assert!(report.mean_latency_ms > 0.0);
@@ -438,33 +466,81 @@ mod tests {
     #[test]
     fn same_seed_reports_are_byte_identical() {
         let requests = workload(48, 150.0, 7);
-        let (a, _) = server(ServeConfig::default()).run(7, &requests).expect("runs");
-        let (b, _) = server(ServeConfig::default()).run(7, &requests).expect("runs");
+        let (a, _) = server(ServeConfig::default())
+            .run(7, &requests)
+            .expect("runs");
+        let (b, _) = server(ServeConfig::default())
+            .run(7, &requests)
+            .expect("runs");
         assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]
     fn worker_count_never_changes_outcomes() {
         let requests = workload(48, 150.0, 7);
-        let (base_report, base_outcomes) =
-            server(ServeConfig { workers: 1, ..Default::default() }).run(7, &requests).expect("runs");
+        let (base_report, base_outcomes) = server(ServeConfig {
+            workers: 1,
+            ..Default::default()
+        })
+        .run(7, &requests)
+        .expect("runs");
         for workers in [2usize, 4, 8] {
-            let (report, outcomes) = server(ServeConfig { workers, ..Default::default() })
-                .run(7, &requests)
-                .expect("runs");
+            let (report, outcomes) = server(ServeConfig {
+                workers,
+                ..Default::default()
+            })
+            .run(7, &requests)
+            .expect("runs");
             assert_eq!(report.to_json(), base_report.to_json(), "workers {workers}");
             assert_eq!(outcomes, base_outcomes, "workers {workers}");
         }
     }
 
     #[test]
+    fn quantized_server_is_worker_and_roundtrip_invariant() {
+        // The int8 serving path must be bit-identical at any worker
+        // count, and across a text round trip of its snapshot.
+        let float = ModelSnapshot::seeded(&ModelConfig::fast(), 7);
+        let quant = crate::QuantizedSnapshot::quantize(&float);
+        let requests = workload(48, 150.0, 7);
+        let run = |snapshot: crate::QuantizedSnapshot, workers: usize| {
+            Server::new(
+                snapshot,
+                Box::new(CostTablePlanner::aws_like()),
+                ServeConfig {
+                    workers,
+                    ..Default::default()
+                },
+            )
+            .run(7, &requests)
+            .expect("runs")
+        };
+        let (base_report, base_outcomes) = run(quant.clone(), 1);
+        for workers in [2usize, 8] {
+            let (report, outcomes) = run(quant.clone(), workers);
+            assert_eq!(report.to_json(), base_report.to_json(), "workers {workers}");
+            assert_eq!(outcomes, base_outcomes, "workers {workers}");
+        }
+        let reloaded = crate::QuantizedSnapshot::from_text(&quant.to_text()).expect("parses");
+        let (report, outcomes) = run(reloaded, 1);
+        assert_eq!(report.to_json(), base_report.to_json(), "text round trip");
+        assert_eq!(outcomes, base_outcomes, "text round trip");
+    }
+
+    #[test]
     fn overload_sheds_with_typed_outcome() {
         // Arrivals far faster than the service rate, tiny queue.
         let requests = workload(64, 5_000.0, 7);
-        let config = ServeConfig { queue_capacity: 4, max_batch: 2, ..Default::default() };
+        let config = ServeConfig {
+            queue_capacity: 4,
+            max_batch: 2,
+            ..Default::default()
+        };
         let (report, outcomes) = server(config).run(7, &requests).expect("runs");
         assert!(report.counters.shed > 0, "overload must shed");
-        assert!(outcomes.iter().any(|o| matches!(o, RequestOutcome::Shed { .. })));
+        assert!(outcomes
+            .iter()
+            .any(|o| matches!(o, RequestOutcome::Shed { .. })));
         assert_eq!(report.counters.completed + report.counters.shed, 64);
     }
 
@@ -476,19 +552,28 @@ mod tests {
         let pool = design_pool();
         let requests = synthetic_requests(
             &pool,
-            &WorkloadConfig { requests: 12, rate_per_sec: 0.0, ..Default::default() },
+            &WorkloadConfig {
+                requests: 12,
+                rate_per_sec: 0.0,
+                ..Default::default()
+            },
         );
         // rate 0 => all arrive at t=0 with seeded spread-out deadlines.
         assert!(requests.iter().all(|r| r.arrival_us == 0));
-        let (_, outcomes) = server(ServeConfig { max_batch: 3, ..Default::default() })
-            .run(7, &requests)
-            .expect("runs");
+        let (_, outcomes) = server(ServeConfig {
+            max_batch: 3,
+            ..Default::default()
+        })
+        .run(7, &requests)
+        .expect("runs");
         let mut served: Vec<(u64, u64)> = outcomes
             .iter()
             .map(|o| match o {
-                RequestOutcome::Completed { ordinal, latency_us, .. } => {
-                    (*latency_us, requests[*ordinal as usize].deadline_us)
-                }
+                RequestOutcome::Completed {
+                    ordinal,
+                    latency_us,
+                    ..
+                } => (*latency_us, requests[*ordinal as usize].deadline_us),
                 RequestOutcome::Shed { .. } => panic!("burst fits the queue"),
             })
             .collect();
@@ -496,7 +581,10 @@ mod tests {
         for pair in served.windows(2) {
             let ((t_a, d_a), (t_b, d_b)) = (pair[0], pair[1]);
             if t_a < t_b {
-                assert!(d_a <= d_b, "later batch served an earlier deadline: {pair:?}");
+                assert!(
+                    d_a <= d_b,
+                    "later batch served an earlier deadline: {pair:?}"
+                );
             }
         }
     }
@@ -511,7 +599,11 @@ mod tests {
         let fingerprint = 0xDEAD_BEEFu64;
         let mut cache: LruCache<(u32, u64), [[f64; 4]; 4]> = LruCache::new(8);
         cache.insert((1, fingerprint), [[1.0; 4]; 4]);
-        assert_eq!(cache.get(&(2, fingerprint)), None, "v2 must miss a v1 entry");
+        assert_eq!(
+            cache.get(&(2, fingerprint)),
+            None,
+            "v2 must miss a v1 entry"
+        );
         cache.insert((2, fingerprint), [[2.0; 4]; 4]);
         assert_eq!(cache.get(&(1, fingerprint)), Some([[1.0; 4]; 4]));
         assert_eq!(cache.get(&(2, fingerprint)), Some([[2.0; 4]; 4]));
@@ -521,11 +613,17 @@ mod tests {
         // identical predictions (same snapshot), but the runs never
         // alias — smoke-checked via byte-identical reports.
         let requests = workload(24, 150.0, 7);
-        let v1 = server(ServeConfig::default()).run(7, &requests).expect("runs").0;
-        let v2 = server(ServeConfig { model_version: 2, ..Default::default() })
+        let v1 = server(ServeConfig::default())
             .run(7, &requests)
             .expect("runs")
             .0;
+        let v2 = server(ServeConfig {
+            model_version: 2,
+            ..Default::default()
+        })
+        .run(7, &requests)
+        .expect("runs")
+        .0;
         assert_eq!(v1.to_json(), v2.to_json());
     }
 
@@ -562,18 +660,28 @@ mod tests {
             "conservation holds under injected faults"
         );
         let (again, again_outcomes) = run(true);
-        assert_eq!(faulty.to_json(), again.to_json(), "fault plans replay exactly");
+        assert_eq!(
+            faulty.to_json(),
+            again.to_json(),
+            "fault plans replay exactly"
+        );
         assert_eq!(outcomes, again_outcomes);
     }
 
     #[test]
     fn caching_shortens_service_time() {
         let requests = workload(48, 150.0, 7);
-        let cached = server(ServeConfig::default()).run(7, &requests).expect("runs").0;
-        let uncached = server(ServeConfig { cache_capacity: 0, ..Default::default() })
+        let cached = server(ServeConfig::default())
             .run(7, &requests)
             .expect("runs")
             .0;
+        let uncached = server(ServeConfig {
+            cache_capacity: 0,
+            ..Default::default()
+        })
+        .run(7, &requests)
+        .expect("runs")
+        .0;
         assert_eq!(uncached.counters.cache_hits, 0);
         assert!(cached.counters.gcn_predictions < uncached.counters.gcn_predictions);
         assert!(cached.makespan_ms <= uncached.makespan_ms);
