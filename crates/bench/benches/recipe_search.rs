@@ -1,0 +1,45 @@
+//! Criterion bench for the deterministic MCTS recipe search: the same
+//! seeded search over one design's pass sequences with the evaluation
+//! batch chewed through by 1, 2, or 4 workers. Outcomes are
+//! byte-identical at every width; only wall clock moves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_cloud_netlist::generators;
+use eda_cloud_recipe::{RecipeSearch, SearchConfig};
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let aig = generators::build_family("comparator", 6).expect("known family");
+    let mut group = c.benchmark_group("recipe_search");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let search = RecipeSearch::new(SearchConfig {
+            iters: 24,
+            seed: 7,
+            workers,
+            ..SearchConfig::default()
+        });
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |bench, _| {
+                bench.iter(|| black_box(search.run("comparator_6", &aig).expect("searches")));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_search
+}
+criterion_main!(benches);

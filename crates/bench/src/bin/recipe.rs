@@ -1,0 +1,100 @@
+//! Joint recipe × VM planning: per-design deterministic MCTS recipe
+//! search, hybrid (design ⊕ recipe) runtime prediction, and a
+//! `PlanRecipe` request per design through the serving tier.
+//!
+//! ```text
+//! cargo run -p eda-cloud-bench --bin recipe --release -- --seed 7
+//! cargo run -p eda-cloud-bench --bin recipe --release -- --seed 7 --json
+//! cargo run -p eda-cloud-bench --bin recipe --release -- --designs adder,parity --iters 16
+//! cargo run -p eda-cloud-bench --bin recipe --release -- --seed 7 --workers 4 --json
+//! ```
+//!
+//! The run is deterministic: the same `--designs/--size/--seed/--iters/
+//! --deadline` produce a byte-identical `--json` line at any
+//! `--workers` count — workers only parallelize the pure synthesis
+//! evaluations inside each search batch, joined by index.
+
+use eda_cloud_bench::{Args, Observability};
+use eda_cloud_core::report::render_table;
+use eda_cloud_core::{RecipeScenario, Workflow};
+use eda_cloud_recipe::RecipeReport;
+
+fn numeric<T: std::str::FromStr>(args: &Args, name: &str, default: T) -> T {
+    args.value(name).map_or(default, |v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("--{name} expects a number, got `{v}`"))
+    })
+}
+
+fn main() {
+    let mut scenario = RecipeScenario::new(7);
+    let args = Args::from_env();
+    if let Some(designs) = args.value("designs") {
+        scenario.designs = designs.split(',').map(str::to_owned).collect();
+    }
+    scenario.size = numeric(&args, "size", scenario.size);
+    scenario.seed = numeric(&args, "seed", scenario.seed);
+    scenario.iters = numeric(&args, "iters", scenario.iters);
+    scenario.deadline_secs = numeric(&args, "deadline", scenario.deadline_secs);
+    scenario.workers = args.workers();
+
+    let obs = Observability::from_args(&args);
+    let workflow = obs.instrument(Workflow::with_defaults());
+    let report = workflow.recipe(&scenario).expect("recipe pipeline");
+    obs.export();
+
+    if args.flag("json") {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    println!(
+        "Recipe — {} designs, seed {}, {} iterations, deadline {} s",
+        scenario.designs.len(),
+        scenario.seed,
+        scenario.iters,
+        scenario.deadline_secs,
+    );
+    print_report(&report);
+}
+
+fn print_report(report: &RecipeReport) {
+    let rows: Vec<Vec<String>> = report
+        .designs
+        .iter()
+        .map(|d| {
+            vec![
+                d.design.clone(),
+                d.best_recipe.clone(),
+                format!("{} / {}", d.best_score, d.baseline_score),
+                format!("{} / {}", d.best_runtime_ms[2], d.baseline_runtime_ms[2]),
+                format!("{} / {}", d.evaluations, d.cache_hits),
+                d.plan.as_ref().map_or("NA".into(), |p| {
+                    format!(
+                        "{} on {:?} — {} s, ${:.4}",
+                        p.recipe, p.vcpus, p.total_runtime_secs, p.total_cost_usd
+                    )
+                }),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "design",
+                "best recipe",
+                "score (best/base)",
+                "4-vCPU ms (best/base)",
+                "evals / hits",
+                "joint plan",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "{} of {} designs improved on the default recipe",
+        report.improved_designs(),
+        report.designs.len()
+    );
+}

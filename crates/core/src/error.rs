@@ -6,6 +6,7 @@ use eda_cloud_flow::FlowError;
 use eda_cloud_gcn::GcnError;
 use eda_cloud_lifecycle::LifecycleError;
 use eda_cloud_mckp::MckpError;
+use eda_cloud_recipe::RecipeError;
 use eda_cloud_serve::ServeError;
 use eda_cloud_simtest::SimtestError;
 use std::error::Error;
@@ -30,6 +31,8 @@ pub enum WorkflowError {
     /// The fault-injection harness rejected its configuration or plan,
     /// or a driven loop failed under it.
     Simtest(SimtestError),
+    /// The recipe subsystem rejected a search, encoding, or snapshot.
+    Recipe(RecipeError),
     /// The dataset builder produced no samples for a stage.
     EmptyDataset {
         /// The stage whose corpus came out empty.
@@ -50,6 +53,7 @@ impl fmt::Display for WorkflowError {
             WorkflowError::Serve(e) => write!(f, "serving error: {e}"),
             WorkflowError::Lifecycle(e) => write!(f, "lifecycle error: {e}"),
             WorkflowError::Simtest(e) => write!(f, "simtest harness error: {e}"),
+            WorkflowError::Recipe(e) => write!(f, "recipe subsystem error: {e}"),
             WorkflowError::EmptyDataset { stage } => {
                 write!(f, "dataset for stage `{stage}` is empty")
             }
@@ -68,6 +72,7 @@ impl Error for WorkflowError {
             WorkflowError::Serve(e) => Some(e),
             WorkflowError::Lifecycle(e) => Some(e),
             WorkflowError::Simtest(e) => Some(e),
+            WorkflowError::Recipe(e) => Some(e),
             WorkflowError::EmptyDataset { .. } => None,
             WorkflowError::Train(e) => Some(e),
         }
@@ -116,6 +121,12 @@ impl From<SimtestError> for WorkflowError {
     }
 }
 
+impl From<RecipeError> for WorkflowError {
+    fn from(e: RecipeError) -> Self {
+        WorkflowError::Recipe(e)
+    }
+}
+
 impl From<GcnError> for WorkflowError {
     fn from(e: GcnError) -> Self {
         WorkflowError::Train(e)
@@ -152,6 +163,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: WorkflowError = SimtestError::Config("fleet_jobs must be positive").into();
         assert!(e.to_string().contains("simtest harness"));
+        assert!(e.source().is_some());
+        let e: WorkflowError = RecipeError::NoCandidates.into();
+        assert!(e.to_string().contains("recipe subsystem"));
         assert!(e.source().is_some());
         let e = WorkflowError::EmptyDataset { stage: "routing" };
         assert!(e.to_string().contains("routing"));

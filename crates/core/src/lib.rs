@@ -34,6 +34,10 @@
 //!    feedback drops, snapshot corruption) and check global invariants
 //!    over the results, with delta-debugging down to a minimal
 //!    reproducer on failure.
+//! 9. [`Workflow::recipe`] — search synthesis recipes per design with
+//!    the deterministic MCTS agent, train the hybrid (design ⊕ recipe)
+//!    runtime predictor, and answer joint recipe × VM-plan requests
+//!    through the serving tier ([`WorkflowRecipePlanner`]).
 //!
 //! # Examples
 //!
@@ -59,6 +63,7 @@ mod fleet_service;
 mod lifecycle_service;
 mod optimize;
 pub mod predict;
+mod recipe_service;
 mod recommend;
 pub mod report;
 mod serve_service;
@@ -73,6 +78,7 @@ pub use error::WorkflowError;
 pub use fleet_service::FleetScenario;
 pub use lifecycle_service::LifecycleScenario;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
+pub use recipe_service::{RecipeScenario, WorkflowRecipePlanner};
 pub use recommend::{recommended_family, recommendation_notes};
 pub use serve_service::{ServeScenario, WorkflowPlanner};
 pub use simtest_service::SimtestScenario;

@@ -21,6 +21,14 @@ pub enum FlowError {
     PlacementDiverged,
     /// An empty design was given to a stage that needs logic.
     EmptyDesign,
+    /// A recipe was constructed with no passes. The explicit pass-free
+    /// baseline is [`Recipe::raw`](crate::Recipe::raw); every other
+    /// recipe must name at least one pass so runtime estimates and
+    /// search alphabets never silently degenerate.
+    EmptyRecipe {
+        /// Name the caller tried to give the empty recipe.
+        name: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -33,6 +41,9 @@ impl fmt::Display for FlowError {
             }
             FlowError::PlacementDiverged => write!(f, "placement failed to converge"),
             FlowError::EmptyDesign => write!(f, "design has no logic to process"),
+            FlowError::EmptyRecipe { name } => {
+                write!(f, "recipe `{name}` has no passes; use Recipe::raw() for the pass-free baseline")
+            }
         }
     }
 }
@@ -72,6 +83,9 @@ mod tests {
         assert!(e.source().is_some());
         let e: FlowError = TechError::UnknownCell("X".into()).into();
         assert!(e.to_string().contains('X'));
+        let e = FlowError::EmptyRecipe { name: "broken".into() };
+        assert!(e.to_string().contains("`broken`"));
+        assert!(e.source().is_none());
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use placement::{Placement, Placer};
 pub use routing::{Router, RoutingResult};
 pub use sta::{StaEngine, TimingReport};
 pub use stage::{StageKind, StageReport};
-pub use synthesis::{Recipe, SynthesisTrace, Synthesizer, VerifyMode};
+pub use synthesis::{Pass, Recipe, SynthesisTrace, Synthesizer, VerifyMode};
 
 use eda_cloud_netlist::{Aig, Netlist};
 

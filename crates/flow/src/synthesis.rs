@@ -68,8 +68,26 @@ pub struct Recipe {
 
 impl Recipe {
     /// Build a recipe from explicit passes.
-    #[must_use]
-    pub fn new(name: impl Into<String>, passes: Vec<Pass>) -> Self {
+    ///
+    /// An empty pass list is rejected with
+    /// [`FlowError::EmptyRecipe`]: a pass-free recipe would silently
+    /// degenerate the runtime estimate (the `.max(1)` guard in the
+    /// synchronization-overhead model) and poison recipe-search
+    /// alphabets. The deliberate pass-free baseline is [`Recipe::raw`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::EmptyRecipe`] when `passes` is empty.
+    pub fn new(name: impl Into<String>, passes: Vec<Pass>) -> Result<Self, FlowError> {
+        let name = name.into();
+        if passes.is_empty() {
+            return Err(FlowError::EmptyRecipe { name });
+        }
+        Ok(Self { name, passes })
+    }
+
+    /// Internal constructor for the known-good built-in recipes.
+    fn from_parts(name: impl Into<String>, passes: Vec<Pass>) -> Self {
         Self {
             name: name.into(),
             passes,
@@ -79,13 +97,14 @@ impl Recipe {
     /// The light default: balance then rewrite.
     #[must_use]
     pub fn balanced() -> Self {
-        Self::new("balanced", vec![Pass::Balance, Pass::Rewrite])
+        Self::from_parts("balanced", vec![Pass::Balance, Pass::Rewrite])
     }
 
-    /// Map directly with no optimization.
+    /// Map directly with no optimization. This is the one sanctioned
+    /// pass-free recipe; [`Recipe::new`] rejects empty pass lists.
     #[must_use]
     pub fn raw() -> Self {
-        Self::new("raw", Vec::new())
+        Self::from_parts("raw", Vec::new())
     }
 
     /// The variant-generation suite: ~20 recipes combining pass orders
@@ -96,8 +115,8 @@ impl Recipe {
         let mut suite = vec![
             Self::raw(),
             Self::balanced(),
-            Self::new("resyn", vec![Pass::Balance, Pass::Rewrite, Pass::Balance]),
-            Self::new(
+            Self::from_parts("resyn", vec![Pass::Balance, Pass::Rewrite, Pass::Balance]),
+            Self::from_parts(
                 "resyn2",
                 vec![
                     Pass::Balance,
@@ -107,17 +126,17 @@ impl Recipe {
                     Pass::Rewrite,
                 ],
             ),
-            Self::new("rw", vec![Pass::Rewrite]),
-            Self::new("rwrw", vec![Pass::Rewrite, Pass::Rewrite]),
-            Self::new("sweep", vec![Pass::Sweep]),
-            Self::new("swb", vec![Pass::Sweep, Pass::Balance]),
+            Self::from_parts("rw", vec![Pass::Rewrite]),
+            Self::from_parts("rwrw", vec![Pass::Rewrite, Pass::Rewrite]),
+            Self::from_parts("sweep", vec![Pass::Sweep]),
+            Self::from_parts("swb", vec![Pass::Sweep, Pass::Balance]),
         ];
         for seed in 0..8u64 {
-            suite.push(Self::new(
+            suite.push(Self::from_parts(
                 format!("rf{seed}"),
                 vec![Pass::Refactor(seed), Pass::Balance],
             ));
-            suite.push(Self::new(
+            suite.push(Self::from_parts(
                 format!("rfrw{seed}"),
                 vec![Pass::Refactor(seed.wrapping_mul(7919) + 13), Pass::Rewrite],
             ));
@@ -918,6 +937,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_recipe_is_rejected_at_construction() {
+        let err = Recipe::new("broken", Vec::new()).expect_err("empty pass list must fail");
+        assert_eq!(err, FlowError::EmptyRecipe { name: "broken".into() });
+        assert!(err.to_string().contains("Recipe::raw()"));
+        // The sanctioned pass-free baseline still exists and the suite
+        // still carries it, so downstream datasets are unchanged.
+        assert!(Recipe::raw().passes().is_empty());
+        assert!(Recipe::standard_suite().iter().any(|r| r.passes().is_empty()));
+    }
+
+    #[test]
+    fn valid_recipe_construction_keeps_name_and_passes() {
+        let recipe = Recipe::new("one", vec![Pass::Sweep]).expect("single pass is valid");
+        assert_eq!(recipe.name(), "one");
+        assert_eq!(recipe.passes(), [Pass::Sweep]);
+    }
+
+    #[test]
     fn recipes_change_structure() {
         let aig = generators::ctrl(3, 300);
         let syn = Synthesizer::new();
@@ -925,7 +962,7 @@ mod tests {
         let (b, _) = syn
             .run(
                 &aig,
-                &Recipe::new("rf", vec![Pass::Refactor(5), Pass::Balance]),
+                &Recipe::new("rf", vec![Pass::Refactor(5), Pass::Balance]).expect("non-empty"),
                 &ctx(),
             )
             .expect("refactor");

@@ -1,0 +1,171 @@
+//! The search alphabet and the deterministic recipe-sequence encoding.
+//!
+//! LOSTIN-style: a recipe is encoded as a fixed-width positional
+//! vector — for each of [`MAX_RECIPE_LEN`] slots, a one-hot over the
+//! pass alphabet plus one position feature (the slot's fractional
+//! position within the recipe). The encoding is a pure function of the
+//! pass list, so the hybrid predictor's input — and therefore its
+//! output — is bit-identical across runs and worker counts.
+
+use crate::RecipeError;
+use eda_cloud_flow::{Pass, Recipe};
+
+/// The pass alphabet the search agent composes recipes from.
+///
+/// Two refactor seeds are distinct actions: they preserve function but
+/// restructure differently, so the search can exploit either.
+pub const ALPHABET: [Pass; 5] = [
+    Pass::Balance,
+    Pass::Rewrite,
+    Pass::Refactor(2),
+    Pass::Refactor(5),
+    Pass::Sweep,
+];
+
+/// Longest recipe the positional encoder can represent (and the upper
+/// bound on search depth).
+pub const MAX_RECIPE_LEN: usize = 6;
+
+/// Width of one positional slot: one-hot over the alphabet + 1
+/// position feature.
+pub const SLOT_DIM: usize = ALPHABET.len() + 1;
+
+/// Total encoding width.
+pub const ENCODING_DIM: usize = MAX_RECIPE_LEN * SLOT_DIM;
+
+/// The default production recipe every searched recipe is judged
+/// against: `balance;rewrite;refactor(2)`.
+pub const DEFAULT_PASSES: [Pass; 3] = [Pass::Balance, Pass::Rewrite, Pass::Refactor(2)];
+
+/// Index of `pass` in [`ALPHABET`], if it is an alphabet member.
+#[must_use]
+pub fn pass_index(pass: Pass) -> Option<usize> {
+    ALPHABET.iter().position(|&p| p == pass)
+}
+
+/// Canonical `;`-joined key for a pass sequence, e.g.
+/// `balance;rewrite;refactor(2)`. The empty sequence renders as `raw`.
+#[must_use]
+pub fn recipe_key(passes: &[Pass]) -> String {
+    if passes.is_empty() {
+        return "raw".to_owned();
+    }
+    passes
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// Build a [`Recipe`] named by its canonical key. The empty sequence
+/// maps to [`Recipe::raw`] (the sanctioned pass-free baseline).
+///
+/// # Errors
+///
+/// Propagates [`eda_cloud_flow::FlowError`] from recipe construction
+/// (unreachable for non-empty sequences, kept typed for composition).
+pub fn recipe_from_passes(passes: &[Pass]) -> Result<Recipe, RecipeError> {
+    if passes.is_empty() {
+        return Ok(Recipe::raw());
+    }
+    Ok(Recipe::new(recipe_key(passes), passes.to_vec())?)
+}
+
+/// Encode a pass sequence into the fixed [`ENCODING_DIM`]-wide vector.
+///
+/// Slot `i` holds the one-hot of `passes[i]` and, in its last lane, the
+/// position feature `(i + 1) / len`. Unused slots are all-zero.
+///
+/// # Errors
+///
+/// - [`RecipeError::RecipeTooLong`] when the sequence exceeds
+///   [`MAX_RECIPE_LEN`].
+/// - [`RecipeError::UnknownPass`] when a pass is outside [`ALPHABET`].
+pub fn encode_recipe(passes: &[Pass]) -> Result<Vec<f64>, RecipeError> {
+    if passes.len() > MAX_RECIPE_LEN {
+        return Err(RecipeError::RecipeTooLong {
+            len: passes.len(),
+            max: MAX_RECIPE_LEN,
+        });
+    }
+    let mut out = vec![0.0; ENCODING_DIM];
+    let len = passes.len();
+    for (i, &pass) in passes.iter().enumerate() {
+        let Some(j) = pass_index(pass) else {
+            return Err(RecipeError::UnknownPass {
+                pass: pass.to_string(),
+            });
+        };
+        out[i * SLOT_DIM + j] = 1.0;
+        out[i * SLOT_DIM + SLOT_DIM - 1] = (i + 1) as f64 / len as f64;
+    }
+    Ok(out)
+}
+
+/// The candidate set joint planning ranks with the hybrid predictor:
+/// the default production recipe plus a spread of alphabet
+/// compositions. Deterministic order; the default recipe is always
+/// index 0.
+#[must_use]
+pub fn candidate_recipes() -> Vec<Vec<Pass>> {
+    vec![
+        DEFAULT_PASSES.to_vec(),
+        vec![Pass::Balance, Pass::Rewrite],
+        vec![Pass::Rewrite],
+        vec![Pass::Sweep, Pass::Balance],
+        vec![Pass::Refactor(2), Pass::Balance],
+        vec![Pass::Refactor(5), Pass::Rewrite, Pass::Balance],
+        vec![Pass::Balance, Pass::Rewrite, Pass::Refactor(2), Pass::Balance, Pass::Rewrite],
+        vec![Pass::Sweep, Pass::Rewrite, Pass::Refactor(5)],
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_canonical() {
+        assert_eq!(recipe_key(&[]), "raw");
+        assert_eq!(recipe_key(&DEFAULT_PASSES), "balance;rewrite;refactor(2)");
+    }
+
+    #[test]
+    fn encoding_is_one_hot_with_position() {
+        let v = encode_recipe(&[Pass::Rewrite, Pass::Sweep]).expect("encodable");
+        assert_eq!(v.len(), ENCODING_DIM);
+        // Slot 0: rewrite one-hot at lane 1, position 1/2.
+        assert_eq!(v[1], 1.0);
+        assert_eq!(v[SLOT_DIM - 1], 0.5);
+        // Slot 1: sweep one-hot at lane 4, position 2/2.
+        assert_eq!(v[SLOT_DIM + 4], 1.0);
+        assert_eq!(v[2 * SLOT_DIM - 1], 1.0);
+        // Remaining slots all-zero.
+        assert!(v[2 * SLOT_DIM..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn encoding_rejects_out_of_alphabet_and_overlong() {
+        let e = encode_recipe(&[Pass::Refactor(99)]).expect_err("unknown refactor seed");
+        assert!(matches!(e, RecipeError::UnknownPass { .. }));
+        let long = vec![Pass::Balance; MAX_RECIPE_LEN + 1];
+        let e = encode_recipe(&long).expect_err("too long");
+        assert!(matches!(e, RecipeError::RecipeTooLong { .. }));
+    }
+
+    #[test]
+    fn candidates_start_with_the_default_recipe() {
+        let c = candidate_recipes();
+        assert_eq!(c[0], DEFAULT_PASSES.to_vec());
+        assert!(c.iter().all(|p| !p.is_empty() && p.len() <= MAX_RECIPE_LEN));
+        assert!(c.iter().all(|p| encode_recipe(p).is_ok()));
+    }
+
+    #[test]
+    fn recipe_from_passes_round_trips() {
+        let r = recipe_from_passes(&DEFAULT_PASSES).expect("valid");
+        assert_eq!(r.name(), "balance;rewrite;refactor(2)");
+        assert_eq!(r.passes(), DEFAULT_PASSES);
+        assert_eq!(recipe_from_passes(&[]).expect("raw").name(), "raw");
+    }
+}

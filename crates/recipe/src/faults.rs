@@ -1,0 +1,39 @@
+//! Fault hooks for the recipe-search loop.
+//!
+//! The search consults the hook once per iteration when charging
+//! simulated evaluation time. Faults stretch the *accounting* of an
+//! evaluation — they never touch selection, expansion, or backup, so
+//! the tree (and its visit-count conservation invariant) is identical
+//! with or without an injected stall.
+
+/// Fault injection points exposed by the recipe search.
+///
+/// Every answer must be a pure function of the queried iteration so
+/// injection stays deterministic at any worker count.
+pub trait RecipeFaults {
+    /// Extra simulated microseconds charged to the evaluation performed
+    /// at `iter` (0-based global iteration index). Return 0 for nominal
+    /// behavior.
+    fn eval_extra_us(&self, iter: u64) -> u64;
+}
+
+/// The null hook: no faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoRecipeFaults;
+
+impl RecipeFaults for NoRecipeFaults {
+    fn eval_extra_us(&self, _iter: u64) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_hook_is_inert() {
+        assert_eq!(NoRecipeFaults.eval_extra_us(0), 0);
+        assert_eq!(NoRecipeFaults.eval_extra_us(u64::MAX), 0);
+    }
+}

@@ -1,0 +1,455 @@
+//! The LOSTIN-style hybrid (design, recipe) → runtime predictor.
+//!
+//! A frozen, seeded two-layer GCN embeds the design graph (mean-pooled
+//! node activations); the embedding is concatenated with the
+//! deterministic positional recipe encoding ([`crate::encode`]) and
+//! pushed through a small trainable dense head that regresses the
+//! log-runtime of the synthesis stage at 1/2/4/8 vCPUs. Training
+//! reuses the existing [`Trainer`] hyperparameters (epochs, Adam
+//! learning rate, seed) and mirrors its seeded-shuffle semantics, so a
+//! fit is bit-identical across runs and worker counts. Snapshots use a
+//! versioned text format (`recipe-hybrid-predictor v1`) with an FNV-1a
+//! checksum footer, so serving tiers can canary it like any other
+//! model and any single-bit corruption is rejected at load.
+
+use crate::encode::{encode_recipe, ENCODING_DIM};
+use crate::RecipeError;
+use eda_cloud_flow::Pass;
+use eda_cloud_gcn::{saturating_exp, Adam, DenseLayer, GcnLayer, GraphSample, Matrix, Trainer};
+use eda_cloud_netlist::FEATURE_DIM;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Width of the pooled design embedding.
+pub const EMBED_DIM: usize = 12;
+
+/// Hidden width of the trainable dense head.
+pub const HIDDEN_DIM: usize = 16;
+
+/// Snapshot format header.
+const SNAPSHOT_HEADER: &str = "recipe-hybrid-predictor v1";
+
+/// One training sample: a design embedding, a recipe, and the
+/// ground-truth log-runtimes of the synthesis stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridSample {
+    /// Design name (bookkeeping only).
+    pub design: String,
+    /// Pooled design embedding ([`HybridPredictor::embed`]).
+    pub embedding: Vec<f64>,
+    /// The recipe's pass sequence.
+    pub passes: Vec<Pass>,
+    /// `ln(runtime_secs)` at 1/2/4/8 vCPUs.
+    pub log_targets: [f64; 4],
+}
+
+/// The hybrid predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridPredictor {
+    seed: u64,
+    gcn1: GcnLayer,
+    gcn2: GcnLayer,
+    head1: DenseLayer,
+    head2: DenseLayer,
+}
+
+impl HybridPredictor {
+    /// Xavier-initialize all layers from one ChaCha8 stream. The two
+    /// GCN layers are frozen after this — they act as a fixed, seeded
+    /// graph projection shared by every recipe — so two predictors
+    /// seeded alike embed designs bit-identically forever.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x4C05_71A1);
+        Self {
+            seed,
+            gcn1: GcnLayer::new(FEATURE_DIM, EMBED_DIM, &mut rng),
+            gcn2: GcnLayer::new(EMBED_DIM, EMBED_DIM, &mut rng),
+            head1: DenseLayer::new(EMBED_DIM + ENCODING_DIM, HIDDEN_DIM, &mut rng),
+            head2: DenseLayer::new(HIDDEN_DIM, 4, &mut rng),
+        }
+    }
+
+    /// The initialization seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Mean-pooled design embedding from the frozen GCN stack.
+    #[must_use]
+    pub fn embed(&self, sample: &GraphSample) -> Vec<f64> {
+        let h1 = self.gcn1.infer(&sample.a_norm, &sample.features);
+        let h2 = self.gcn2.infer(&sample.a_norm, &h1);
+        let n = h2.rows().max(1) as f64;
+        let sums = h2.sum_rows();
+        (0..EMBED_DIM).map(|c| sums.get(0, c) / n).collect()
+    }
+
+    /// Predicted `ln(runtime_secs)` at 1/2/4/8 vCPUs for a (design
+    /// embedding, recipe) pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures ([`RecipeError::UnknownPass`],
+    /// [`RecipeError::RecipeTooLong`]).
+    pub fn predict_log(&self, embedding: &[f64], passes: &[Pass]) -> Result<[f64; 4], RecipeError> {
+        let x = self.input_row(embedding, passes)?;
+        let h = self.head1.infer(&x).relu();
+        let y = self.head2.infer(&h);
+        Ok([y.get(0, 0), y.get(0, 1), y.get(0, 2), y.get(0, 3)])
+    }
+
+    /// Predicted runtimes in seconds (overflow-saturated exp of
+    /// [`HybridPredictor::predict_log`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`HybridPredictor::predict_log`].
+    pub fn predict_secs(&self, embedding: &[f64], passes: &[Pass]) -> Result<[f64; 4], RecipeError> {
+        Ok(self.predict_log(embedding, passes)?.map(saturating_exp))
+    }
+
+    /// Fit the dense head on `samples` using the trainer's epochs,
+    /// Adam learning rate, and seed (the GCN stack stays frozen).
+    /// Returns the final epoch's mean squared error.
+    ///
+    /// Deterministic: sample order is shuffled with the trainer's
+    /// seeded ChaCha8 stream (the same `seed ^ 0xE70C` derivation the
+    /// GCN trainer uses) and updates are applied one sample at a time
+    /// in that order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding failures from malformed samples.
+    pub fn fit(&mut self, samples: &[HybridSample], trainer: &Trainer) -> Result<f64, RecipeError> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let rows: Vec<Matrix> = samples
+            .iter()
+            .map(|s| self.input_row(&s.embedding, &s.passes))
+            .collect::<Result<_, _>>()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(trainer.seed ^ 0xE70C);
+        let mut adam_w1 = Adam::new(self.head1.w.rows(), self.head1.w.cols());
+        let mut adam_b1 = Adam::new(1, HIDDEN_DIM);
+        let mut adam_w2 = Adam::new(self.head2.w.rows(), self.head2.w.cols());
+        let mut adam_b2 = Adam::new(1, 4);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_mse = 0.0;
+        for _ in 0..trainer.epochs {
+            shuffle(&mut order, &mut rng);
+            let mut epoch_se = 0.0;
+            for &i in &order {
+                let x = &rows[i];
+                let (h_pre, cache1) = self.head1.forward(x);
+                let h = h_pre.relu();
+                let (y, cache2) = self.head2.forward(&h);
+                let mut grad_y = Matrix::zeros(1, 4);
+                for c in 0..4 {
+                    let err = y.get(0, c) - samples[i].log_targets[c];
+                    epoch_se += err * err;
+                    grad_y.set(0, c, 2.0 * err / 4.0);
+                }
+                let (g2, dh) = self.head2.backward(&cache2, &grad_y);
+                let dh_pre = dh.relu_backward(&h_pre);
+                let (g1, _) = self.head1.backward(&cache1, &dh_pre);
+                adam_w2.step(&mut self.head2.w, &g2.dw, trainer.lr);
+                adam_b2.step(&mut self.head2.bias, &g2.dbias, trainer.lr);
+                adam_w1.step(&mut self.head1.w, &g1.dw, trainer.lr);
+                adam_b1.step(&mut self.head1.bias, &g1.dbias, trainer.lr);
+            }
+            last_mse = epoch_se / (samples.len() * 4) as f64;
+        }
+        Ok(last_mse)
+    }
+
+    /// Canonical snapshot text: versioned header, dimensions, every
+    /// tensor row-major in round-trippable `{v:e}` notation, and an
+    /// FNV-1a checksum footer over everything above it.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(SNAPSHOT_HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!(
+            "dims {} {} {} {} 4\n",
+            FEATURE_DIM, EMBED_DIM, ENCODING_DIM, HIDDEN_DIM
+        ));
+        for (name, tensor) in self.tensors() {
+            out.push_str(&format!("tensor {name} {} {}\n", tensor.rows(), tensor.cols()));
+            for r in 0..tensor.rows() {
+                let row: Vec<String> = (0..tensor.cols())
+                    .map(|c| format!("{:e}", tensor.get(r, c)))
+                    .collect();
+                out.push_str(&row.join(" "));
+                out.push('\n');
+            }
+        }
+        let checksum = fnv1a(out.as_bytes());
+        out.push_str(&format!("checksum {checksum:016x}\n"));
+        out
+    }
+
+    /// Parse a snapshot produced by [`HybridPredictor::to_text`],
+    /// verifying the checksum before anything else.
+    ///
+    /// # Errors
+    ///
+    /// [`RecipeError::Snapshot`] on a missing/mismatched checksum, a
+    /// wrong header, unexpected dimensions, or malformed tensor data —
+    /// any single-bit corruption lands in one of these.
+    pub fn from_text(text: &str) -> Result<Self, RecipeError> {
+        let snapshot_err = |message: &str| RecipeError::Snapshot {
+            message: message.to_owned(),
+        };
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or_else(|| snapshot_err("missing checksum footer"))?;
+        let (body, footer) = text.split_at(body_end);
+        let stated = footer
+            .trim_end()
+            .strip_prefix("checksum ")
+            .ok_or_else(|| snapshot_err("malformed checksum footer"))?;
+        let stated = u64::from_str_radix(stated, 16)
+            .map_err(|_| snapshot_err("checksum is not 16 hex digits"))?;
+        if fnv1a(body.as_bytes()) != stated {
+            return Err(snapshot_err("checksum mismatch — snapshot is corrupt"));
+        }
+        let mut lines = body.lines();
+        if lines.next() != Some(SNAPSHOT_HEADER) {
+            return Err(snapshot_err("unknown header (expected recipe-hybrid-predictor v1)"));
+        }
+        let seed_line = lines.next().ok_or_else(|| snapshot_err("missing seed"))?;
+        let seed: u64 = seed_line
+            .strip_prefix("seed ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| snapshot_err("malformed seed line"))?;
+        let dims_line = lines.next().ok_or_else(|| snapshot_err("missing dims"))?;
+        let expected_dims = format!(
+            "dims {} {} {} {} 4",
+            FEATURE_DIM, EMBED_DIM, ENCODING_DIM, HIDDEN_DIM
+        );
+        if dims_line != expected_dims {
+            return Err(snapshot_err("dimension mismatch with this build"));
+        }
+        let mut predictor = Self::seeded(seed);
+        let shapes: Vec<(String, usize, usize)> = predictor
+            .tensors()
+            .iter()
+            .map(|(n, t)| ((*n).to_owned(), t.rows(), t.cols()))
+            .collect();
+        let mut parsed: Vec<Matrix> = Vec::with_capacity(shapes.len());
+        for (name, rows, cols) in &shapes {
+            let header = lines
+                .next()
+                .ok_or_else(|| snapshot_err("truncated snapshot"))?;
+            if header != format!("tensor {name} {rows} {cols}") {
+                return Err(snapshot_err(&format!("unexpected tensor header `{header}`")));
+            }
+            let mut data = Vec::with_capacity(rows * cols);
+            for _ in 0..*rows {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| snapshot_err("truncated tensor data"))?;
+                let values: Vec<f64> = line
+                    .split(' ')
+                    .map(str::parse)
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| snapshot_err(&format!("malformed value in tensor {name}")))?;
+                if values.len() != *cols {
+                    return Err(snapshot_err(&format!("wrong column count in tensor {name}")));
+                }
+                data.extend(values);
+            }
+            parsed.push(Matrix::from_vec(*rows, *cols, data));
+        }
+        if lines.next().is_some() {
+            return Err(snapshot_err("trailing data after tensors"));
+        }
+        let mut parsed = parsed.into_iter();
+        predictor.gcn1.w = parsed.next().expect("shape list");
+        predictor.gcn1.b = parsed.next().expect("shape list");
+        predictor.gcn2.w = parsed.next().expect("shape list");
+        predictor.gcn2.b = parsed.next().expect("shape list");
+        predictor.head1.w = parsed.next().expect("shape list");
+        predictor.head1.bias = parsed.next().expect("shape list");
+        predictor.head2.w = parsed.next().expect("shape list");
+        predictor.head2.bias = parsed.next().expect("shape list");
+        Ok(predictor)
+    }
+
+    /// Concatenate embedding and recipe encoding into a 1-row input.
+    fn input_row(&self, embedding: &[f64], passes: &[Pass]) -> Result<Matrix, RecipeError> {
+        let encoding = encode_recipe(passes)?;
+        let mut data = Vec::with_capacity(EMBED_DIM + ENCODING_DIM);
+        data.extend_from_slice(embedding);
+        data.resize(EMBED_DIM, 0.0);
+        data.extend_from_slice(&encoding);
+        Ok(Matrix::from_vec(1, EMBED_DIM + ENCODING_DIM, data))
+    }
+
+    /// Tensors in canonical snapshot order.
+    fn tensors(&self) -> [(&'static str, &Matrix); 8] {
+        [
+            ("gcn1.w", &self.gcn1.w),
+            ("gcn1.b", &self.gcn1.b),
+            ("gcn2.w", &self.gcn2.w),
+            ("gcn2.b", &self.gcn2.b),
+            ("head1.w", &self.head1.w),
+            ("head1.bias", &self.head1.bias),
+            ("head2.w", &self.head2.w),
+            ("head2.bias", &self.head2.bias),
+        ]
+    }
+}
+
+/// Fisher–Yates with the caller's stream (matches the GCN trainer's
+/// shuffle semantics).
+fn shuffle(order: &mut [usize], rng: &mut ChaCha8Rng) {
+    use rand::Rng;
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+}
+
+/// FNV-1a 64-bit.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::DEFAULT_PASSES;
+    use eda_cloud_netlist::{generators, DesignGraph};
+
+    fn sample() -> GraphSample {
+        let aig = generators::build_family("adder", 4).expect("family");
+        GraphSample::new(&DesignGraph::from_aig(&aig), [1.0; 4])
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let a = HybridPredictor::seeded(7);
+        let b = HybridPredictor::seeded(7);
+        assert_eq!(a, b);
+        assert_ne!(a, HybridPredictor::seeded(8));
+        let s = sample();
+        assert_eq!(a.embed(&s), b.embed(&s));
+    }
+
+    #[test]
+    fn fit_learns_a_constant_target() {
+        let mut p = HybridPredictor::seeded(7);
+        let s = sample();
+        let emb = p.embed(&s);
+        let samples = vec![HybridSample {
+            design: "adder_4".into(),
+            embedding: emb.clone(),
+            passes: DEFAULT_PASSES.to_vec(),
+            log_targets: [1.0, 0.5, 0.2, 0.1],
+        }];
+        let trainer = Trainer {
+            epochs: 400,
+            lr: 1e-2,
+            ..Trainer::fast()
+        };
+        let mse = p.fit(&samples, &trainer).expect("fit");
+        assert!(mse < 1e-3, "single sample should be memorized, mse={mse}");
+        let pred = p.predict_log(&emb, &DEFAULT_PASSES).expect("predict");
+        assert!((pred[0] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let s = sample();
+        let trainer = Trainer {
+            epochs: 20,
+            ..Trainer::fast()
+        };
+        let run = || {
+            let mut p = HybridPredictor::seeded(7);
+            let emb = p.embed(&s);
+            let samples: Vec<HybridSample> = crate::encode::candidate_recipes()
+                .into_iter()
+                .enumerate()
+                .map(|(i, passes)| HybridSample {
+                    design: format!("d{i}"),
+                    embedding: emb.clone(),
+                    passes,
+                    log_targets: [i as f64 * 0.1, 0.0, -0.1, -0.2],
+                })
+                .collect();
+            p.fit(&samples, &trainer).expect("fit");
+            p
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_identically() {
+        let mut p = HybridPredictor::seeded(7);
+        let s = sample();
+        let emb = p.embed(&s);
+        let samples = vec![HybridSample {
+            design: "adder_4".into(),
+            embedding: emb.clone(),
+            passes: DEFAULT_PASSES.to_vec(),
+            log_targets: [1.0, 0.5, 0.2, 0.1],
+        }];
+        p.fit(&samples, &Trainer::fast()).expect("fit");
+        let text = p.to_text();
+        let reloaded = HybridPredictor::from_text(&text).expect("canonical text parses");
+        assert_eq!(p, reloaded);
+        assert_eq!(
+            p.predict_log(&emb, &DEFAULT_PASSES).expect("predict"),
+            reloaded.predict_log(&emb, &DEFAULT_PASSES).expect("predict"),
+        );
+        assert_eq!(text, reloaded.to_text(), "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn every_single_bit_corruption_is_rejected() {
+        let p = HybridPredictor::seeded(3);
+        let text = p.to_text();
+        let bytes = text.as_bytes();
+        // Sample positions across the whole snapshot (header, tensor
+        // data, checksum footer) and flip one bit at each.
+        let step = (bytes.len() / 64).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            for bit in [0u8, 3, 7] {
+                let mut corrupt = bytes.to_vec();
+                corrupt[pos] ^= 1 << bit;
+                let Ok(corrupt_text) = String::from_utf8(corrupt) else {
+                    continue; // Invalid UTF-8 cannot even reach the parser.
+                };
+                if corrupt_text == text {
+                    continue;
+                }
+                assert!(
+                    HybridPredictor::from_text(&corrupt_text).is_err(),
+                    "bit {bit} at byte {pos} slipped through"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn different_recipes_predict_differently() {
+        let p = HybridPredictor::seeded(7);
+        let s = sample();
+        let emb = p.embed(&s);
+        let a = p.predict_secs(&emb, &DEFAULT_PASSES).expect("predict");
+        let b = p.predict_secs(&emb, &[Pass::Sweep]).expect("predict");
+        assert_ne!(a, b, "the recipe encoding must reach the output");
+        assert!(a.iter().all(|&v| v > 0.0));
+    }
+}

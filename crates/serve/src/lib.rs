@@ -70,6 +70,7 @@ mod faults;
 mod geo;
 mod planner;
 mod queue;
+mod recipe_planner;
 mod registry;
 mod report;
 mod request;
@@ -81,6 +82,7 @@ pub use faults::{NoServeFaults, ServeFaults, SharedServeFaults};
 pub use geo::{GeoConfig, GeoReport, GeoRequest, GeoServer, GeoTenantUsage};
 pub use planner::{CostTablePlanner, PlanSummary, Planner, VCPUS};
 pub use queue::AdmissionQueue;
+pub use recipe_planner::{RecipePlanSummary, RecipePlanner};
 pub use registry::{
     CanaryState, ModelRegistry, ModelSnapshot, QuantizedSnapshot, ServingSnapshot, STAGE_NAMES,
 };

@@ -1,0 +1,87 @@
+//! The joint recipe × VM planning hook.
+//!
+//! The serving tier stays free of any dependency on the recipe
+//! subsystem: it only defines the question ("which recipe *and* which
+//! VM shape, for this design, under this deadline?") as a trait over
+//! plain types. The production implementation — hybrid predictor over
+//! a candidate recipe set feeding the knapsack — lives in
+//! `eda-cloud-core`, next to the other workflow glue.
+
+use crate::{ServeDesign, ServeError};
+
+/// The joint answer for one request: a recipe plus a per-stage VM
+/// shape, with the planned totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecipePlanSummary {
+    /// Canonical key of the chosen recipe.
+    pub recipe: String,
+    /// vCPUs per stage (synthesis, placement, routing, STA).
+    pub vcpus: [u32; 4],
+    /// Planned end-to-end runtime, seconds.
+    pub total_runtime_secs: u64,
+    /// Planned total cost, USD.
+    pub total_cost_usd: f64,
+    /// The predictor's synthesis-runtime forecast for the chosen
+    /// recipe, milliseconds at 1/2/4/8 vCPUs.
+    pub predicted_synth_ms: [u64; 4],
+}
+
+/// Strategy for answering [`crate::RequestKind::PlanRecipe`] requests.
+///
+/// Implementations must be pure functions of their inputs so a served
+/// stream replays byte-identically at any worker count.
+pub trait RecipePlanner {
+    /// Produce a joint plan, `Ok(None)` when no candidate fits the
+    /// deadline.
+    ///
+    /// `stage_secs` is the GCN's per-stage runtime matrix for the
+    /// design (stage-major, vCPU-minor at 1/2/4/8) — the planner
+    /// typically keeps the non-synthesis rows and substitutes its own
+    /// per-recipe synthesis forecasts.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined planning failures, surfaced as
+    /// [`ServeError::Plan`] by convention.
+    fn plan_recipe(
+        &self,
+        design: &ServeDesign,
+        stage_secs: &[[f64; 4]; 4],
+        deadline_secs: u64,
+    ) -> Result<Option<RecipePlanSummary>, ServeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A planner stub is object-safe and can be boxed.
+    struct Fixed;
+    impl RecipePlanner for Fixed {
+        fn plan_recipe(
+            &self,
+            _design: &ServeDesign,
+            _stage_secs: &[[f64; 4]; 4],
+            deadline_secs: u64,
+        ) -> Result<Option<RecipePlanSummary>, ServeError> {
+            Ok(Some(RecipePlanSummary {
+                recipe: "balanced".into(),
+                vcpus: [4, 4, 4, 4],
+                total_runtime_secs: deadline_secs / 2,
+                total_cost_usd: 1.0,
+                predicted_synth_ms: [4, 3, 2, 2],
+            }))
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let planner: Box<dyn RecipePlanner> = Box::new(Fixed);
+        let pool = crate::design_pool();
+        let plan = planner
+            .plan_recipe(&pool[0], &[[1.0; 4]; 4], 100)
+            .expect("plan")
+            .expect("feasible");
+        assert_eq!(plan.total_runtime_secs, 50);
+    }
+}

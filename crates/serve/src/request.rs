@@ -68,6 +68,13 @@ pub enum RequestKind {
         /// Total-flow-runtime budget handed to the knapsack, seconds.
         budget_secs: u64,
     },
+    /// Predictions plus a joint recipe × VM plan: the recipe planner
+    /// ranks a candidate recipe set with the hybrid predictor and
+    /// hands the (recipe, stage-runtime) matrix to the knapsack.
+    PlanRecipe {
+        /// Total-flow-runtime deadline for the joint plan, seconds.
+        deadline_secs: u64,
+    },
 }
 
 /// One request in the stream.
@@ -104,6 +111,10 @@ pub struct WorkloadConfig {
     /// Every `plan_every`-th draw (in expectation) asks for a plan; 0
     /// disables planning requests.
     pub plan_every: u64,
+    /// Every `recipe_every`-th draw (in expectation) asks for a joint
+    /// recipe × VM plan; 0 (the default) disables recipe requests and
+    /// leaves the request stream byte-identical to earlier releases.
+    pub recipe_every: u64,
 }
 
 impl Default for WorkloadConfig {
@@ -115,6 +126,7 @@ impl Default for WorkloadConfig {
             min_deadline_ms: 30,
             max_deadline_ms: 250,
             plan_every: 4,
+            recipe_every: 0,
         }
     }
 }
@@ -173,6 +185,10 @@ pub fn synthetic_requests(pool: &[Arc<ServeDesign>], config: &WorkloadConfig) ->
             let window_ms = rng.gen_range(config.min_deadline_ms..config.max_deadline_ms);
             let kind = if config.plan_every > 0 && rng.gen_range(0..config.plan_every) == 0 {
                 RequestKind::Plan { budget_secs: rng.gen_range(6_000u64..20_000) }
+            } else if config.recipe_every > 0 && rng.gen_range(0..config.recipe_every) == 0 {
+                // Guarded by `recipe_every > 0` so the default stream
+                // draws nothing extra and stays byte-identical.
+                RequestKind::PlanRecipe { deadline_secs: rng.gen_range(6_000u64..20_000) }
             } else {
                 RequestKind::Predict
             };
@@ -209,6 +225,28 @@ mod tests {
         assert!(a.iter().all(|r| r.deadline_us > r.arrival_us));
         assert!(a.iter().any(|r| matches!(r.kind, RequestKind::Plan { .. })));
         assert!(a.iter().any(|r| r.kind == RequestKind::Predict));
+    }
+
+    #[test]
+    fn recipe_requests_are_off_by_default_and_guarded() {
+        let pool = design_pool();
+        let default_stream = synthetic_requests(&pool, &WorkloadConfig::default());
+        assert!(
+            !default_stream
+                .iter()
+                .any(|r| matches!(r.kind, RequestKind::PlanRecipe { .. })),
+            "recipe_every = 0 must draw nothing extra"
+        );
+        let config = WorkloadConfig { recipe_every: 2, ..WorkloadConfig::default() };
+        let stream = synthetic_requests(&pool, &config);
+        assert!(stream
+            .iter()
+            .any(|r| matches!(r.kind, RequestKind::PlanRecipe { .. })));
+        // Deterministic under the new draw too.
+        let again = synthetic_requests(&pool, &config);
+        for (x, y) in stream.iter().zip(&again) {
+            assert_eq!(x.kind, y.kind);
+        }
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! and every outcome are byte-identical across runs and worker counts.
 
 use crate::{
-    AdmissionQueue, LruCache, NoServeFaults, PlanSummary, Planner, RequestKind, ServeCounters,
-    ServeError, ServeReport, ServeRequest, ServingSnapshot, SharedServeFaults,
+    AdmissionQueue, LruCache, NoServeFaults, PlanSummary, Planner, RecipePlanSummary,
+    RecipePlanner, RequestKind, ServeCounters, ServeError, ServeReport, ServeRequest,
+    ServingSnapshot, SharedServeFaults,
 };
 use eda_cloud_fleet::Histogram;
 use eda_cloud_gcn::{GraphBatch, GraphSample};
@@ -103,6 +104,10 @@ pub enum RequestOutcome {
         /// The deployment plan, for feasible [`RequestKind::Plan`]
         /// requests; `None` for predictions and infeasible budgets.
         plan: Option<PlanSummary>,
+        /// The joint recipe × VM plan, for feasible
+        /// [`RequestKind::PlanRecipe`] requests; `None` otherwise
+        /// (boxed to keep the outcome enum small).
+        recipe: Option<Box<RecipePlanSummary>>,
     },
     /// The request was rejected at admission
     /// ([`ServeError::Overloaded`]).
@@ -128,6 +133,7 @@ impl RequestOutcome {
 pub struct Server {
     snapshot: ServingSnapshot,
     planner: Box<dyn Planner>,
+    recipe_planner: Option<Box<dyn RecipePlanner>>,
     config: ServeConfig,
     tracer: Tracer,
     faults: SharedServeFaults,
@@ -152,10 +158,20 @@ impl Server {
         Self {
             snapshot: snapshot.into(),
             planner,
+            recipe_planner: None,
             config,
             tracer: Tracer::disabled(),
             faults: std::sync::Arc::new(NoServeFaults),
         }
+    }
+
+    /// Attach a joint recipe × VM planner; without one,
+    /// [`RequestKind::PlanRecipe`] requests fail with
+    /// [`ServeError::Plan`].
+    #[must_use]
+    pub fn with_recipe_planner(mut self, planner: Box<dyn RecipePlanner>) -> Self {
+        self.recipe_planner = Some(planner);
+        self
     }
 
     /// Attach a tracer; every request gets a root span keyed by its
@@ -322,7 +338,12 @@ impl Server {
 
             let plans_in_batch = batch
                 .iter()
-                .filter(|r| matches!(r.kind, RequestKind::Plan { .. }))
+                .filter(|r| {
+                    matches!(
+                        r.kind,
+                        RequestKind::Plan { .. } | RequestKind::PlanRecipe { .. }
+                    )
+                })
                 .count() as u64;
             let service_us = self.config.batch_overhead_us
                 + miss_designs.len() as u64 * self.config.per_miss_us
@@ -335,6 +356,7 @@ impl Server {
                 let stage_secs = cached[i].unwrap_or_else(|| miss_secs[miss_slot[i]]);
                 let latency_us = now.saturating_sub(request.arrival_us);
                 let deadline_met = now <= request.deadline_us;
+                let mut recipe = None;
                 let plan = match request.kind {
                     RequestKind::Plan { budget_secs } => {
                         counters.plans += 1;
@@ -343,6 +365,22 @@ impl Server {
                             counters.plans_infeasible += 1;
                         }
                         plan
+                    }
+                    RequestKind::PlanRecipe { deadline_secs } => {
+                        // Joint plans share the plan counters so the
+                        // report schema (and its goldens) are stable.
+                        counters.plans += 1;
+                        let planner =
+                            self.recipe_planner.as_deref().ok_or_else(|| ServeError::Plan {
+                                message: "PlanRecipe request without a recipe planner".into(),
+                            })?;
+                        recipe = planner
+                            .plan_recipe(&request.design, &stage_secs, deadline_secs)?
+                            .map(Box::new);
+                        if recipe.is_none() {
+                            counters.plans_infeasible += 1;
+                        }
+                        None
                     }
                     RequestKind::Predict => None,
                 };
@@ -361,6 +399,12 @@ impl Server {
                 if let RequestKind::Plan { .. } = request.kind {
                     span.attr("planned", plan.is_some());
                 }
+                if let RequestKind::PlanRecipe { .. } = request.kind {
+                    span.attr("recipe_planned", recipe.is_some());
+                    if let Some(r) = &recipe {
+                        span.attr("recipe", &r.recipe);
+                    }
+                }
                 outcomes.push(RequestOutcome::Completed {
                     ordinal: request.ordinal,
                     latency_us,
@@ -368,6 +412,7 @@ impl Server {
                     cache_hit,
                     stage_secs,
                     plan,
+                    recipe,
                 });
             }
         }
@@ -685,5 +730,81 @@ mod tests {
         assert_eq!(uncached.counters.cache_hits, 0);
         assert!(cached.counters.gcn_predictions < uncached.counters.gcn_predictions);
         assert!(cached.makespan_ms <= uncached.makespan_ms);
+    }
+
+    /// Threshold stub: feasible only above a deadline cutoff, so one
+    /// stream exercises both the feasible and infeasible paths.
+    struct ThresholdRecipePlanner;
+    impl RecipePlanner for ThresholdRecipePlanner {
+        fn plan_recipe(
+            &self,
+            design: &crate::ServeDesign,
+            _stage_secs: &[[f64; 4]; 4],
+            deadline_secs: u64,
+        ) -> Result<Option<RecipePlanSummary>, ServeError> {
+            if deadline_secs < 10_000 {
+                return Ok(None);
+            }
+            Ok(Some(RecipePlanSummary {
+                recipe: format!("balance;rewrite@{}", design.name),
+                vcpus: [2, 4, 4, 1],
+                total_runtime_secs: deadline_secs - 1,
+                total_cost_usd: 0.25,
+                predicted_synth_ms: [8, 5, 3, 2],
+            }))
+        }
+    }
+
+    #[test]
+    fn recipe_requests_route_through_the_recipe_planner() {
+        let pool = design_pool();
+        let requests = synthetic_requests(
+            &pool,
+            &WorkloadConfig {
+                requests: 48,
+                plan_every: 0,
+                recipe_every: 2,
+                ..Default::default()
+            },
+        );
+        assert!(requests
+            .iter()
+            .any(|r| matches!(r.kind, RequestKind::PlanRecipe { .. })));
+
+        // Without a planner attached the request class is a typed error.
+        let bare = server(ServeConfig::default()).run(7, &requests);
+        assert!(matches!(bare, Err(ServeError::Plan { .. })));
+
+        let run = || {
+            server(ServeConfig::default())
+                .with_recipe_planner(Box::new(ThresholdRecipePlanner))
+                .run(7, &requests)
+                .expect("runs")
+        };
+        let (report, outcomes) = run();
+        let recipe_requests = requests
+            .iter()
+            .filter(|r| matches!(r.kind, RequestKind::PlanRecipe { .. }))
+            .count() as u64;
+        // Joint plans share the plan counters; every PlanRecipe request
+        // either produced a summary or counted as infeasible.
+        assert_eq!(report.counters.plans, recipe_requests);
+        let (with_plan, without_plan) = outcomes.iter().fold((0u64, 0u64), |(w, wo), o| match o {
+            RequestOutcome::Completed { recipe: Some(_), .. } => (w + 1, wo),
+            _ => (w, wo + 1),
+        });
+        assert!(with_plan > 0, "some deadlines clear the stub's cutoff");
+        assert_eq!(report.counters.plans_infeasible, recipe_requests - with_plan);
+        assert_eq!(with_plan + without_plan, outcomes.len() as u64);
+        for outcome in &outcomes {
+            if let RequestOutcome::Completed { recipe: Some(summary), .. } = outcome {
+                assert!(summary.recipe.starts_with("balance;rewrite@"));
+                assert_eq!(summary.vcpus, [2, 4, 4, 1]);
+            }
+        }
+        // Replays byte-identically with the planner attached.
+        let (again, again_outcomes) = run();
+        assert_eq!(report.to_json(), again.to_json());
+        assert_eq!(outcomes, again_outcomes);
     }
 }

@@ -13,6 +13,7 @@ use eda_cloud_lifecycle::{
     ape_micros, Arm, FeedbackEvent, LifecycleConfig, LifecycleReport, RolloutDecision,
     RolloutManager,
 };
+use eda_cloud_recipe::TreeStats;
 use eda_cloud_serve::{RequestOutcome, ServeReport};
 
 /// One broken invariant: which checker tripped, and the evidence.
@@ -90,6 +91,38 @@ pub fn check_serve_conservation(
             ));
             break;
         }
+    }
+    violations
+}
+
+/// Recipe-search visit conservation: in the final MCTS tree every
+/// node's visit count is exactly its own leaf selections plus its
+/// children's visits, and the root saw every iteration. Injected
+/// `recipe_eval_stall` faults stretch evaluation-time accounting but
+/// must never bend the tree.
+#[must_use]
+pub fn check_recipe_visit_conservation(tree: &TreeStats) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (index, node) in tree.nodes.iter().enumerate() {
+        if node.visits != node.own_selections + node.child_visits {
+            violations.push(Violation::new(
+                "recipe_visit_conservation",
+                format!(
+                    "node {index} (depth {}): visits {} != own selections {} + child visits {}",
+                    node.depth, node.visits, node.own_selections, node.child_visits
+                ),
+            ));
+        }
+    }
+    if tree.root_visits() != tree.total_iterations {
+        violations.push(Violation::new(
+            "recipe_visit_conservation",
+            format!(
+                "root visits {} != iterations {}",
+                tree.root_visits(),
+                tree.total_iterations
+            ),
+        ));
     }
     violations
 }
@@ -372,6 +405,60 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].checker, "fleet_conservation");
         assert!(violations[0].detail.contains("submitted 5"));
+    }
+
+    #[test]
+    fn recipe_visit_conservation_holds_under_injected_stalls() {
+        use crate::{FaultEvent, FaultPlan, PlanFaults};
+        use eda_cloud_netlist::generators;
+        use eda_cloud_recipe::{EvalCache, RecipeSearch, SearchConfig};
+
+        let aig = generators::build_family("adder", 4).expect("known family");
+        let search =
+            RecipeSearch::new(SearchConfig { iters: 12, seed: 7, ..SearchConfig::default() });
+        let clean = search.run("adder_4", &aig).expect("clean search");
+
+        let faults = PlanFaults::new(FaultPlan {
+            seed: 7,
+            events: vec![FaultEvent::RecipeEvalStall {
+                iter_lo: 0,
+                iter_hi: 6,
+                extra_us: 250_000,
+            }],
+        });
+        let stalled = search
+            .run_with("adder_4", &aig, &faults, &mut EvalCache::new())
+            .expect("stalled search");
+
+        // Stalls stretch time accounting only; tree and outcome match.
+        assert!(stalled.total_eval_us > clean.total_eval_us);
+        assert_eq!(stalled.tree, clean.tree);
+        assert_eq!(stalled.best_key, clean.best_key);
+        assert!(check_recipe_visit_conservation(&clean.tree).is_empty());
+        assert!(check_recipe_visit_conservation(&stalled.tree).is_empty());
+    }
+
+    #[test]
+    fn recipe_visit_conservation_catches_broken_accounting() {
+        use eda_cloud_recipe::NodeStat;
+
+        let ok = TreeStats {
+            nodes: vec![
+                NodeStat { depth: 0, visits: 3, own_selections: 1, child_visits: 2 },
+                NodeStat { depth: 1, visits: 2, own_selections: 2, child_visits: 0 },
+            ],
+            total_iterations: 3,
+        };
+        assert!(check_recipe_visit_conservation(&ok).is_empty());
+
+        let mut leaky = ok.clone();
+        leaky.nodes[1].own_selections = 1; // a selection vanished
+        leaky.total_iterations = 4; // and the root missed an iteration
+        let violations = check_recipe_visit_conservation(&leaky);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert_eq!(violations[0].checker, "recipe_visit_conservation");
+        assert!(violations[0].detail.contains("node 1"));
+        assert!(violations[1].detail.contains("root visits 3 != iterations 4"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::{FaultEvent, FaultPlan, PPM};
 use eda_cloud_engine::EngineFaults;
 use eda_cloud_fleet::FleetFaults;
 use eda_cloud_lifecycle::{Arm, LifecycleFaults};
+use eda_cloud_recipe::RecipeFaults;
 use eda_cloud_serve::ServeFaults;
 
 /// A fault plan wired up as hook objects for all three loops.
@@ -118,6 +119,23 @@ impl LifecycleFaults for PlanFaults {
     }
 }
 
+impl RecipeFaults for PlanFaults {
+    fn eval_extra_us(&self, iter: u64) -> u64 {
+        self.plan
+            .events
+            .iter()
+            .filter_map(|event| match *event {
+                FaultEvent::RecipeEvalStall { iter_lo, iter_hi, extra_us }
+                    if (iter_lo..=iter_hi).contains(&iter) =>
+                {
+                    Some(extra_us)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+}
+
 impl EngineFaults for PlanFaults {
     fn message_extra_delay_us(&self, src: u32, dst: u32, seq: u64) -> u64 {
         self.plan
@@ -174,6 +192,8 @@ mod tests {
                     from_us: 100_000,
                     heal_us: 400_000,
                 },
+                FaultEvent::RecipeEvalStall { iter_lo: 2, iter_hi: 4, extra_us: 250_000 },
+                FaultEvent::RecipeEvalStall { iter_lo: 4, iter_hi: 4, extra_us: 50_000 },
             ],
         })
     }
@@ -219,6 +239,15 @@ mod tests {
     }
 
     #[test]
+    fn recipe_hooks_sum_overlapping_stalls() {
+        let h = hooks();
+        assert_eq!(h.eval_extra_us(1), 0, "before the stall window");
+        assert_eq!(h.eval_extra_us(2), 250_000);
+        assert_eq!(h.eval_extra_us(4), 300_000, "overlapping stalls add up");
+        assert_eq!(h.eval_extra_us(5), 0, "after the stall window");
+    }
+
+    #[test]
     fn empty_plan_is_inert() {
         let h = PlanFaults::new(FaultPlan::empty(7));
         assert_eq!(h.interrupt(0, 0, 0), None);
@@ -228,6 +257,7 @@ mod tests {
         assert_eq!(h.latency_spike_us(0, Arm::Canary), 0);
         assert_eq!(h.message_extra_delay_us(0, 1, 0), 0);
         assert_eq!(h.partition_heal_us(0, 1, 0), None);
+        assert_eq!(h.eval_extra_us(0), 0);
         assert_eq!(h.plan().events.len(), 0);
     }
 }

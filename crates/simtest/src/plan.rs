@@ -103,6 +103,19 @@ pub enum FaultEvent {
         /// Extra delivery delay, µs.
         extra_us: u64,
     },
+    /// Recipe search: stretch the simulated cost of the evaluations
+    /// selected at iterations `iter_lo..=iter_hi` by an extra
+    /// `extra_us` each (a slow synthesis worker). Faults only stretch
+    /// time accounting — the search tree, visit counts, and chosen
+    /// recipe are unchanged.
+    RecipeEvalStall {
+        /// First stalled iteration.
+        iter_lo: u64,
+        /// Last stalled iteration (inclusive).
+        iter_hi: u64,
+        /// Extra simulated evaluation time per stalled iteration, µs.
+        extra_us: u64,
+    },
     /// Engine: partition the `src → dst` link — messages sent in
     /// `from_us..heal_us` are held at the destination until the
     /// partition heals at `heal_us`.
@@ -133,6 +146,7 @@ impl FaultEvent {
             FaultEvent::SnapshotCorruption { .. } => "snapshot_corruption",
             FaultEvent::CanaryLatencySpike { .. } => "canary_latency_spike",
             FaultEvent::CrossShardDelay { .. } => "cross_shard_delay",
+            FaultEvent::RecipeEvalStall { .. } => "recipe_eval_stall",
             FaultEvent::RegionPartition { .. } => "region_partition",
         }
     }
@@ -170,6 +184,10 @@ impl FaultEvent {
             FaultEvent::CrossShardDelay { src, dst, seq_lo, seq_hi, extra_us } => format!(
                 "{{\"kind\":\"cross_shard_delay\",\"src\":{src},\"dst\":{dst},\
                  \"seq_lo\":{seq_lo},\"seq_hi\":{seq_hi},\"extra_us\":{extra_us}}}"
+            ),
+            FaultEvent::RecipeEvalStall { iter_lo, iter_hi, extra_us } => format!(
+                "{{\"kind\":\"recipe_eval_stall\",\"iter_lo\":{iter_lo},\"iter_hi\":{iter_hi},\
+                 \"extra_us\":{extra_us}}}"
             ),
             FaultEvent::RegionPartition { src, dst, from_us, heal_us } => format!(
                 "{{\"kind\":\"region_partition\",\"src\":{src},\"dst\":{dst},\
@@ -306,6 +324,13 @@ impl FaultPlan {
                 | FaultEvent::CanaryLatencySpike { ord_lo, ord_hi, .. } => {
                     if ord_lo > ord_hi {
                         Some(format!("ordinal range {ord_lo}..={ord_hi} is inverted"))
+                    } else {
+                        None
+                    }
+                }
+                FaultEvent::RecipeEvalStall { iter_lo, iter_hi, .. } => {
+                    if iter_lo > iter_hi {
+                        Some(format!("iteration range {iter_lo}..={iter_hi} is inverted"))
                     } else {
                         None
                     }
@@ -517,6 +542,10 @@ fn parse_event(object: &str) -> Result<FaultEvent, SimtestError> {
                 extra_us: v[4],
             }
         }
+        "recipe_eval_stall" => {
+            let v = take(&fields, &["iter_lo", "iter_hi", "extra_us"])?;
+            FaultEvent::RecipeEvalStall { iter_lo: v[0], iter_hi: v[1], extra_us: v[2] }
+        }
         "region_partition" => {
             let v = take(&fields, &["src", "dst", "from_us", "heal_us"])?;
             let region = |v: u64| {
@@ -561,6 +590,7 @@ mod tests {
                     seq_hi: 8,
                     extra_us: 120_000,
                 },
+                FaultEvent::RecipeEvalStall { iter_lo: 4, iter_hi: 11, extra_us: 250_000 },
                 FaultEvent::RegionPartition { src: 1, dst: 0, from_us: 100_000, heal_us: 900_000 },
             ],
         }
@@ -584,7 +614,11 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.events.len(), 32);
         a.validate().expect("generated plans are always valid");
-        // All ten kinds show up in a 64-event draw.
+        // All ten generated kinds show up in a 64-event draw.
+        // `recipe_eval_stall` is deliberately outside the generator's
+        // draw range: adding it would shift the seeded stream and
+        // invalidate every checked-in fault-plan golden. It is injected
+        // by hand-written plans (and the recipe invariant tests) only.
         let wide = FaultPlan::generate(21, 64, &config);
         wide.validate().expect("generated plans are always valid");
         let kinds: std::collections::BTreeSet<&str> =
@@ -665,6 +699,14 @@ mod tests {
             }],
         };
         assert!(matches!(bad.validate(), Err(SimtestError::Plan { .. })), "empty window");
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::RecipeEvalStall { iter_lo: 8, iter_hi: 2, extra_us: 100 }],
+        };
+        assert!(
+            matches!(bad.validate(), Err(SimtestError::Plan { .. })),
+            "inverted iteration range"
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
 //! * [`fleet`] — deterministic discrete-event fleet simulator.
 //! * [`serve`] — deterministic online prediction & planning service.
+//! * [`recipe`] — deterministic synthesis-recipe search (seeded MCTS)
+//!   with a LOSTIN-style hybrid QoR/runtime predictor for joint
+//!   recipe × VM planning.
 //! * [`lifecycle`] — drift detection, shadow retraining, canary rollout.
 //! * [`simtest`] — seeded fault injection, invariant checking, and
 //!   fault-plan shrinking over the fleet/serve/lifecycle loops.
@@ -50,6 +53,7 @@ pub use eda_cloud_lifecycle as lifecycle;
 pub use eda_cloud_mckp as mckp;
 pub use eda_cloud_netlist as netlist;
 pub use eda_cloud_perf as perf;
+pub use eda_cloud_recipe as recipe;
 pub use eda_cloud_serve as serve;
 pub use eda_cloud_simtest as simtest;
 pub use eda_cloud_tech as tech;

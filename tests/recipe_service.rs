@@ -1,0 +1,101 @@
+//! Recipe-subsystem integration tests: the joint recipe × VM pipeline
+//! (MCTS search → hybrid predictor → `PlanRecipe` through the serving
+//! tier) is byte-identical at any worker count, the CI smoke scenario
+//! (`recipe --seed 7`) is pinned against a checked-in golden report,
+//! and property tests assert search determinism and evaluation-cache
+//! transparency over random seeds.
+
+use eda_cloud::core::{RecipeScenario, Workflow};
+use eda_cloud::netlist::generators;
+use eda_cloud::recipe::{EvalCache, NoRecipeFaults, RecipeSearch, SearchConfig};
+use proptest::prelude::*;
+
+mod common;
+
+#[test]
+fn worker_count_cannot_change_the_report() {
+    let workflow = Workflow::with_defaults();
+    let mut scenario = RecipeScenario::new(7);
+    scenario.designs = vec!["adder".into(), "parity".into()];
+    scenario.size = 4;
+    scenario.iters = 12;
+    let serial = workflow.recipe(&scenario).expect("serial run");
+    for workers in [2usize, 8] {
+        scenario.workers = workers;
+        let wide = workflow.recipe(&scenario).expect("parallel run");
+        assert_eq!(
+            serial.to_json(),
+            wide.to_json(),
+            "{workers} workers drifted from the serial report"
+        );
+    }
+}
+
+#[test]
+fn seed7_smoke_scenario_matches_golden() {
+    // Exactly the CI smoke invocation: `recipe --seed 7 --json`.
+    let report = Workflow::with_defaults()
+        .recipe(&RecipeScenario::new(7))
+        .expect("seed-7 pipeline");
+    assert!(
+        report.improved_designs() >= 1,
+        "the searched recipe should beat the default on at least one design family"
+    );
+    assert!(
+        report.designs.iter().all(|d| d.plan.is_some()),
+        "every design should receive a joint recipe × VM plan"
+    );
+    common::assert_golden(&report.to_json(), "golden/recipe_report.json");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same seed ⇒ identical search outcome at 1, 2, and 8 workers:
+    /// threads only parallelize the pure evaluations inside a batch.
+    #[test]
+    fn search_is_deterministic_across_worker_counts(seed in 0u64..1000, iters in 4u64..20) {
+        let aig = generators::build_family("parity", 4).expect("known family");
+        let base = SearchConfig { iters, seed, workers: 1, ..SearchConfig::default() };
+        let serial = RecipeSearch::new(base.clone()).run("parity_4", &aig).expect("search");
+        for workers in [2usize, 8] {
+            let wide = RecipeSearch::new(SearchConfig { workers, ..base.clone() })
+                .run("parity_4", &aig)
+                .expect("search");
+            prop_assert_eq!(&serial, &wide);
+        }
+    }
+
+    /// A pre-warmed shared cache is transparent: the tree, incumbent,
+    /// and trajectory never move — only the miss/hit split does, and
+    /// misses + hits is conserved.
+    #[test]
+    fn evaluation_cache_is_transparent(seed in 0u64..1000) {
+        let aig = generators::build_family("adder", 4).expect("known family");
+        let search = RecipeSearch::new(SearchConfig {
+            iters: 10,
+            seed,
+            ..SearchConfig::default()
+        });
+        let cold = search.run("adder_4", &aig).expect("cold search");
+
+        let mut cache = EvalCache::new();
+        let first = search
+            .run_with("adder_4", &aig, &NoRecipeFaults, &mut cache)
+            .expect("first warm-up run");
+        let warm = search
+            .run_with("adder_4", &aig, &NoRecipeFaults, &mut cache)
+            .expect("fully warmed run");
+
+        prop_assert_eq!(&first, &cold);
+        prop_assert_eq!(&warm.best_key, &cold.best_key);
+        prop_assert_eq!(warm.best, cold.best);
+        prop_assert_eq!(&warm.tree, &cold.tree);
+        prop_assert_eq!(&warm.trajectory, &cold.trajectory);
+        prop_assert_eq!(warm.evaluations, 0, "a warmed cache serves every candidate");
+        prop_assert_eq!(
+            warm.evaluations + warm.cache_hits,
+            cold.evaluations + cold.cache_hits
+        );
+    }
+}
