@@ -1,0 +1,63 @@
+//! Criterion bench for the ingestion front door: raw parser throughput
+//! per format (BLIF truth-table lowering, structural Verilog, stitched
+//! Bookshelf) and the full pipeline — parse, validate, canonicalize,
+//! featurize, OOD-score — on the largest checked-in fixture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eda_cloud_ingest::blif::parse_blif;
+use eda_cloud_ingest::bookshelf::parse_bookshelf;
+use eda_cloud_ingest::verilog::parse_verilog;
+use eda_cloud_ingest::{fixtures, FrontDoor, FrontDoorConfig};
+use eda_cloud_serve::UploadDoc;
+use eda_cloud_tech::Library;
+use std::hint::black_box;
+
+fn bench_parsers(c: &mut Criterion) {
+    let lib = Library::synthetic_14nm();
+    let shelf = fixtures::stitch_bookshelf(
+        fixtures::TINY_NODES,
+        fixtures::TINY_NETS,
+        Some(fixtures::TINY_PL),
+    );
+    let mut group = c.benchmark_group("ingest_parse");
+    group.bench_function("blif_c17", |b| {
+        b.iter(|| black_box(parse_blif(black_box(fixtures::C17_BLIF), &lib).expect("parses")));
+    });
+    group.bench_function("blif_counter", |b| {
+        b.iter(|| black_box(parse_blif(black_box(fixtures::COUNTER_BLIF), &lib).expect("parses")));
+    });
+    group.bench_function("verilog_full_adder", |b| {
+        b.iter(|| {
+            black_box(parse_verilog(black_box(fixtures::FULL_ADDER_V), &lib).expect("parses"))
+        });
+    });
+    group.bench_function("bookshelf_tiny", |b| {
+        b.iter(|| black_box(parse_bookshelf("tiny", black_box(&shelf)).expect("parses")));
+    });
+    group.finish();
+}
+
+fn bench_front_door(c: &mut Criterion) {
+    let door = FrontDoor::with_pool_profile(FrontDoorConfig::default());
+    let doc = UploadDoc::new("c17", "blif", fixtures::C17_BLIF);
+    let mut group = c.benchmark_group("ingest_pipeline");
+    group.sample_size(10);
+    group.bench_function("front_door_c17", |b| {
+        b.iter(|| black_box(door.ingest_doc(black_box(&doc)).expect("ingests")));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_parsers, bench_front_door
+}
+criterion_main!(benches);

@@ -38,6 +38,11 @@
 //!    the deterministic MCTS agent, train the hybrid (design ⊕ recipe)
 //!    runtime predictor, and answer joint recipe × VM-plan requests
 //!    through the serving tier ([`WorkflowRecipePlanner`]).
+//! 10. [`Workflow::ingest`] — push external netlists (BLIF, structural
+//!     Verilog, Bookshelf) through the validating front door and serve
+//!     a request stream with an upload mix: accepted designs are
+//!     canonicalized, fingerprinted, and OOD-scored; malformed uploads
+//!     are quarantined with typed, position-annotated reasons.
 //!
 //! # Examples
 //!
@@ -60,6 +65,7 @@ mod characterize;
 pub mod dataset;
 mod error;
 mod fleet_service;
+mod ingest_service;
 mod lifecycle_service;
 mod optimize;
 pub mod predict;
@@ -76,6 +82,7 @@ pub use characterize::{
 };
 pub use error::WorkflowError;
 pub use fleet_service::FleetScenario;
+pub use ingest_service::{IngestRunReport, IngestScenario};
 pub use lifecycle_service::LifecycleScenario;
 pub use optimize::{DeploymentPlan, StagePlan, StageRuntimes};
 pub use recipe_service::{RecipeScenario, WorkflowRecipePlanner};

@@ -322,6 +322,7 @@ impl Workflow {
                 deadline_us: i as u64 * 1_000 + 60_000_000,
                 kind: RequestKind::PlanRecipe { deadline_secs: scenario.deadline_secs },
                 design: design.clone(),
+                upload: None,
             })
             .collect();
         let server = Server::new(

@@ -842,6 +842,7 @@ fn verify_equivalence(
             return Err(FlowError::Design(
                 eda_cloud_netlist::NetlistError::Parse {
                     line: 0,
+                    col: 0,
                     message: "mapped netlist mismatches AIG on a random vector".to_owned(),
                 },
             ));
@@ -867,6 +868,7 @@ fn verify_equivalence_sat(
         Ok(CecResult::Inequivalent { .. }) => Err(FlowError::Design(
             eda_cloud_netlist::NetlistError::Parse {
                 line: 0,
+                col: 0,
                 message: "SAT found a distinguishing input for the mapped netlist".to_owned(),
             },
         )),

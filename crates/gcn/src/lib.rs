@@ -38,6 +38,7 @@ mod error;
 mod graph_data;
 mod layers;
 mod model;
+mod profile;
 mod quant;
 mod tensor;
 mod train;
@@ -48,6 +49,7 @@ pub use error::GcnError;
 pub use graph_data::GraphSample;
 pub use layers::{DenseLayer, GcnLayer, InferScratch};
 pub use model::{saturating_exp, LoadWeightsError, ModelConfig, RuntimePredictor, MAX_LOG_SECS};
+pub use profile::FeatureProfile;
 pub use quant::{QuantizedMatrix, QuantizedPredictor};
 pub use tensor::{Matrix, SparseMatrix};
 pub use train::{DatasetSplit, TrainOutcome, TrainReport, Trainer};

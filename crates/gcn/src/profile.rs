@@ -1,0 +1,220 @@
+//! Training-corpus feature profile for out-of-distribution gating.
+//!
+//! The serving tier's GCN was trained on a known corpus; predictions on
+//! designs far outside that corpus's feature distribution are exactly
+//! where LOSTIN-style models degrade. A [`FeatureProfile`] summarizes
+//! the corpus as a per-feature mean and scale of graph-level feature
+//! vectors, both held in **integer micros** so the distance score is a
+//! pure function of the inputs — no float-accumulation-order
+//! dependence, byte-identical across platforms and worker counts.
+
+use crate::{GraphSample, LoadWeightsError};
+use std::fmt::Write as _;
+
+const MICROS: i64 = 1_000_000;
+
+/// Per-feature integer-micros summary of a training corpus.
+///
+/// `mean` is the average graph-level feature vector; `scale` is the
+/// mean absolute deviation around it (floored at 1 micro so division
+/// is always defined). Distances are normalized per feature and
+/// averaged, so a score of `1_000_000` means "one corpus deviation
+/// away on average".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureProfile {
+    dim: usize,
+    samples: usize,
+    mean_micros: Vec<i64>,
+    scale_micros: Vec<i64>,
+}
+
+impl FeatureProfile {
+    /// Summarize a corpus of graph samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or the samples disagree on feature
+    /// dimension.
+    #[must_use]
+    pub fn from_samples<'a>(samples: impl IntoIterator<Item = &'a GraphSample>) -> Self {
+        let vectors: Vec<Vec<i64>> = samples.into_iter().map(graph_vector_micros).collect();
+        assert!(!vectors.is_empty(), "profile needs at least one sample");
+        let dim = vectors[0].len();
+        assert!(
+            vectors.iter().all(|v| v.len() == dim),
+            "samples must share a feature dimension"
+        );
+        let n = vectors.len() as i64;
+        let mean_micros: Vec<i64> = (0..dim)
+            .map(|f| vectors.iter().map(|v| v[f]).sum::<i64>().div_euclid(n))
+            .collect();
+        let scale_micros: Vec<i64> = (0..dim)
+            .map(|f| {
+                let mad = vectors
+                    .iter()
+                    .map(|v| (v[f] - mean_micros[f]).abs())
+                    .sum::<i64>()
+                    .div_euclid(n);
+                mad.max(1)
+            })
+            .collect();
+        Self { dim, samples: vectors.len(), mean_micros, scale_micros }
+    }
+
+    /// Feature dimension of the profiled corpus.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of samples the profile was built from.
+    #[must_use]
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Distance of one graph from the corpus: per-feature normalized
+    /// absolute deviation from the mean, averaged over features, in
+    /// micros (`1_000_000` = one corpus deviation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample's feature dimension differs from the
+    /// profile's.
+    #[must_use]
+    pub fn distance_micros(&self, sample: &GraphSample) -> u64 {
+        let v = graph_vector_micros(sample);
+        assert_eq!(v.len(), self.dim, "feature dimension mismatch");
+        let total: i128 = (0..self.dim)
+            .map(|f| {
+                let dev = i128::from((v[f] - self.mean_micros[f]).abs());
+                dev * i128::from(MICROS) / i128::from(self.scale_micros[f])
+            })
+            .sum();
+        u64::try_from(total / self.dim as i128).unwrap_or(u64::MAX)
+    }
+
+    /// Canonical byte-stable text export (the profile equivalent of a
+    /// model-snapshot save).
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "feature_profile v1");
+        let _ = writeln!(out, "dim {} samples {}", self.dim, self.samples);
+        for f in 0..self.dim {
+            let _ = writeln!(out, "f{f} {} {}", self.mean_micros[f], self.scale_micros[f]);
+        }
+        out
+    }
+
+    /// Parse the canonical text export.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadWeightsError`] on any structural mismatch.
+    pub fn from_text(text: &str) -> Result<Self, LoadWeightsError> {
+        let err = |message: &str| LoadWeightsError { message: message.to_owned() };
+        let mut lines = text.lines();
+        if lines.next() != Some("feature_profile v1") {
+            return Err(err("expected `feature_profile v1` header"));
+        }
+        let shape = lines.next().ok_or_else(|| err("missing shape line"))?;
+        let fields: Vec<&str> = shape.split_whitespace().collect();
+        if fields.len() != 4 || fields[0] != "dim" || fields[2] != "samples" {
+            return Err(err("expected `dim D samples N`"));
+        }
+        let dim: usize = fields[1].parse().map_err(|_| err("bad dim"))?;
+        let samples: usize = fields[3].parse().map_err(|_| err("bad sample count"))?;
+        let mut mean_micros = Vec::with_capacity(dim);
+        let mut scale_micros = Vec::with_capacity(dim);
+        for f in 0..dim {
+            let line = lines.next().ok_or_else(|| err("missing feature line"))?;
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != format!("f{f}") {
+                return Err(err("malformed feature line"));
+            }
+            mean_micros.push(parts[1].parse().map_err(|_| err("bad mean"))?);
+            let scale: i64 = parts[2].parse().map_err(|_| err("bad scale"))?;
+            if scale < 1 {
+                return Err(err("scale must be >= 1"));
+            }
+            scale_micros.push(scale);
+        }
+        Ok(Self { dim, samples, mean_micros, scale_micros })
+    }
+}
+
+/// A graph's feature vector: per-feature mean over nodes, in integer
+/// micros. Each node feature is rounded to micros before summing, so
+/// the vector is independent of accumulation order.
+fn graph_vector_micros(sample: &GraphSample) -> Vec<i64> {
+    let rows = sample.features.rows().max(1) as i64;
+    let cols = sample.features.cols();
+    let mut sums = vec![0i64; cols];
+    for r in 0..sample.features.rows() {
+        for (f, slot) in sums.iter_mut().enumerate() {
+            *slot += to_micros(sample.features.get(r, f));
+        }
+    }
+    sums.iter_mut().for_each(|s| *s = s.div_euclid(rows));
+    sums
+}
+
+fn to_micros(v: f64) -> i64 {
+    let clamped = v.clamp(-1.0e12, 1.0e12);
+    (clamped * MICROS as f64).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_netlist::{generators, DesignGraph};
+
+    fn sample(family: &str, size: u32) -> GraphSample {
+        let aig = generators::build_family(family, size).expect("known family");
+        GraphSample::new(&DesignGraph::from_aig(&aig), [1.0; 4])
+    }
+
+    #[test]
+    fn corpus_members_score_near_and_outliers_far() {
+        let corpus: Vec<GraphSample> = ["adder", "parity", "comparator"]
+            .iter()
+            .flat_map(|f| [4u32, 6, 8].map(|s| sample(f, s)))
+            .collect();
+        let profile = FeatureProfile::from_samples(corpus.iter());
+        assert_eq!(profile.samples(), 9);
+        let in_dist = profile.distance_micros(&corpus[0]);
+        // A much larger design of an unseen family sits farther out.
+        let outlier = sample("hamming", 16);
+        let far = profile.distance_micros(&outlier);
+        assert!(far > in_dist, "outlier {far} vs corpus member {in_dist}");
+    }
+
+    #[test]
+    fn distance_is_deterministic() {
+        let corpus: Vec<GraphSample> = [4u32, 6, 8].map(|s| sample("adder", s)).into();
+        let profile = FeatureProfile::from_samples(corpus.iter());
+        let probe = sample("max", 6);
+        let d1 = profile.distance_micros(&probe);
+        let profile2 = FeatureProfile::from_samples(corpus.iter());
+        assert_eq!(profile, profile2);
+        assert_eq!(d1, profile2.distance_micros(&probe));
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let corpus: Vec<GraphSample> = [4u32, 6].map(|s| sample("gray2bin", s)).into();
+        let profile = FeatureProfile::from_samples(corpus.iter());
+        let text = profile.to_text();
+        let back = FeatureProfile::from_text(&text).expect("canonical text parses");
+        assert_eq!(profile, back);
+        assert_eq!(text, back.to_text());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(FeatureProfile::from_text("").is_err());
+        assert!(FeatureProfile::from_text("feature_profile v1\ndim 2 samples 1\nf0 0 1\n").is_err());
+        assert!(FeatureProfile::from_text("feature_profile v1\ndim 1 samples 1\nf0 0 0\n").is_err());
+    }
+}

@@ -1,0 +1,15 @@
+// Structural full adder mapped onto the synth14 library. Exercises
+// ANSI port declarations, wires, named connections, an escaped
+// identifier, and both comment styles. Written for this test suite.
+module full_adder (
+  input  a,
+  input  b,
+  input  cin,
+  output sum,
+  output cout
+);
+  wire \ab.xor ;  /* escaped identifier: dot is legal when escaped */
+  XOR2_X1 g0 (.A(a), .B(b), .Y(\ab.xor ));
+  XOR2_X1 g1 (.A(\ab.xor ), .B(cin), .Y(sum));
+  MAJ3_X1 g2 (.A(a), .B(b), .C(cin), .Y(cout));
+endmodule

@@ -1,0 +1,5 @@
+UCLA pl 1.0
+p0 0 0 : N
+p1 8 4 : N
+a0 4 2 : N
+a1 6 3 : N

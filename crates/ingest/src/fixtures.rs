@@ -1,0 +1,70 @@
+//! The checked-in upload corpus (see `fixtures/README.md` for
+//! provenance). Embedded with `include_str!` so every consumer — unit
+//! tests, the golden workflow, the bench binary, simtest's serving
+//! phase, CI's smoke step — exercises byte-identical uploads.
+
+use eda_cloud_serve::UploadDoc;
+use std::sync::Arc;
+
+/// ISCAS-85 c17 in `.names` OFF-set form.
+pub const C17_BLIF: &str = include_str!("../fixtures/c17.blif");
+/// Two-bit counter exercising `.latch` lowering.
+pub const COUNTER_BLIF: &str = include_str!("../fixtures/counter.blif");
+/// Multi-model mapped `.gate` file.
+pub const MUX_GATE_BLIF: &str = include_str!("../fixtures/mux_gate.blif");
+/// Structural-Verilog full adder with an escaped identifier.
+pub const FULL_ADDER_V: &str = include_str!("../fixtures/full_adder.v");
+/// Bookshelf `.nodes` section of the tiny placement example.
+pub const TINY_NODES: &str = include_str!("../fixtures/tiny.nodes");
+/// Bookshelf `.nets` section of the tiny placement example.
+pub const TINY_NETS: &str = include_str!("../fixtures/tiny.nets");
+/// Bookshelf `.pl` section of the tiny placement example.
+pub const TINY_PL: &str = include_str!("../fixtures/tiny.pl");
+
+/// Stitch sibling Bookshelf files into the single-text upload form the
+/// front door parses (`@nodes` / `@nets` / `@pl` section markers).
+#[must_use]
+pub fn stitch_bookshelf(nodes: &str, nets: &str, pl: Option<&str>) -> String {
+    let mut text = format!("@nodes\n{nodes}@nets\n{nets}");
+    if let Some(pl) = pl {
+        text.push_str("@pl\n");
+        text.push_str(pl);
+    }
+    text
+}
+
+/// The full fixture corpus as ready-to-serve uploads, in a fixed order.
+#[must_use]
+pub fn uploads() -> Vec<Arc<UploadDoc>> {
+    vec![
+        Arc::new(UploadDoc::new("c17", "blif", C17_BLIF)),
+        Arc::new(UploadDoc::new("counter2", "blif", COUNTER_BLIF)),
+        Arc::new(UploadDoc::new("mux_top", "blif", MUX_GATE_BLIF)),
+        Arc::new(UploadDoc::new("full_adder", "verilog", FULL_ADDER_V)),
+        Arc::new(UploadDoc::new(
+            "tiny",
+            "bookshelf",
+            stitch_bookshelf(TINY_NODES, TINY_NETS, Some(TINY_PL)),
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_stable_and_distinct() {
+        let docs = uploads();
+        assert_eq!(docs.len(), 5);
+        let mut fps: Vec<u64> = docs.iter().map(|d| d.fingerprint).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), docs.len(), "fixtures must not collide");
+        // Same call, same bytes: include_str! + stitching is pure.
+        let again = uploads();
+        for (a, b) in docs.iter().zip(&again) {
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+    }
+}

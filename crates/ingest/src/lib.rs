@@ -1,0 +1,49 @@
+//! External design ingestion: the front door that turns untrusted
+//! user-uploaded netlist text into validated, fingerprinted, servable
+//! designs.
+//!
+//! The DATE 2021 serving story assumes designs arrive from the trusted
+//! synthetic corpus. Real deployments take uploads from users, which
+//! changes the contract completely: input is hostile until proven
+//! otherwise. This crate is that proof, in five stages:
+//!
+//! 1. **Parse** — [`blif`] (`.names` truth tables, `.latch`, `.gate`,
+//!    multi-model files), [`verilog`] (structural gate-level subset
+//!    with escaped identifiers), and [`bookshelf`]
+//!    (`.nodes`/`.nets`/`.pl`). Every parser returns typed,
+//!    position-annotated [`IngestError`]s and never panics.
+//! 2. **Validate** — combinational-loop detection, undriven and
+//!    floating-net lints, per-cell arity checks
+//!    ([`pipeline::validate`]).
+//! 3. **Quota** — byte ceilings before parsing, node/degree ceilings
+//!    after, each rejection typed ([`IngestQuotas`]).
+//! 4. **Canonicalize** — deterministic structural renaming so
+//!    layout-identical uploads yield byte-identical artifacts and
+//!    name-independent fingerprints ([`pipeline::canonicalize`]).
+//! 5. **Score** — an OOD gate measuring each graph against the
+//!    training-corpus feature profile in integer micros ([`OodGate`]);
+//!    flagged designs are served but surfaced in `ServeReport`.
+//!
+//! [`FrontDoor`] composes the stages and implements the server's
+//! [`eda_cloud_serve::Ingestor`] trait, so `RequestKind::Ingest`
+//! requests flow through bounded admission, the fingerprint-keyed
+//! ingest cache, and quarantine accounting like any other traffic.
+//! [`fixtures`] embeds the checked-in conformance corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blif;
+pub mod bookshelf;
+mod error;
+pub mod fixtures;
+mod front_door;
+mod ood;
+pub mod pipeline;
+mod text;
+pub mod verilog;
+
+pub use error::IngestError;
+pub use front_door::{FrontDoor, FrontDoorConfig};
+pub use ood::OodGate;
+pub use pipeline::{IngestQuotas, IngestReport};

@@ -1,0 +1,102 @@
+//! Line/column-preserving text helpers shared by the parsers.
+
+/// One logical line: physical continuation lines (trailing `\`) joined
+/// with single spaces, comments stripped, tagged with the 1-based
+/// number of its first physical line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LogicalLine {
+    /// 1-based first physical line number.
+    pub lno: usize,
+    /// The joined, comment-stripped text.
+    pub text: String,
+}
+
+/// Split into logical lines: strip `comment`-to-end-of-line, join lines
+/// ending in `\`, drop blanks. Columns reported against a logical line
+/// refer to its joined text.
+pub(crate) fn logical_lines(text: &str, comment: char) -> Vec<LogicalLine> {
+    let mut out: Vec<LogicalLine> = Vec::new();
+    let mut pending: Option<LogicalLine> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let body = match raw.find(comment) {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let (body, continues) = match body.trim_end().strip_suffix('\\') {
+            Some(stripped) => (stripped.trim(), true),
+            None => (body.trim(), false),
+        };
+        let line = match pending.take() {
+            Some(mut prev) => {
+                if !body.is_empty() {
+                    if !prev.text.is_empty() {
+                        prev.text.push(' ');
+                    }
+                    prev.text.push_str(body);
+                }
+                prev
+            }
+            None => LogicalLine { lno: i + 1, text: body.to_owned() },
+        };
+        if continues {
+            pending = Some(line);
+        } else if !line.text.is_empty() {
+            out.push(line);
+        }
+    }
+    if let Some(line) = pending {
+        // Trailing `\` at end of input: keep what we have.
+        if !line.text.is_empty() {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// Whitespace-split `line` into `(1-based byte column, field)` pairs.
+pub(crate) fn fields_with_cols(line: &str) -> Vec<(usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i > start {
+            out.push((start + 1, &line[start..i]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joins_continuations_and_strips_comments() {
+        let text = "# header\n.inputs a b \\\n  c d # tail\n\n.end\n";
+        let lines = logical_lines(text, '#');
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].lno, 2);
+        assert_eq!(lines[0].text, ".inputs a b c d");
+        assert_eq!(lines[1].text, ".end");
+    }
+
+    #[test]
+    fn trailing_continuation_does_not_lose_text() {
+        let lines = logical_lines(".inputs a \\", '#');
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].text, ".inputs a");
+    }
+
+    #[test]
+    fn columns_are_one_based_byte_offsets() {
+        let fields = fields_with_cols("  .gate  AND2_X1 A=x");
+        assert_eq!(fields, vec![(3, ".gate"), (10, "AND2_X1"), (18, "A=x")]);
+    }
+}

@@ -1,0 +1,647 @@
+//! Structural (gate-level) Verilog reader.
+//!
+//! The supported subset is what a mapped netlist looks like: one
+//! `module` with ANSI or non-ANSI port declarations, `wire`
+//! declarations, and library-cell instances with *named* port
+//! connections. Escaped identifiers (`\foo.bar `) are honoured. Line
+//! (`//`) and block (`/* */`) comments are stripped by the tokenizer.
+//! Behavioral constructs (`assign`, `always`, `reg`, …) are rejected
+//! with [`IngestError::Unsupported`]; everything else malformed gets a
+//! positioned [`IngestError::Parse`]. The reader round-trips
+//! `eda_cloud_netlist::formats::write_verilog` output.
+
+use crate::error::IngestError;
+use eda_cloud_netlist::{NetId, Netlist};
+use eda_cloud_tech::Library;
+use std::collections::HashMap;
+
+/// Parse one structural Verilog module against `lib`. Like the BLIF
+/// reader this only guarantees buildability; structural validation is
+/// the pipeline's job.
+///
+/// # Errors
+///
+/// Returns a positioned [`IngestError`] on malformed, truncated, or
+/// behavioral input.
+pub fn parse_verilog(text: &str, lib: &Library) -> Result<Netlist, IngestError> {
+    let toks = tokenize(text)?;
+    let mut p = Parser { toks, i: 0 };
+    let module = p.module()?;
+    if let Some(tok) = p.peek() {
+        if tok.text == "module" {
+            return Err(IngestError::Unsupported {
+                line: tok.line,
+                construct: "second module".into(),
+            });
+        }
+        return Err(p.err_at(tok.line, tok.col, format!("unexpected `{}`", tok.text)));
+    }
+    module.build(lib)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident,
+    Sym,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    line: usize,
+    col: usize,
+    kind: TokKind,
+    text: String,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Tok>, IngestError> {
+    let mut toks = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset of current line start
+    macro_rules! col {
+        ($pos:expr) => {
+            $pos - line_start + 1
+        };
+    }
+    while let Some(&(pos, ch)) = chars.peek() {
+        match ch {
+            '\n' => {
+                chars.next();
+                line += 1;
+                line_start = pos + 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                let (start_line, start_col) = (line, col!(pos));
+                chars.next();
+                match chars.peek().map(|&(_, c)| c) {
+                    Some('/') => {
+                        for (_, c) in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                break;
+                            }
+                        }
+                        // Approximate: line_start only matters for
+                        // columns, which reset at the next newline.
+                        line_start = chars.peek().map_or(text.len(), |&(p, _)| p);
+                    }
+                    Some('*') => {
+                        chars.next();
+                        let mut closed = false;
+                        let mut prev = ' ';
+                        for (p, c) in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                line_start = p + 1;
+                            }
+                            if prev == '*' && c == '/' {
+                                closed = true;
+                                break;
+                            }
+                            prev = c;
+                        }
+                        if !closed {
+                            return Err(IngestError::Parse {
+                                line: start_line,
+                                col: start_col,
+                                message: "unterminated block comment".into(),
+                            });
+                        }
+                    }
+                    _ => {
+                        return Err(IngestError::Parse {
+                            line: start_line,
+                            col: start_col,
+                            message: "stray `/`".into(),
+                        })
+                    }
+                }
+            }
+            '\\' => {
+                // Escaped identifier: backslash to the next whitespace.
+                let (start_line, start_col) = (line, col!(pos));
+                chars.next();
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_whitespace() {
+                        break;
+                    }
+                    name.push(c);
+                    chars.next();
+                }
+                if name.is_empty() {
+                    return Err(IngestError::Parse {
+                        line: start_line,
+                        col: start_col,
+                        message: "empty escaped identifier".into(),
+                    });
+                }
+                toks.push(Tok { line: start_line, col: start_col, kind: TokKind::Ident, text: name });
+            }
+            '(' | ')' | ',' | ';' | '.' | '=' | '@' | '[' | ']' | '{' | '}' | ':' | '#'
+            | '*' | '+' | '-' | '?' | '~' | '&' | '|' | '^' | '<' | '>' | '!' | '%' => {
+                toks.push(Tok {
+                    line,
+                    col: col!(pos),
+                    kind: TokKind::Sym,
+                    text: ch.to_string(),
+                });
+                chars.next();
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '$' => {
+                // Identifiers, keywords, and (so that behavioral files
+                // fail in the *parser* with a useful message rather
+                // than here) sized constants like `1'b0`.
+                let (start_line, start_col) = (line, col!(pos));
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '\'' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok { line: start_line, col: start_col, kind: TokKind::Ident, text: name });
+            }
+            other => {
+                return Err(IngestError::Parse {
+                    line,
+                    col: col!(pos),
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    Input,
+    Output,
+}
+
+/// One parsed instance: master, instance name, named connections.
+struct Instance {
+    line: usize,
+    col: usize,
+    master: String,
+    name: String,
+    conns: Vec<(String, String)>,
+}
+
+struct Module {
+    name: String,
+    /// Ports in declaration order with resolved directions.
+    ports: Vec<(usize, usize, String, Option<Dir>)>,
+    wires: Vec<String>,
+    instances: Vec<Instance>,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    i: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn err_at(&self, line: usize, col: usize, message: String) -> IngestError {
+        IngestError::Parse { line, col, message }
+    }
+
+    fn err_eof(&self, expected: &str) -> IngestError {
+        let line = self.toks.last().map_or(1, |t| t.line);
+        IngestError::Parse {
+            line,
+            col: 0,
+            message: format!("unexpected end of file, expected {expected}"),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<Tok, IngestError> {
+        match self.bump() {
+            Some(t) if t.kind == TokKind::Ident => Ok(t),
+            Some(t) => Err(self.err_at(
+                t.line,
+                t.col,
+                format!("expected {what}, found `{}`", t.text),
+            )),
+            None => Err(self.err_eof(what)),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<Tok, IngestError> {
+        match self.bump() {
+            Some(t) if t.kind == TokKind::Sym && t.text == sym => Ok(t),
+            Some(t) => Err(self.err_at(
+                t.line,
+                t.col,
+                format!("expected `{sym}`, found `{}`", t.text),
+            )),
+            None => Err(self.err_eof(sym)),
+        }
+    }
+
+    fn at_sym(&self, sym: &str) -> bool {
+        self.peek().is_some_and(|t| t.kind == TokKind::Sym && t.text == sym)
+    }
+
+    fn module(&mut self) -> Result<Module, IngestError> {
+        let kw = self.expect_ident("`module`")?;
+        if kw.text != "module" {
+            return Err(self.err_at(
+                kw.line,
+                kw.col,
+                format!("expected `module`, found `{}`", kw.text),
+            ));
+        }
+        let name = self.expect_ident("module name")?;
+        let mut module = Module {
+            name: name.text,
+            ports: Vec::new(),
+            wires: Vec::new(),
+            instances: Vec::new(),
+        };
+        self.expect_sym("(")?;
+        if !self.at_sym(")") {
+            loop {
+                let mut dir = None;
+                let mut tok = self.expect_ident("port name")?;
+                if matches!(tok.text.as_str(), "input" | "output") {
+                    dir = Some(if tok.text == "input" { Dir::Input } else { Dir::Output });
+                    tok = self.expect_ident("port name")?;
+                } else if tok.text == "inout" {
+                    return Err(IngestError::Unsupported { line: tok.line, construct: "inout".into() });
+                }
+                module.ports.push((tok.line, tok.col, tok.text, dir));
+                if self.at_sym(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(")")?;
+        self.expect_sym(";")?;
+        loop {
+            let Some(tok) = self.peek().cloned() else {
+                return Err(self.err_eof("`endmodule`"));
+            };
+            match tok.text.as_str() {
+                "endmodule" => {
+                    self.bump();
+                    break;
+                }
+                "input" | "output" => {
+                    self.bump();
+                    let dir = if tok.text == "input" { Dir::Input } else { Dir::Output };
+                    for (line, col, name) in self.ident_list()? {
+                        let port = module
+                            .ports
+                            .iter_mut()
+                            .find(|(_, _, p, _)| *p == name)
+                            .ok_or_else(|| {
+                                self.err_at(
+                                    line,
+                                    col,
+                                    format!("`{name}` is not in the port list"),
+                                )
+                            })?;
+                        port.3 = Some(dir);
+                    }
+                }
+                "wire" => {
+                    self.bump();
+                    for (_, _, name) in self.ident_list()? {
+                        module.wires.push(name);
+                    }
+                }
+                "assign" | "reg" | "always" | "initial" | "parameter" | "inout"
+                | "function" | "task" | "generate" => {
+                    return Err(IngestError::Unsupported {
+                        line: tok.line,
+                        construct: tok.text,
+                    });
+                }
+                _ if tok.kind == TokKind::Ident => {
+                    module.instances.push(self.instance()?);
+                }
+                _ => {
+                    return Err(self.err_at(
+                        tok.line,
+                        tok.col,
+                        format!("unexpected `{}`", tok.text),
+                    ))
+                }
+            }
+        }
+        Ok(module)
+    }
+
+    /// `a, b, c ;` after a direction/wire keyword.
+    fn ident_list(&mut self) -> Result<Vec<(usize, usize, String)>, IngestError> {
+        let mut names = Vec::new();
+        loop {
+            let tok = self.expect_ident("identifier")?;
+            names.push((tok.line, tok.col, tok.text));
+            if self.at_sym(",") {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect_sym(";")?;
+        Ok(names)
+    }
+
+    /// `MASTER inst ( .PIN(net), ... );`
+    fn instance(&mut self) -> Result<Instance, IngestError> {
+        let master = self.expect_ident("cell master")?;
+        let name = self.expect_ident("instance name")?;
+        self.expect_sym("(")?;
+        let mut conns = Vec::new();
+        if !self.at_sym(")") {
+            loop {
+                let dot = self.expect_sym(".").map_err(|e| match e {
+                    IngestError::Parse { line, col, .. } => self.err_at(
+                        line,
+                        col,
+                        "positional port connections are not supported; use `.PIN(net)`".into(),
+                    ),
+                    other => other,
+                })?;
+                let _ = dot;
+                let pin = self.expect_ident("pin name")?;
+                self.expect_sym("(")?;
+                let net = self.expect_ident("net name")?;
+                self.expect_sym(")")?;
+                conns.push((pin.text, net.text));
+                if self.at_sym(",") {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(")")?;
+        self.expect_sym(";")?;
+        Ok(Instance {
+            line: master.line,
+            col: master.col,
+            master: master.text,
+            name: name.text,
+            conns,
+        })
+    }
+}
+
+impl Module {
+    fn build(self, lib: &Library) -> Result<Netlist, IngestError> {
+        let mut nl = Netlist::new(self.name, lib.name());
+        let mut net_ids: HashMap<String, NetId> = HashMap::new();
+        // Inputs first (declaration order), then pre-intern the
+        // remaining ports and wires so references resolve by name.
+        for (line, col, name, dir) in &self.ports {
+            match dir {
+                Some(Dir::Input) => {
+                    let id = nl.add_input(name.clone());
+                    net_ids.insert(name.clone(), id);
+                }
+                Some(Dir::Output) => {}
+                None => {
+                    return Err(IngestError::Parse {
+                        line: *line,
+                        col: *col,
+                        message: format!("port `{name}` has no direction"),
+                    })
+                }
+            }
+        }
+        let intern = |nl: &mut Netlist, net_ids: &mut HashMap<String, NetId>, name: &str| {
+            if let Some(&id) = net_ids.get(name) {
+                id
+            } else {
+                let id = nl.add_net(name.to_owned());
+                net_ids.insert(name.to_owned(), id);
+                id
+            }
+        };
+        for wire in &self.wires {
+            intern(&mut nl, &mut net_ids, wire);
+        }
+        for (_, _, name, dir) in &self.ports {
+            if *dir == Some(Dir::Output) {
+                intern(&mut nl, &mut net_ids, name);
+            }
+        }
+        for inst in &self.instances {
+            let master = lib.cell(&inst.master).map_err(|e| IngestError::Parse {
+                line: inst.line,
+                col: inst.col,
+                message: e.to_string(),
+            })?;
+            let mut by_pin: HashMap<&str, &str> = HashMap::new();
+            for (pin, net) in &inst.conns {
+                by_pin.insert(pin.as_str(), net.as_str());
+            }
+            let mut inputs = Vec::new();
+            for pin in master.input_pins() {
+                let net =
+                    *by_pin.get(pin.name.as_str()).ok_or_else(|| IngestError::Parse {
+                        line: inst.line,
+                        col: inst.col,
+                        message: format!("missing pin `{}` on {}", pin.name, inst.master),
+                    })?;
+                inputs.push(intern(&mut nl, &mut net_ids, net));
+            }
+            let out_pin = master.output_pin().name.clone();
+            let out_name =
+                *by_pin.get(out_pin.as_str()).ok_or_else(|| IngestError::Parse {
+                    line: inst.line,
+                    col: inst.col,
+                    message: format!("missing output pin `{out_pin}` on {}", inst.master),
+                })?;
+            let (master_name, kind) = (master.name.clone(), master.kind);
+            let out_net = intern(&mut nl, &mut net_ids, out_name);
+            if nl.nets()[out_net as usize].driver.is_some() {
+                return Err(IngestError::Parse {
+                    line: inst.line,
+                    col: inst.col,
+                    message: format!("net `{out_name}` already has a driver"),
+                });
+            }
+            nl.add_cell(inst.name.clone(), master_name, kind, inputs, out_net);
+        }
+        for (line, col, name, dir) in &self.ports {
+            if *dir == Some(Dir::Output) {
+                let id = *net_ids.get(name).ok_or_else(|| IngestError::Parse {
+                    line: *line,
+                    col: *col,
+                    message: format!("output `{name}` references unknown net"),
+                })?;
+                nl.add_output(name.clone(), id);
+            }
+        }
+        Ok(nl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_cloud_netlist::formats::write_verilog;
+    use eda_cloud_tech::{CellKind, Library};
+
+    fn lib() -> Library {
+        Library::synthetic_14nm()
+    }
+
+    #[test]
+    fn parses_ansi_header_and_instances() {
+        let text = "\
+module half_adder (
+  input  a,
+  input  b,
+  output s,
+  output c
+);
+  XOR2_X1 g0 (.A(a), .B(b), .Y(s));
+  AND2_X1 g1 (.A(a), .B(b), .Y(c));
+endmodule
+";
+        let nl = parse_verilog(text, &lib()).expect("parses");
+        nl.check().expect("valid");
+        assert_eq!(nl.name(), "half_adder");
+        assert_eq!(nl.cell_count(), 2);
+        // `simulate` returns PO values in declaration order: s, c.
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let v = nl.simulate(&[a, b]).expect("simulates");
+            assert_eq!(v[0], a ^ b);
+            assert_eq!(v[1], a & b);
+        }
+    }
+
+    #[test]
+    fn parses_non_ansi_header_with_wires_and_comments() {
+        let text = "\
+// mapped by hand
+module t (a, b, y); /* ports
+   declared below */
+  input a, b;
+  output y;
+  wire w;
+  NAND2_X1 u0 (.A(a), .B(b), .Y(w));
+  INV_X1 u1 (.A(w), .Y(y));
+endmodule
+";
+        let nl = parse_verilog(text, &lib()).expect("parses");
+        nl.check().expect("valid");
+        assert_eq!(nl.cell_count(), 2);
+        assert_eq!(nl.cells()[0].kind, CellKind::Nand2);
+    }
+
+    #[test]
+    fn escaped_identifiers_are_honoured() {
+        let text = "\
+module e (input \\a.0 , output y);
+  INV_X1 u0 (.A(\\a.0 ), .Y(y));
+endmodule
+";
+        let nl = parse_verilog(text, &lib()).expect("parses");
+        nl.check().expect("valid");
+        assert_eq!(nl.nets()[nl.primary_inputs()[0] as usize].name, "a.0");
+    }
+
+    #[test]
+    fn round_trips_the_writer() {
+        let l = lib();
+        let text = "\
+module rt (input a, input b, output y);
+  wire w;
+  AOI21_X1 g0 (.A(a), .B(b), .C(a), .Y(w));
+  INV_X1 g1 (.A(w), .Y(y));
+endmodule
+";
+        let first = parse_verilog(text, &l).expect("parses");
+        let written = write_verilog(&first, &l);
+        let second = parse_verilog(&written, &l).expect("round-trips");
+        assert_eq!(first.cell_count(), second.cell_count());
+        assert_eq!(first.primary_inputs().len(), second.primary_inputs().len());
+        assert_eq!(first.primary_outputs().len(), second.primary_outputs().len());
+        for (a, b) in [(false, false), (true, true), (true, false)] {
+            assert_eq!(
+                first.simulate(&[a, b]).expect("first"),
+                second.simulate(&[a, b]).expect("second"),
+            );
+        }
+    }
+
+    #[test]
+    fn behavioral_constructs_are_unsupported() {
+        let l = lib();
+        let e = parse_verilog(
+            "module m (input a, output y);\n  assign y = a;\nendmodule\n",
+            &l,
+        )
+        .unwrap_err();
+        assert_eq!(e, IngestError::Unsupported { line: 2, construct: "assign".into() });
+        let e = parse_verilog(
+            "module m (input a, output y);\n  always @(posedge a) ;\nendmodule\n",
+            &l,
+        )
+        .unwrap_err();
+        assert!(matches!(e, IngestError::Unsupported { .. }), "{e}");
+    }
+
+    #[test]
+    fn errors_are_typed_and_positioned() {
+        let l = lib();
+        // Truncated file.
+        let e = parse_verilog("module m (input a, output y);\n", &l).unwrap_err();
+        assert!(e.to_string().contains("end of file"), "{e}");
+        // Positional connections.
+        let e = parse_verilog(
+            "module m (input a, output y);\n  INV_X1 u0 (a, y);\nendmodule\n",
+            &l,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("positional"), "{e}");
+        // Unknown master.
+        let e = parse_verilog(
+            "module m (input a, output y);\n  BOGUS_X9 u0 (.A(a), .Y(y));\nendmodule\n",
+            &l,
+        )
+        .unwrap_err();
+        assert!(matches!(e, IngestError::Parse { line: 2, .. }), "{e}");
+        // Undirected port.
+        let e = parse_verilog("module m (a);\nendmodule\n", &l).unwrap_err();
+        assert!(e.to_string().contains("no direction"), "{e}");
+        // Double driver.
+        let e = parse_verilog(
+            "module m (input a, output y);\n  INV_X1 u0 (.A(a), .Y(y));\n  INV_X1 u1 (.A(a), .Y(y));\nendmodule\n",
+            &l,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("already has a driver"), "{e}");
+        // Unterminated block comment.
+        let e = parse_verilog("module m (); /* never closed", &l).unwrap_err();
+        assert!(e.to_string().contains("unterminated"), "{e}");
+        // Empty input.
+        assert!(parse_verilog("", &l).is_err());
+    }
+}

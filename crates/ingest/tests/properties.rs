@@ -1,0 +1,147 @@
+//! Property-based tests for the ingestion front door.
+//!
+//! Two contracts matter more than any single parser feature:
+//!
+//! * **Round-trip fingerprint stability** — a design written out as
+//!   BLIF and as structural Verilog must ingest to the *same*
+//!   canonical fingerprint, whatever names it carries.
+//! * **No panics, ever** — arbitrarily mutated fixture bytes must
+//!   produce a typed outcome, never a crash. This is the whole point
+//!   of a front door for untrusted input.
+
+use eda_cloud_ingest::{fixtures, FrontDoor, FrontDoorConfig};
+use eda_cloud_netlist::formats::{write_blif, write_verilog};
+use eda_cloud_netlist::Netlist;
+use eda_cloud_serve::{IngestOutcome, Ingestor, UploadDoc};
+use eda_cloud_tech::{CellKind, Library};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The pool profile is expensive to build; share one door across cases.
+fn door() -> &'static FrontDoor {
+    static DOOR: OnceLock<FrontDoor> = OnceLock::new();
+    DOOR.get_or_init(|| FrontDoor::with_pool_profile(FrontDoorConfig::default()))
+}
+
+/// Deterministic combinational gate soup: `seed` fully determines the
+/// structure. Every sink-less net becomes a primary output so the
+/// floating-net lint passes.
+fn gate_soup(seed: u64) -> Netlist {
+    let lib = Library::synthetic_14nm();
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    let mut next = |bound: usize| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % bound as u64) as usize
+    };
+    let mut nl = Netlist::new(format!("soup{seed}"), lib.name());
+    let n_pis = 2 + next(4);
+    let mut nets: Vec<u32> = (0..n_pis).map(|i| nl.add_input(format!("a{i}"))).collect();
+    let kinds = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Maj3,
+        CellKind::Aoi21,
+    ];
+    let n_gates = 1 + next(20);
+    for g in 0..n_gates {
+        let kind = kinds[next(kinds.len())];
+        let master = lib.cell_by_kind(kind).expect("library kind").name.clone();
+        let inputs: Vec<u32> = (0..kind.input_count()).map(|_| nets[next(nets.len())]).collect();
+        let out = nl.add_net(format!("w{g}"));
+        nl.add_cell(format!("u{g}"), master, kind, inputs, out);
+        nets.push(out);
+    }
+    let sink_less: Vec<(String, u32)> = nl
+        .nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.sinks.is_empty())
+        .map(|(i, n)| (n.name.clone(), i as u32))
+        .collect();
+    for (name, id) in sink_less {
+        nl.add_output(name, id);
+    }
+    nl
+}
+
+/// Deterministic byte-level mutation of `text`. `choice` picks the
+/// operator, `pos` the site; the result is coerced back to UTF-8.
+fn mutate(text: &str, choice: u8, pos: usize, byte: u8) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let at = pos % bytes.len();
+    match choice % 5 {
+        0 => bytes.truncate(at),                  // torn upload
+        1 => {
+            bytes.remove(at);                     // dropped byte
+        }
+        2 => bytes.insert(at, byte),              // injected byte
+        3 => bytes[at] = byte,                    // flipped byte
+        _ => {
+            let line = text.lines().next().unwrap_or("").as_bytes().to_vec();
+            bytes.splice(at..at, line);           // duplicated header
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// write → parse → canonicalize fingerprints agree across BLIF and
+    /// Verilog serializations of the same structure, and renaming the
+    /// upload does not change its identity.
+    #[test]
+    fn round_trip_fingerprints_are_format_and_name_independent(seed in 0u64..500) {
+        let lib = Library::synthetic_14nm();
+        let nl = gate_soup(seed);
+        nl.check().expect("soup is structurally valid");
+        let as_blif = UploadDoc::new("via_blif", "blif", write_blif(&nl, &lib));
+        let as_verilog = UploadDoc::new("via_verilog", "verilog", write_verilog(&nl, &lib));
+        let (rb, db) = door().ingest_doc(&as_blif).expect("blif ingests");
+        let (rv, dv) = door().ingest_doc(&as_verilog).expect("verilog ingests");
+        prop_assert_eq!(db.fingerprint, dv.fingerprint, "seed {}", seed);
+        prop_assert_eq!(rb.nodes, rv.nodes);
+        prop_assert_eq!(rb.edges, rv.edges);
+        prop_assert_eq!(rb.depth, rv.depth);
+        prop_assert_eq!(rb.ood_distance_micros, rv.ood_distance_micros);
+        // Same text under a different client name: same fingerprint.
+        let renamed = UploadDoc::new("renamed", "blif", as_blif.text.clone());
+        let (_, dr) = door().ingest_doc(&renamed).expect("renamed ingests");
+        prop_assert_eq!(dr.fingerprint, db.fingerprint);
+    }
+
+    /// Ingestion of mutated fixture bytes returns a typed outcome and
+    /// never panics; accepted mutants must still be deterministic.
+    #[test]
+    fn parsers_never_panic_on_mutated_fixtures(
+        which in 0usize..5,
+        choice in 0u8..5,
+        pos in 0usize..4096,
+        byte in 0u8..255,
+    ) {
+        let base = fixtures::uploads();
+        let doc = &base[which];
+        let mutant = UploadDoc::new(
+            doc.name.clone(),
+            doc.format.clone(),
+            mutate(&doc.text, choice, pos, byte),
+        );
+        let first = door().ingest(&mutant);
+        let second = door().ingest(&mutant);
+        prop_assert_eq!(&first, &second, "outcomes are pure");
+        if let IngestOutcome::Rejected { reason } = first {
+            prop_assert!(!reason.is_empty());
+        }
+    }
+}

@@ -174,6 +174,7 @@ pub fn check_equivalence(
         }
         SolveOutcome::BudgetExhausted => Err(NetlistError::Parse {
             line: 0,
+            col: 0,
             message: "SAT budget exhausted during equivalence check".to_owned(),
         }),
     }

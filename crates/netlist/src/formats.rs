@@ -24,6 +24,27 @@ use eda_cloud_tech::Library;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Split a line on ASCII whitespace, keeping each field's 1-based byte
+/// column so parse errors can point at the offending token.
+fn fields_with_cols(line: &str) -> Vec<(usize, &str)> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && !bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i > start {
+            out.push((start + 1, &line[start..i]));
+        }
+    }
+    out
+}
+
 /// Serialize an AIG in AIGER-ASCII (`aag`) format with a symbol table for
 /// the outputs.
 #[must_use]
@@ -65,21 +86,23 @@ pub fn write_aag(aig: &Aig) -> String {
 ///
 /// Returns [`NetlistError::Parse`] on malformed input.
 pub fn read_aag(text: &str) -> Result<Aig, NetlistError> {
-    let perr = |line: usize, message: &str| NetlistError::Parse {
+    let perr = |line: usize, col: usize, message: &str| NetlistError::Parse {
         line,
+        col,
         message: message.to_owned(),
     };
+    // Truncated documents report the position one past the last line,
+    // never the meaningless `line 0` they used to.
+    let eof_line = text.lines().count() + 1;
     let mut lines = text.lines().enumerate();
-    let (lno, header) = lines
-        .next()
-        .ok_or_else(|| perr(1, "empty document"))?;
-    let fields: Vec<&str> = header.split_whitespace().collect();
-    if fields.len() != 6 || fields[0] != "aag" {
-        return Err(perr(lno + 1, "expected `aag M I L O A` header"));
+    let (lno, header) = lines.next().ok_or_else(|| perr(1, 1, "empty document"))?;
+    let fields = fields_with_cols(header);
+    if fields.len() != 6 || fields[0].1 != "aag" {
+        return Err(perr(lno + 1, 1, "expected `aag M I L O A` header"));
     }
-    let parse_num = |s: &str, lno: usize| {
-        s.parse::<u32>()
-            .map_err(|_| perr(lno + 1, "invalid number"))
+    let parse_num = |f: (usize, &str), lno: usize| {
+        f.1.parse::<u32>()
+            .map_err(|_| perr(lno + 1, f.0, "invalid number"))
     };
     let max_var = parse_num(fields[1], lno)?;
     let n_in = parse_num(fields[2], lno)?;
@@ -87,10 +110,10 @@ pub fn read_aag(text: &str) -> Result<Aig, NetlistError> {
     let n_out = parse_num(fields[4], lno)?;
     let n_and = parse_num(fields[5], lno)?;
     if n_latch != 0 {
-        return Err(perr(lno + 1, "latches are not supported"));
+        return Err(perr(lno + 1, fields[3].0, "latches are not supported"));
     }
     if max_var != n_in + n_and {
-        return Err(perr(lno + 1, "M must equal I + A for this subset"));
+        return Err(perr(lno + 1, fields[1].0, "M must equal I + A for this subset"));
     }
 
     let mut aig = Aig::new("aag");
@@ -98,11 +121,11 @@ pub fn read_aag(text: &str) -> Result<Aig, NetlistError> {
     for _ in 0..n_in {
         let (lno, line) = lines
             .next()
-            .ok_or_else(|| perr(0, "unexpected end of input list"))?;
-        let lit = parse_num(line.trim(), lno)?;
+            .ok_or_else(|| perr(eof_line, 1, "unexpected end of input list"))?;
+        let lit = parse_num((1, line.trim()), lno)?;
         let expect = aig.add_pi();
         if lit != expect.raw() {
-            return Err(perr(lno + 1, "inputs must be consecutive even literals"));
+            return Err(perr(lno + 1, 1, "inputs must be consecutive even literals"));
         }
         pi_lits.push(expect);
     }
@@ -110,29 +133,36 @@ pub fn read_aag(text: &str) -> Result<Aig, NetlistError> {
     for _ in 0..n_out {
         let (lno, line) = lines
             .next()
-            .ok_or_else(|| perr(0, "unexpected end of output list"))?;
-        out_lits.push(Lit::from_raw(parse_num(line.trim(), lno)?));
+            .ok_or_else(|| perr(eof_line, 1, "unexpected end of output list"))?;
+        let lit = Lit::from_raw(parse_num((1, line.trim()), lno)?);
+        // After the AND section the node count is exactly max_var + 1
+        // (M = I + A is enforced above), so an out-of-range output
+        // literal is detectable here — and would otherwise panic later.
+        if lit.node() > max_var {
+            return Err(perr(lno + 1, 1, "output literal references a nonexistent node"));
+        }
+        out_lits.push(lit);
     }
     for _ in 0..n_and {
         let (lno, line) = lines
             .next()
-            .ok_or_else(|| perr(0, "unexpected end of AND list"))?;
-        let nums: Vec<&str> = line.split_whitespace().collect();
+            .ok_or_else(|| perr(eof_line, 1, "unexpected end of AND list"))?;
+        let nums = fields_with_cols(line);
         if nums.len() != 3 {
-            return Err(perr(lno + 1, "AND line needs `lhs rhs0 rhs1`"));
+            return Err(perr(lno + 1, 1, "AND line needs `lhs rhs0 rhs1`"));
         }
         let lhs = parse_num(nums[0], lno)?;
         let a = Lit::from_raw(parse_num(nums[1], lno)?);
         let b = Lit::from_raw(parse_num(nums[2], lno)?);
         if lhs % 2 != 0 {
-            return Err(perr(lno + 1, "AND lhs must be even"));
+            return Err(perr(lno + 1, nums[0].0, "AND lhs must be even"));
         }
         let node = lhs / 2;
         if node as usize != aig.node_count() {
-            return Err(perr(lno + 1, "AND definitions must be in order"));
+            return Err(perr(lno + 1, nums[0].0, "AND definitions must be in order"));
         }
         if a.node() >= node || b.node() >= node {
-            return Err(perr(lno + 1, "AND fanin references a later node"));
+            return Err(perr(lno + 1, nums[1].0, "AND fanin references a later node"));
         }
         let got = aig.and2(a, b);
         // Structural hashing may fold the node; re-emit an explicit node
@@ -140,6 +170,7 @@ pub fn read_aag(text: &str) -> Result<Aig, NetlistError> {
         if got.node() as usize != node as usize {
             return Err(perr(
                 lno + 1,
+                nums[0].0,
                 "AND folds to an existing node; input is not in canonical form",
             ));
         }
@@ -227,42 +258,47 @@ pub fn write_blif(netlist: &Netlist, lib: &Library) -> String {
 /// Returns [`NetlistError::Parse`] on malformed input or references to
 /// cells missing from `lib`.
 pub fn read_blif(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
-    let perr = |line: usize, message: String| NetlistError::Parse { line, message };
+    let perr = |line: usize, col: usize, message: String| NetlistError::Parse { line, col, message };
     let mut name = String::from("blif");
     let mut inputs: Vec<String> = Vec::new();
-    let mut outputs: Vec<String> = Vec::new();
-    // (source line, cell name, [(formal, actual)] pin bindings).
-    type BlifGate = (usize, String, Vec<(String, String)>);
+    // Remember where each `.outputs` name sat so late failures (an
+    // output referencing a net nothing drives) still carry a position.
+    let mut outputs: Vec<(usize, usize, String)> = Vec::new();
+    // (source line, master col, cell name, [(formal, actual)] bindings).
+    type BlifGate = (usize, usize, String, Vec<(String, String)>);
     let mut gates: Vec<BlifGate> = Vec::new();
     for (lno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Column of the first payload token, relative to the raw line.
+        let indent = raw.len() - raw.trim_start().len();
         if let Some(rest) = line.strip_prefix(".model ") {
             name = rest.trim().to_owned();
         } else if let Some(rest) = line.strip_prefix(".inputs ") {
             inputs.extend(rest.split_whitespace().map(str::to_owned));
-        } else if let Some(rest) = line.strip_prefix(".outputs ") {
-            outputs.extend(rest.split_whitespace().map(str::to_owned));
-        } else if let Some(rest) = line.strip_prefix(".gate ") {
-            let mut fields = rest.split_whitespace();
-            let master = fields
-                .next()
-                .ok_or_else(|| perr(lno + 1, "missing gate master".into()))?
-                .to_owned();
+        } else if line.strip_prefix(".outputs ").is_some() {
+            for (col, field) in fields_with_cols(raw).into_iter().skip(1) {
+                outputs.push((lno + 1, col, field.to_owned()));
+            }
+        } else if line.strip_prefix(".gate ").is_some() {
+            let fields = fields_with_cols(raw);
+            let Some(&(master_col, master)) = fields.get(1) else {
+                return Err(perr(lno + 1, indent + 1, "missing gate master".into()));
+            };
             let mut conns = Vec::new();
-            for f in fields {
+            for &(col, f) in &fields[2..] {
                 let (pin, net) = f
                     .split_once('=')
-                    .ok_or_else(|| perr(lno + 1, format!("bad connection `{f}`")))?;
+                    .ok_or_else(|| perr(lno + 1, col, format!("bad connection `{f}`")))?;
                 conns.push((pin.to_owned(), net.to_owned()));
             }
-            gates.push((lno + 1, master, conns));
+            gates.push((lno + 1, master_col, master.to_owned(), conns));
         } else if line == ".end" {
             break;
         } else {
-            return Err(perr(lno + 1, format!("unrecognized line `{line}`")));
+            return Err(perr(lno + 1, indent + 1, format!("unrecognized line `{line}`")));
         }
     }
 
@@ -282,10 +318,10 @@ pub fn read_blif(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
             id
         }
     };
-    for (lno, master_name, conns) in &gates {
+    for (lno, master_col, master_name, conns) in &gates {
         let master = lib
             .cell(master_name)
-            .map_err(|e| perr(*lno, e.to_string()))?;
+            .map_err(|e| perr(*lno, *master_col, e.to_string()))?;
         let mut by_pin: HashMap<&str, &str> = HashMap::new();
         for (pin, net) in conns {
             by_pin.insert(pin.as_str(), net.as_str());
@@ -293,22 +329,31 @@ pub fn read_blif(text: &str, lib: &Library) -> Result<Netlist, NetlistError> {
         let mut input_nets = Vec::new();
         for pin in master.input_pins() {
             let net = by_pin.get(pin.name.as_str()).ok_or_else(|| {
-                perr(*lno, format!("missing pin `{}` on {master_name}", pin.name))
+                perr(*lno, *master_col, format!("missing pin `{}` on {master_name}", pin.name))
             })?;
             input_nets.push(intern(&mut nl, &mut net_ids, net));
         }
         let out_pin = master.output_pin().name.clone();
         let out_net_name = by_pin
             .get(out_pin.as_str())
-            .ok_or_else(|| perr(*lno, format!("missing output pin `{out_pin}`")))?;
+            .ok_or_else(|| perr(*lno, *master_col, format!("missing output pin `{out_pin}`")))?;
         let out_net = intern(&mut nl, &mut net_ids, out_net_name);
+        // Output nets must not already be driven: `add_cell` would
+        // panic on a double driver, so reject torn input up front.
+        if nl.nets()[out_net as usize].driver.is_some() {
+            return Err(perr(
+                *lno,
+                *master_col,
+                format!("net `{out_net_name}` already has a driver"),
+            ));
+        }
         let inst = format!("g{}", nl.cell_count());
         nl.add_cell(inst, master.name.clone(), master.kind, input_nets, out_net);
     }
-    for po in &outputs {
+    for (lno, col, po) in &outputs {
         let &id = net_ids
             .get(po)
-            .ok_or_else(|| perr(0, format!("output `{po}` references unknown net")))?;
+            .ok_or_else(|| perr(*lno, *col, format!("output `{po}` references unknown net")))?;
         nl.add_output(po.clone(), id);
     }
     Ok(nl)
@@ -533,5 +578,97 @@ mod tests {
         let lib = Library::synthetic_14nm();
         let text = ".model x\n.inputs a\n.outputs y\n.gate NAND2_X1 A=a Y=y\n.end\n";
         assert!(read_blif(text, &lib).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        // Truncated AND list: the error points one past the last line,
+        // never the old `line 0`.
+        let truncated = "aag 2 1 0 1 1\n2\n4\n";
+        let err = read_aag(truncated).unwrap_err();
+        match err {
+            NetlistError::Parse { line, col, .. } => {
+                assert_eq!(line, 4, "position is one past the torn document");
+                assert!(col >= 1);
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        // A bad token points at its column.
+        let bad_token = "aag 1 xx 0 0 1\n";
+        match read_aag(bad_token).unwrap_err() {
+            NetlistError::Parse { line: 1, col, .. } => assert_eq!(col, 7),
+            other => panic!("expected positioned Parse, got {other:?}"),
+        }
+        // BLIF: an output referencing an unknown net names its line.
+        let lib = Library::synthetic_14nm();
+        let text = ".model x\n.inputs a\n.outputs ghost\n.end\n";
+        match read_blif(text, &lib).unwrap_err() {
+            NetlistError::Parse { line, col, message } => {
+                assert_eq!(line, 3);
+                assert_eq!(col, 10);
+                assert!(message.contains("ghost"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blif_double_driver_is_a_typed_error_not_a_panic() {
+        let lib = Library::synthetic_14nm();
+        let text = "\
+.model dd
+.inputs a b
+.outputs y
+.gate INV_X1 A=a Y=y
+.gate INV_X1 A=b Y=y
+.end
+";
+        match read_blif(text, &lib).unwrap_err() {
+            NetlistError::Parse { line: 5, message, .. } => {
+                assert!(message.contains("already has a driver"), "{message}");
+            }
+            other => panic!("expected positioned Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn readers_never_panic_on_torn_or_garbage_input() {
+        // Fuzz-shaped: every prefix of a valid document plus byte-level
+        // mutations must produce Ok or a typed error, never a panic.
+        let lib = Library::synthetic_14nm();
+        let aag = write_aag(&generators::adder(4));
+        for cut in 0..aag.len() {
+            let _ = read_aag(&aag[..cut]);
+        }
+        let mut nl = Netlist::new("fz", lib.name());
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.add_net("y");
+        nl.add_cell("u1", "NAND2_X1", CellKind::Nand2, vec![a, b], y);
+        nl.add_output("y", y);
+        let blif = write_blif(&nl, &lib);
+        for cut in 0..blif.len() {
+            let _ = read_blif(&blif[..cut], &lib);
+        }
+        // Deterministic byte mutations (no RNG needed: every position,
+        // a handful of replacement bytes).
+        for pos in 0..aag.len() {
+            for byte in [b'0', b'9', b' ', b'\n', b'~'] {
+                let mut bytes = aag.clone().into_bytes();
+                bytes[pos] = byte;
+                if let Ok(s) = String::from_utf8(bytes) {
+                    let _ = read_aag(&s);
+                }
+            }
+        }
+        for pos in 0..blif.len() {
+            for byte in [b'0', b'=', b' ', b'\n', b'~'] {
+                let mut bytes = blif.clone().into_bytes();
+                bytes[pos] = byte;
+                if let Ok(s) = String::from_utf8(bytes) {
+                    let _ = read_blif(&s, &lib);
+                }
+            }
+        }
     }
 }

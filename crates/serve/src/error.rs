@@ -32,6 +32,13 @@ pub enum ServeError {
         /// The underlying solver complaint.
         message: String,
     },
+    /// An [`crate::RequestKind::Ingest`] request could not be routed:
+    /// no ingestor is attached, or the request carries no upload.
+    /// (A *rejected* upload is an outcome, not this error.)
+    Ingest {
+        /// What was missing.
+        message: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -44,6 +51,7 @@ impl fmt::Display for ServeError {
             Self::UnknownModel { name } => write!(f, "no model registered under `{name}`"),
             Self::Snapshot { message } => write!(f, "cannot load model snapshot: {message}"),
             Self::Plan { message } => write!(f, "deployment planning failed: {message}"),
+            Self::Ingest { message } => write!(f, "ingest routing failed: {message}"),
         }
     }
 }

@@ -42,6 +42,39 @@ impl ServeFaults for NoServeFaults {}
 /// be consulted from any number of runs concurrently).
 pub type SharedServeFaults = Arc<dyn ServeFaults>;
 
+/// Fault hooks on the ingestion path, consulted for every
+/// [`crate::RequestKind::Ingest`] request by ordinal. Same contract as
+/// [`ServeFaults`]: pure functions of canonical identity, so plans
+/// replay byte-identically at any worker count.
+pub trait IngestFaults: Send + Sync {
+    /// Tear this ordinal's upload in transit (the server substitutes
+    /// [`crate::UploadDoc::corrupted`] before consulting the ingest
+    /// cache) — a corrupted-transfer fault. The torn document has its
+    /// own fingerprint, so it is cached and judged on its own content.
+    fn corrupt_upload(&self, ordinal: u64) -> bool {
+        let _ = ordinal;
+        false
+    }
+
+    /// Reject this ordinal's upload outright *without caching the
+    /// rejection* — an ingest-flood control decision. The request
+    /// completes quarantined; a later clean upload of the same content
+    /// still ingests normally.
+    fn flood(&self, ordinal: u64) -> bool {
+        let _ = ordinal;
+        false
+    }
+}
+
+/// The no-fault default for the ingestion path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoIngestFaults;
+
+impl IngestFaults for NoIngestFaults {}
+
+/// A shared, immutable ingest hook object.
+pub type SharedIngestFaults = Arc<dyn IngestFaults>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,5 +86,8 @@ mod tests {
         assert!(!faults.wipe_cache(0));
         let shared: SharedServeFaults = Arc::new(NoServeFaults);
         assert!(!shared.force_shed(123));
+        let ingest: SharedIngestFaults = Arc::new(NoIngestFaults);
+        assert!(!ingest.corrupt_upload(0));
+        assert!(!ingest.flood(0));
     }
 }

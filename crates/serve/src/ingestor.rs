@@ -1,0 +1,103 @@
+//! The ingestion boundary: how the server turns an untrusted
+//! [`UploadDoc`] into a servable design.
+//!
+//! The server owns admission, caching, and accounting for
+//! [`crate::RequestKind::Ingest`] requests but never parses upload text
+//! itself — an attached [`Ingestor`] does. `eda-cloud-ingest` provides
+//! the production implementation (parsers, validation pipeline, OOD
+//! gate); tests stub the trait the same way they stub
+//! [`crate::Planner`]. Rejection is an *outcome*, not an error: a
+//! rejected upload completes its request with zeroed predictions and is
+//! quarantined — it never enters the result cache and never reaches the
+//! GCN.
+
+use crate::{ServeDesign, UploadDoc};
+use std::sync::Arc;
+
+/// Turns uploaded text into a validated design, or rejects it.
+///
+/// Implementations must be pure functions of the document content:
+/// the server caches outcomes by upload fingerprint, so two
+/// byte-identical uploads must ingest identically.
+pub trait Ingestor: Send + Sync {
+    /// Parse, validate, and score one upload.
+    fn ingest(&self, doc: &UploadDoc) -> IngestOutcome;
+}
+
+/// How one upload ingested. `Clone` because outcomes live in the
+/// server's fingerprint-keyed ingest cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestOutcome {
+    /// The upload parsed and validated; the design is servable.
+    Accepted(IngestSummary),
+    /// The upload was rejected (parse error, lint failure, quota, …).
+    Rejected {
+        /// Human-readable reason, including the position for parse
+        /// errors.
+        reason: String,
+    },
+}
+
+impl IngestOutcome {
+    /// Whether the upload was accepted.
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Self::Accepted(_))
+    }
+}
+
+/// An accepted upload: the servable design plus the OOD gate's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestSummary {
+    /// The validated design, fingerprinted and ready for the batched
+    /// forward pass and the result cache.
+    pub design: Arc<ServeDesign>,
+    /// Node count of the ingested graph (diagnostic).
+    pub nodes: u64,
+    /// Integer-micros distance from the training-corpus feature
+    /// profile (`1_000_000` = one corpus deviation).
+    pub ood_distance_micros: u64,
+    /// Whether the distance crossed the gate's threshold — the
+    /// prediction is served but flagged as out-of-distribution.
+    pub ood: bool,
+}
+
+/// Per-request ingest disposition recorded on the completed outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestDisposition {
+    /// Served from the ingested design.
+    Accepted {
+        /// Fingerprint of the ingested [`ServeDesign`].
+        fingerprint: u64,
+        /// The OOD gate's distance score, micros.
+        ood_distance_micros: u64,
+        /// Whether the prediction was flagged out-of-distribution.
+        ood: bool,
+    },
+    /// Quarantined: completed with zeroed predictions, never cached,
+    /// never predicted.
+    Rejected {
+        /// Why the ingestor (or an injected fault) rejected it.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let rejected = IngestOutcome::Rejected { reason: "parse error at line 2".into() };
+        assert!(!rejected.is_accepted());
+        let trait_obj: Box<dyn Ingestor> = Box::new(RejectAll);
+        assert_eq!(trait_obj.ingest(&UploadDoc::new("x", "blif", "junk")), rejected);
+    }
+
+    struct RejectAll;
+    impl Ingestor for RejectAll {
+        fn ingest(&self, _doc: &UploadDoc) -> IngestOutcome {
+            IngestOutcome::Rejected { reason: "parse error at line 2".into() }
+        }
+    }
+}

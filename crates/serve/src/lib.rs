@@ -68,6 +68,7 @@ mod cache;
 mod error;
 mod faults;
 mod geo;
+mod ingestor;
 mod planner;
 mod queue;
 mod recipe_planner;
@@ -78,8 +79,12 @@ mod server;
 
 pub use cache::LruCache;
 pub use error::ServeError;
-pub use faults::{NoServeFaults, ServeFaults, SharedServeFaults};
+pub use faults::{
+    IngestFaults, NoIngestFaults, NoServeFaults, ServeFaults, SharedIngestFaults,
+    SharedServeFaults,
+};
 pub use geo::{GeoConfig, GeoReport, GeoRequest, GeoServer, GeoTenantUsage};
+pub use ingestor::{IngestDisposition, IngestOutcome, IngestSummary, Ingestor};
 pub use planner::{CostTablePlanner, PlanSummary, Planner, VCPUS};
 pub use queue::AdmissionQueue;
 pub use recipe_planner::{RecipePlanSummary, RecipePlanner};
@@ -88,6 +93,7 @@ pub use registry::{
 };
 pub use report::{ServeCounters, ServeReport};
 pub use request::{
-    design_pool, synthetic_requests, RequestKind, ServeDesign, ServeRequest, WorkloadConfig,
+    design_pool, synthetic_requests, synthetic_requests_with_uploads, RequestKind, ServeDesign,
+    ServeRequest, UploadDoc, WorkloadConfig,
 };
 pub use server::{RequestOutcome, ServeConfig, Server};

@@ -89,6 +89,7 @@ mod tests {
             deadline_us,
             kind: RequestKind::Predict,
             design: Arc::new(crate::ServeDesign::new("d", view(), view())),
+            upload: None,
         }
     }
 

@@ -26,6 +26,14 @@ pub struct ServeCounters {
     pub plans: u64,
     /// Plan requests whose budget no selection could meet.
     pub plans_infeasible: u64,
+    /// Ingest requests whose upload was accepted (fresh or from the
+    /// ingest cache).
+    pub ingest_accepted: u64,
+    /// Ingest requests whose upload was rejected and quarantined.
+    pub ingest_rejected: u64,
+    /// Accepted ingest requests served with an out-of-distribution
+    /// flag from the OOD gate.
+    pub ood_flagged: u64,
 }
 
 /// The per-run report: counters, latency statistics, and the
@@ -73,7 +81,8 @@ impl ServeReport {
             s,
             "\"counters\":{{\"requests\":{},\"completed\":{},\"shed\":{},\"deadline_hits\":{},\
              \"cache_hits\":{},\"cache_misses\":{},\"gcn_predictions\":{},\"batches\":{},\
-             \"plans\":{},\"plans_infeasible\":{}}},",
+             \"plans\":{},\"plans_infeasible\":{},\"ingest_accepted\":{},\"ingest_rejected\":{},\
+             \"ood_flagged\":{}}},",
             c.requests,
             c.completed,
             c.shed,
@@ -83,7 +92,10 @@ impl ServeReport {
             c.gcn_predictions,
             c.batches,
             c.plans,
-            c.plans_infeasible
+            c.plans_infeasible,
+            c.ingest_accepted,
+            c.ingest_rejected,
+            c.ood_flagged
         );
         let _ = write!(s, "\"deadline_hit_rate\":{},", fmt_f64(self.deadline_hit_rate));
         let _ = write!(s, "\"mean_latency_ms\":{},", fmt_f64(self.mean_latency_ms));
@@ -129,6 +141,10 @@ mod tests {
         assert_eq!(a, report.clone().to_json());
         assert!(a.starts_with("{\"seed\":7,\"counters\":{\"requests\":8,"), "{a}");
         assert!(a.contains("\"shed\":1,"), "{a}");
+        assert!(
+            a.contains("\"ingest_accepted\":0,\"ingest_rejected\":0,\"ood_flagged\":0}"),
+            "{a}"
+        );
         assert!(a.contains("\"mean_latency_ms\":12.500000"), "{a}");
         assert!(a.ends_with("\"depth_hist\":{\"edges\":[4.000000],\"counts\":[0,0]}}"), "{a}");
     }

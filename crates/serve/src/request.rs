@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 /// A design as the server sees it: its two graph views plus a
 /// structural fingerprint used as the result-cache key.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeDesign {
     /// Design name (diagnostic only; the fingerprint is the identity).
     pub name: String,
@@ -58,6 +58,62 @@ fn fingerprint_views(name: &str, aig: &GraphSample, netlist: &GraphSample) -> u6
     h
 }
 
+/// An untrusted external design document as uploaded: raw text plus a
+/// content fingerprint that keys the ingest cache. The server never
+/// interprets the text itself — an attached [`crate::Ingestor`] does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UploadDoc {
+    /// Client-supplied design name (diagnostic only).
+    pub name: String,
+    /// Interchange format tag (e.g. `"blif"`, `"verilog"`,
+    /// `"bookshelf"`), forwarded to the ingestor untouched.
+    pub format: String,
+    /// The raw uploaded text.
+    pub text: String,
+    /// FNV-1a over the format tag and the raw bytes; two uploads share
+    /// an ingest-cache entry only if they are byte-identical.
+    pub fingerprint: u64,
+}
+
+impl UploadDoc {
+    /// Wrap an upload and fingerprint its content.
+    #[must_use]
+    pub fn new(name: impl Into<String>, format: impl Into<String>, text: impl Into<String>) -> Self {
+        let (name, format, text) = (name.into(), format.into(), text.into());
+        let fingerprint = fingerprint_upload(&format, &text);
+        Self { name, format, text, fingerprint }
+    }
+
+    /// A deterministically torn copy of this upload: the text cut at
+    /// the midpoint (snapped forward to a char boundary), refingerprinted.
+    /// Fault harnesses use this to model a corrupted transfer.
+    #[must_use]
+    pub fn corrupted(&self) -> Self {
+        let mut cut = self.text.len() / 2;
+        while cut < self.text.len() && !self.text.is_char_boundary(cut) {
+            cut += 1;
+        }
+        Self::new(self.name.clone(), self.format.clone(), &self.text[..cut])
+    }
+}
+
+/// FNV-1a over the format tag, a separator, and the raw upload bytes.
+fn fingerprint_upload(format: &str, text: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |byte: u8| {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for byte in format.bytes() {
+        mix(byte);
+    }
+    mix(0xFF);
+    for byte in text.bytes() {
+        mix(byte);
+    }
+    h
+}
+
 /// What the caller wants back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestKind {
@@ -75,6 +131,10 @@ pub enum RequestKind {
         /// Total-flow-runtime deadline for the joint plan, seconds.
         deadline_secs: u64,
     },
+    /// Parse, validate, and predict for the request's attached
+    /// [`UploadDoc`]; the `design` field is ignored. Requires an
+    /// [`crate::Ingestor`] on the server.
+    Ingest,
 }
 
 /// One request in the stream.
@@ -92,6 +152,9 @@ pub struct ServeRequest {
     /// The design to predict for (shared — many requests may reference
     /// one pooled design).
     pub design: Arc<ServeDesign>,
+    /// For [`RequestKind::Ingest`] requests, the uploaded document;
+    /// `None` for every other kind.
+    pub upload: Option<Arc<UploadDoc>>,
 }
 
 /// Synthetic open-loop workload parameters.
@@ -115,6 +178,11 @@ pub struct WorkloadConfig {
     /// recipe × VM plan; 0 (the default) disables recipe requests and
     /// leaves the request stream byte-identical to earlier releases.
     pub recipe_every: u64,
+    /// Every `ingest_every`-th draw (in expectation) is an upload of
+    /// one of the documents handed to
+    /// [`synthetic_requests_with_uploads`]; 0 (the default) disables
+    /// ingest requests and draws nothing extra from the stream.
+    pub ingest_every: u64,
 }
 
 impl Default for WorkloadConfig {
@@ -127,6 +195,7 @@ impl Default for WorkloadConfig {
             max_deadline_ms: 250,
             plan_every: 4,
             recipe_every: 0,
+            ingest_every: 0,
         }
     }
 }
@@ -169,6 +238,25 @@ pub fn design_pool() -> Vec<Arc<ServeDesign>> {
 /// Panics if the pool is empty or the deadline window is empty.
 #[must_use]
 pub fn synthetic_requests(pool: &[Arc<ServeDesign>], config: &WorkloadConfig) -> Vec<ServeRequest> {
+    synthetic_requests_with_uploads(pool, &[], config)
+}
+
+/// [`synthetic_requests`] plus an upload corpus: when
+/// `config.ingest_every > 0` and `uploads` is non-empty, an expected
+/// 1-in-`ingest_every` of the non-plan draws becomes a
+/// [`RequestKind::Ingest`] carrying a seeded draw from `uploads`. With
+/// the knob at its default 0 no extra randomness is drawn, so the
+/// stream stays byte-identical to [`synthetic_requests`].
+///
+/// # Panics
+///
+/// Panics if the pool is empty or the deadline window is empty.
+#[must_use]
+pub fn synthetic_requests_with_uploads(
+    pool: &[Arc<ServeDesign>],
+    uploads: &[Arc<UploadDoc>],
+    config: &WorkloadConfig,
+) -> Vec<ServeRequest> {
     assert!(!pool.is_empty(), "design pool must not be empty");
     assert!(
         config.min_deadline_ms < config.max_deadline_ms,
@@ -183,12 +271,20 @@ pub fn synthetic_requests(pool: &[Arc<ServeDesign>], config: &WorkloadConfig) ->
             let arrival_us = (arrival_secs * 1e6).round() as u64;
             let design = pool[rng.gen_range(0..pool.len())].clone();
             let window_ms = rng.gen_range(config.min_deadline_ms..config.max_deadline_ms);
+            let mut upload = None;
             let kind = if config.plan_every > 0 && rng.gen_range(0..config.plan_every) == 0 {
                 RequestKind::Plan { budget_secs: rng.gen_range(6_000u64..20_000) }
             } else if config.recipe_every > 0 && rng.gen_range(0..config.recipe_every) == 0 {
                 // Guarded by `recipe_every > 0` so the default stream
                 // draws nothing extra and stays byte-identical.
                 RequestKind::PlanRecipe { deadline_secs: rng.gen_range(6_000u64..20_000) }
+            } else if config.ingest_every > 0
+                && !uploads.is_empty()
+                && rng.gen_range(0..config.ingest_every) == 0
+            {
+                // Same guard discipline as `recipe_every`.
+                upload = Some(uploads[rng.gen_range(0..uploads.len())].clone());
+                RequestKind::Ingest
             } else {
                 RequestKind::Predict
             };
@@ -198,6 +294,7 @@ pub fn synthetic_requests(pool: &[Arc<ServeDesign>], config: &WorkloadConfig) ->
                 deadline_us: arrival_us + window_ms * 1_000,
                 kind,
                 design,
+                upload,
             }
         })
         .collect()
@@ -247,6 +344,63 @@ mod tests {
         for (x, y) in stream.iter().zip(&again) {
             assert_eq!(x.kind, y.kind);
         }
+    }
+
+    #[test]
+    fn ingest_requests_are_off_by_default_and_guarded() {
+        let pool = design_pool();
+        let uploads = vec![
+            Arc::new(UploadDoc::new("a", "blif", ".model a\n.end\n")),
+            Arc::new(UploadDoc::new("b", "verilog", "module b; endmodule\n")),
+        ];
+        let default_stream =
+            synthetic_requests_with_uploads(&pool, &uploads, &WorkloadConfig::default());
+        let plain = synthetic_requests(&pool, &WorkloadConfig::default());
+        assert_eq!(default_stream.len(), plain.len());
+        for (x, y) in default_stream.iter().zip(&plain) {
+            assert_eq!(x.kind, y.kind, "ingest_every = 0 must draw nothing extra");
+            assert_eq!(x.arrival_us, y.arrival_us);
+            assert!(x.upload.is_none());
+        }
+        let config = WorkloadConfig { ingest_every: 2, ..WorkloadConfig::default() };
+        let stream = synthetic_requests_with_uploads(&pool, &uploads, &config);
+        let ingests: Vec<_> = stream.iter().filter(|r| r.kind == RequestKind::Ingest).collect();
+        assert!(!ingests.is_empty(), "ingest_every = 2 over 64 requests draws some");
+        assert!(ingests.iter().all(|r| r.upload.is_some()));
+        let again = synthetic_requests_with_uploads(&pool, &uploads, &config);
+        for (x, y) in stream.iter().zip(&again) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(
+                x.upload.as_ref().map(|u| u.fingerprint),
+                y.upload.as_ref().map(|u| u.fingerprint)
+            );
+        }
+        // Without an upload corpus the knob is inert, not a panic.
+        let bare = synthetic_requests_with_uploads(&pool, &[], &config);
+        assert!(bare.iter().all(|r| r.kind != RequestKind::Ingest));
+    }
+
+    #[test]
+    fn upload_fingerprints_separate_content_and_format() {
+        let a = UploadDoc::new("x", "blif", ".model x\n");
+        let same = UploadDoc::new("renamed", "blif", ".model x\n");
+        assert_eq!(a.fingerprint, same.fingerprint, "name is diagnostic only");
+        let other_text = UploadDoc::new("x", "blif", ".model y\n");
+        assert_ne!(a.fingerprint, other_text.fingerprint);
+        let other_format = UploadDoc::new("x", "verilog", ".model x\n");
+        assert_ne!(a.fingerprint, other_format.fingerprint);
+    }
+
+    #[test]
+    fn corrupted_uploads_are_torn_and_refingerprinted() {
+        let doc = UploadDoc::new("x", "blif", ".model x\n.inputs a\n.outputs y\n.end\n");
+        let torn = doc.corrupted();
+        assert!(torn.text.len() < doc.text.len());
+        assert_ne!(torn.fingerprint, doc.fingerprint);
+        assert_eq!(doc.corrupted(), doc.corrupted(), "deterministic");
+        // Multi-byte content never tears mid-char.
+        let uni = UploadDoc::new("u", "blif", "désign—π");
+        let _ = uni.corrupted(); // must not panic
     }
 
     #[test]

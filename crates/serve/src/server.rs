@@ -13,9 +13,10 @@
 //! and every outcome are byte-identical across runs and worker counts.
 
 use crate::{
-    AdmissionQueue, LruCache, NoServeFaults, PlanSummary, Planner, RecipePlanSummary,
-    RecipePlanner, RequestKind, ServeCounters, ServeError, ServeReport, ServeRequest,
-    ServingSnapshot, SharedServeFaults,
+    AdmissionQueue, IngestDisposition, IngestOutcome, Ingestor, LruCache, NoIngestFaults,
+    NoServeFaults, PlanSummary, Planner, RecipePlanSummary, RecipePlanner, RequestKind,
+    ServeCounters, ServeError, ServeReport, ServeRequest, ServingSnapshot, SharedIngestFaults,
+    SharedServeFaults,
 };
 use eda_cloud_fleet::Histogram;
 use eda_cloud_gcn::{GraphBatch, GraphSample};
@@ -52,6 +53,12 @@ pub struct ServeConfig {
     /// keyed by `(model_version, design fingerprint)` so predictions
     /// cached under one model version are never served under another.
     pub model_version: u32,
+    /// Ingest-cache capacity (uploads, keyed by content fingerprint);
+    /// 0 disables ingest caching so every upload re-parses.
+    pub ingest_cache_capacity: usize,
+    /// Simulated cost of one fresh (uncached) parse + validate +
+    /// OOD-gate pass, µs.
+    pub ingest_us: u64,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +74,8 @@ impl Default for ServeConfig {
             per_hit_us: 50,
             plan_us: 500,
             model_version: 1,
+            ingest_cache_capacity: 16,
+            ingest_us: 2_000,
         }
     }
 }
@@ -108,6 +117,11 @@ pub enum RequestOutcome {
         /// [`RequestKind::PlanRecipe`] requests; `None` otherwise
         /// (boxed to keep the outcome enum small).
         recipe: Option<Box<RecipePlanSummary>>,
+        /// For [`RequestKind::Ingest`] requests, how the upload was
+        /// disposed; `None` for every other kind (boxed to keep the
+        /// outcome enum small). Rejected uploads complete quarantined:
+        /// `stage_secs` zeroed, never cached, never predicted.
+        ingest: Option<Box<IngestDisposition>>,
     },
     /// The request was rejected at admission
     /// ([`ServeError::Overloaded`]).
@@ -134,9 +148,11 @@ pub struct Server {
     snapshot: ServingSnapshot,
     planner: Box<dyn Planner>,
     recipe_planner: Option<Box<dyn RecipePlanner>>,
+    ingestor: Option<Box<dyn Ingestor>>,
     config: ServeConfig,
     tracer: Tracer,
     faults: SharedServeFaults,
+    ingest_faults: SharedIngestFaults,
 }
 
 impl Server {
@@ -159,9 +175,11 @@ impl Server {
             snapshot: snapshot.into(),
             planner,
             recipe_planner: None,
+            ingestor: None,
             config,
             tracer: Tracer::disabled(),
             faults: std::sync::Arc::new(NoServeFaults),
+            ingest_faults: std::sync::Arc::new(NoIngestFaults),
         }
     }
 
@@ -171,6 +189,23 @@ impl Server {
     #[must_use]
     pub fn with_recipe_planner(mut self, planner: Box<dyn RecipePlanner>) -> Self {
         self.recipe_planner = Some(planner);
+        self
+    }
+
+    /// Attach an ingestor (see [`Ingestor`]); without one,
+    /// [`RequestKind::Ingest`] requests fail with
+    /// [`ServeError::Ingest`].
+    #[must_use]
+    pub fn with_ingestor(mut self, ingestor: Box<dyn Ingestor>) -> Self {
+        self.ingestor = Some(ingestor);
+        self
+    }
+
+    /// Attach ingest fault hooks (see [`crate::IngestFaults`]); the
+    /// default is the inert [`NoIngestFaults`].
+    #[must_use]
+    pub fn with_ingest_faults(mut self, faults: SharedIngestFaults) -> Self {
+        self.ingest_faults = faults;
         self
     }
 
@@ -224,6 +259,8 @@ impl Server {
         let version = self.config.model_version;
         let mut cache: LruCache<(u32, u64), [[f64; 4]; 4]> =
             LruCache::new(self.config.cache_capacity);
+        let mut ingest_cache: LruCache<u64, IngestOutcome> =
+            LruCache::new(self.config.ingest_cache_capacity);
         let mut counters = ServeCounters::default();
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
         let mut latencies_us: Vec<u64> = Vec::with_capacity(requests.len());
@@ -300,6 +337,62 @@ impl Server {
             batch_hist.record(batch.len() as f64);
             batch_size_sum += batch.len() as u64;
 
+            // Resolve ingest requests first: each Ingest slot either
+            // yields a servable design (the upload was accepted, fresh
+            // or from the fingerprint-keyed ingest cache) or is
+            // quarantined — `effective[i]` stays `None`, so the slot
+            // never reaches the result cache or the GCN below.
+            let mut dispositions: Vec<Option<IngestDisposition>> = vec![None; batch.len()];
+            let mut effective: Vec<Option<Arc<crate::ServeDesign>>> = vec![None; batch.len()];
+            let mut fresh_ingests = 0u64;
+            for (i, request) in batch.iter().enumerate() {
+                if request.kind != RequestKind::Ingest {
+                    effective[i] = Some(request.design.clone());
+                    continue;
+                }
+                let upload = request.upload.as_deref().ok_or_else(|| ServeError::Ingest {
+                    message: format!("request {} is Ingest but carries no upload", request.ordinal),
+                })?;
+                let ingestor = self.ingestor.as_deref().ok_or_else(|| ServeError::Ingest {
+                    message: "Ingest request without an ingestor".into(),
+                })?;
+                let outcome = if self.ingest_faults.flood(request.ordinal) {
+                    // Flood control rejects without caching: a later
+                    // clean upload of the same bytes ingests normally.
+                    IngestOutcome::Rejected {
+                        reason: "rejected by ingest flood control".into(),
+                    }
+                } else {
+                    let doc = if self.ingest_faults.corrupt_upload(request.ordinal) {
+                        std::borrow::Cow::Owned(upload.corrupted())
+                    } else {
+                        std::borrow::Cow::Borrowed(upload)
+                    };
+                    match ingest_cache.get(&doc.fingerprint) {
+                        Some(hit) => hit,
+                        None => {
+                            fresh_ingests += 1;
+                            let fresh = ingestor.ingest(&doc);
+                            ingest_cache.insert(doc.fingerprint, fresh.clone());
+                            fresh
+                        }
+                    }
+                };
+                match outcome {
+                    IngestOutcome::Accepted(summary) => {
+                        dispositions[i] = Some(IngestDisposition::Accepted {
+                            fingerprint: summary.design.fingerprint,
+                            ood_distance_micros: summary.ood_distance_micros,
+                            ood: summary.ood,
+                        });
+                        effective[i] = Some(summary.design);
+                    }
+                    IngestOutcome::Rejected { reason } => {
+                        dispositions[i] = Some(IngestDisposition::Rejected { reason });
+                    }
+                }
+            }
+
             // Resolve each request from the cache, collecting unique
             // missed designs in first-occurrence order; duplicates of a
             // missed design within one batch ride the single forward.
@@ -307,16 +400,17 @@ impl Server {
             let mut miss_slot: Vec<usize> = vec![usize::MAX; batch.len()];
             let mut miss_designs: Vec<Arc<crate::ServeDesign>> = Vec::new();
             let mut slot_of: BTreeMap<u64, usize> = BTreeMap::new();
-            for (i, request) in batch.iter().enumerate() {
-                if let Some(hit) = cache.get(&(version, request.design.fingerprint)) {
+            for (i, design) in effective.iter().enumerate() {
+                let Some(design) = design else {
+                    continue; // quarantined: no lookup, no forward
+                };
+                if let Some(hit) = cache.get(&(version, design.fingerprint)) {
                     cached[i] = Some(hit);
                 } else {
-                    let slot = *slot_of
-                        .entry(request.design.fingerprint)
-                        .or_insert_with(|| {
-                            miss_designs.push(request.design.clone());
-                            miss_designs.len() - 1
-                        });
+                    let slot = *slot_of.entry(design.fingerprint).or_insert_with(|| {
+                        miss_designs.push(design.clone());
+                        miss_designs.len() - 1
+                    });
                     miss_slot[i] = slot;
                 }
             }
@@ -348,12 +442,19 @@ impl Server {
             let service_us = self.config.batch_overhead_us
                 + miss_designs.len() as u64 * self.config.per_miss_us
                 + batch.len() as u64 * self.config.per_hit_us
-                + plans_in_batch * self.config.plan_us;
+                + plans_in_batch * self.config.plan_us
+                + fresh_ingests * self.config.ingest_us;
             now += service_us;
 
             for (i, request) in batch.iter().enumerate() {
+                let quarantined =
+                    matches!(dispositions[i], Some(IngestDisposition::Rejected { .. }));
                 let cache_hit = cached[i].is_some();
-                let stage_secs = cached[i].unwrap_or_else(|| miss_secs[miss_slot[i]]);
+                let stage_secs = if quarantined {
+                    [[0.0; 4]; 4]
+                } else {
+                    cached[i].unwrap_or_else(|| miss_secs[miss_slot[i]])
+                };
                 let latency_us = now.saturating_sub(request.arrival_us);
                 let deadline_met = now <= request.deadline_us;
                 let mut recipe = None;
@@ -382,8 +483,18 @@ impl Server {
                         }
                         None
                     }
-                    RequestKind::Predict => None,
+                    RequestKind::Predict | RequestKind::Ingest => None,
                 };
+                match &dispositions[i] {
+                    Some(IngestDisposition::Accepted { ood, .. }) => {
+                        counters.ingest_accepted += 1;
+                        if *ood {
+                            counters.ood_flagged += 1;
+                        }
+                    }
+                    Some(IngestDisposition::Rejected { .. }) => counters.ingest_rejected += 1,
+                    None => {}
+                }
                 counters.completed += 1;
                 if deadline_met {
                     counters.deadline_hits += 1;
@@ -405,6 +516,16 @@ impl Server {
                         span.attr("recipe", &r.recipe);
                     }
                 }
+                match &dispositions[i] {
+                    Some(IngestDisposition::Accepted { ood, .. }) => {
+                        span.attr("ingest", "accepted");
+                        span.attr("ood", *ood);
+                    }
+                    Some(IngestDisposition::Rejected { .. }) => {
+                        span.attr("ingest", "rejected");
+                    }
+                    None => {}
+                }
                 outcomes.push(RequestOutcome::Completed {
                     ordinal: request.ordinal,
                     latency_us,
@@ -413,6 +534,7 @@ impl Server {
                     stage_secs,
                     plan,
                     recipe,
+                    ingest: dispositions[i].take().map(Box::new),
                 });
             }
         }
@@ -730,6 +852,192 @@ mod tests {
         assert_eq!(uncached.counters.cache_hits, 0);
         assert!(cached.counters.gcn_predictions < uncached.counters.gcn_predictions);
         assert!(cached.makespan_ms <= uncached.makespan_ms);
+    }
+
+    /// Stub ingestor: accepts text starting with `.model` (serving a
+    /// fixed small design named after the upload), flags uploads
+    /// containing `ood`, and rejects everything else with a positioned
+    /// reason — enough to exercise every server-side ingest path.
+    struct StubIngestor;
+    impl crate::Ingestor for StubIngestor {
+        fn ingest(&self, doc: &crate::UploadDoc) -> crate::IngestOutcome {
+            if !doc.text.starts_with(".model") {
+                return crate::IngestOutcome::Rejected {
+                    reason: "parse error at line 1, col 1: expected `.model`".into(),
+                };
+            }
+            let graph = eda_cloud_netlist::DesignGraph::from_aig(
+                &eda_cloud_netlist::generators::adder(4),
+            );
+            let view = || GraphSample::new(&graph, [1.0; 4]);
+            let ood = doc.text.contains("ood");
+            crate::IngestOutcome::Accepted(crate::IngestSummary {
+                design: Arc::new(crate::ServeDesign::new(doc.name.clone(), view(), view())),
+                nodes: graph.node_count() as u64,
+                ood_distance_micros: if ood { 5_000_000 } else { 100_000 },
+                ood,
+            })
+        }
+    }
+
+    fn ingest_workload(uploads: &[Arc<crate::UploadDoc>], requests: usize) -> Vec<ServeRequest> {
+        crate::synthetic_requests_with_uploads(
+            &design_pool(),
+            uploads,
+            &WorkloadConfig {
+                requests,
+                plan_every: 0,
+                ingest_every: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn ingest_requests_need_an_ingestor() {
+        let uploads = vec![Arc::new(crate::UploadDoc::new("a", "blif", ".model a"))];
+        let requests = ingest_workload(&uploads, 8);
+        assert!(requests.iter().any(|r| r.kind == RequestKind::Ingest));
+        let bare = server(ServeConfig::default()).run(7, &requests);
+        assert!(matches!(bare, Err(ServeError::Ingest { .. })));
+        // And an Ingest request without an upload is a typed error too.
+        let mut torn = requests.clone();
+        for r in &mut torn {
+            r.upload = None;
+        }
+        let res = server(ServeConfig::default())
+            .with_ingestor(Box::new(StubIngestor))
+            .run(7, &torn);
+        assert!(matches!(res, Err(ServeError::Ingest { .. })));
+    }
+
+    #[test]
+    fn accepted_uploads_serve_and_rejected_ones_are_quarantined() {
+        let uploads = vec![
+            Arc::new(crate::UploadDoc::new("good", "blif", ".model good\n.end\n")),
+            Arc::new(crate::UploadDoc::new("bad", "blif", "garbage bytes\n")),
+            Arc::new(crate::UploadDoc::new("weird", "blif", ".model ood thing\n.end\n")),
+        ];
+        let requests = ingest_workload(&uploads, 48);
+        let run = || {
+            server(ServeConfig::default())
+                .with_ingestor(Box::new(StubIngestor))
+                .run(7, &requests)
+                .expect("runs")
+        };
+        let (report, outcomes) = run();
+        let c = report.counters;
+        assert!(c.ingest_accepted > 0 && c.ingest_rejected > 0 && c.ood_flagged > 0);
+        assert_eq!(
+            c.ingest_accepted + c.ingest_rejected,
+            outcomes
+                .iter()
+                .filter(|o| matches!(o, RequestOutcome::Completed { ingest: Some(_), .. }))
+                .count() as u64,
+            "every completed ingest request carries a disposition"
+        );
+        for outcome in &outcomes {
+            let RequestOutcome::Completed { ingest: Some(d), stage_secs, cache_hit, .. } =
+                outcome
+            else {
+                continue;
+            };
+            match d.as_ref() {
+                IngestDisposition::Rejected { reason } => {
+                    assert_eq!(*stage_secs, [[0.0; 4]; 4], "quarantined => zeroed");
+                    assert!(!cache_hit, "quarantined => never a result-cache hit");
+                    assert!(reason.contains("line 1"), "positioned reason: {reason}");
+                }
+                IngestDisposition::Accepted { ood, ood_distance_micros, .. } => {
+                    assert_eq!(*ood, *ood_distance_micros >= 1_000_000);
+                    assert!(stage_secs.iter().flatten().all(|&s| s > 0.0));
+                }
+            }
+        }
+        let (again, again_outcomes) = run();
+        assert_eq!(report.to_json(), again.to_json(), "ingest runs replay exactly");
+        assert_eq!(outcomes, again_outcomes);
+    }
+
+    #[test]
+    fn rejected_uploads_never_reach_the_gcn() {
+        // All-bad uploads: every ingest request quarantines, so the
+        // model never runs and the result cache is never consulted.
+        let uploads = vec![Arc::new(crate::UploadDoc::new("bad", "blif", "junk\n"))];
+        let requests = ingest_workload(&uploads, 16);
+        assert!(requests.iter().all(|r| r.kind == RequestKind::Ingest));
+        let (report, _) = server(ServeConfig::default())
+            .with_ingestor(Box::new(StubIngestor))
+            .run(7, &requests)
+            .expect("runs");
+        let c = report.counters;
+        assert_eq!(c.ingest_rejected, c.completed);
+        assert_eq!(c.gcn_predictions, 0, "quarantine: no forwards");
+        assert_eq!(c.cache_hits + c.cache_misses, 0, "quarantine: no lookups");
+    }
+
+    #[test]
+    fn ingest_cache_deduplicates_and_charges_fresh_parses_only() {
+        let uploads = vec![Arc::new(crate::UploadDoc::new("good", "blif", ".model g\n.end\n"))];
+        let requests = ingest_workload(&uploads, 16);
+        let run = |ingest_cache_capacity: usize| {
+            server(ServeConfig { ingest_cache_capacity, ..Default::default() })
+                .with_ingestor(Box::new(StubIngestor))
+                .run(7, &requests)
+                .expect("runs")
+                .0
+        };
+        let cached = run(16);
+        let uncached = run(0);
+        assert_eq!(cached.counters.ingest_accepted, uncached.counters.ingest_accepted);
+        assert!(
+            cached.makespan_ms < uncached.makespan_ms,
+            "re-parsing every duplicate upload must cost simulated time"
+        );
+    }
+
+    #[test]
+    fn ingest_fault_hooks_corrupt_and_flood_deterministically() {
+        struct Plan {
+            flood_target: u64,
+        }
+        impl crate::IngestFaults for Plan {
+            fn corrupt_upload(&self, ordinal: u64) -> bool {
+                ordinal == 1
+            }
+            fn flood(&self, ordinal: u64) -> bool {
+                ordinal == self.flood_target
+            }
+        }
+        let uploads = vec![Arc::new(crate::UploadDoc::new("good", "blif", ".model g\n.end\n"))];
+        let requests = ingest_workload(&uploads, 16);
+        let first = requests[0].ordinal;
+        let run = || {
+            server(ServeConfig::default())
+                .with_ingestor(Box::new(StubIngestor))
+                .with_ingest_faults(std::sync::Arc::new(Plan { flood_target: first }))
+                .run(7, &requests)
+                .expect("runs")
+        };
+        let (report, outcomes) = run();
+        // The flooded ordinal is rejected; later identical uploads
+        // still ingest (the flood rejection was not cached).
+        let dispo = |ordinal: u64| {
+            outcomes.iter().find_map(|o| match o {
+                RequestOutcome::Completed { ordinal: ord, ingest, .. } if *ord == ordinal => {
+                    ingest.as_deref().cloned()
+                }
+                _ => None,
+            })
+        };
+        assert!(matches!(dispo(first), Some(IngestDisposition::Rejected { reason }) if reason.contains("flood")));
+        assert!(report.counters.ingest_accepted > 0, "flood rejection is not cached");
+        // The corrupted ordinal's torn text no longer starts with
+        // `.model`... unless the tear lands mid-document; either way
+        // the run replays byte-identically.
+        let (again, again_outcomes) = run();
+        assert_eq!(report.to_json(), again.to_json());
+        assert_eq!(outcomes, again_outcomes);
     }
 
     /// Threshold stub: feasible only above a deadline cutoff, so one

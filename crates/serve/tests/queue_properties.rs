@@ -17,6 +17,7 @@ fn request(ordinal: u64, deadline_us: u64) -> ServeRequest {
         deadline_us,
         kind: RequestKind::Predict,
         design: Arc::new(ServeDesign::new("d", view(), view())),
+        upload: None,
     }
 }
 

@@ -14,7 +14,7 @@ use eda_cloud_lifecycle::{
     RolloutManager,
 };
 use eda_cloud_recipe::TreeStats;
-use eda_cloud_serve::{RequestOutcome, ServeReport};
+use eda_cloud_serve::{IngestDisposition, RequestOutcome, ServeReport};
 
 /// One broken invariant: which checker tripped, and the evidence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +91,80 @@ pub fn check_serve_conservation(
             ));
             break;
         }
+    }
+    violations
+}
+
+/// Ingest quarantine: every upload is disposed exactly once and the
+/// dispositions match the counters; a rejected (quarantined) upload
+/// must carry a reason and must never reach the result cache or the
+/// GCN — its predictions stay zeroed and it can never plan. Injected
+/// corruption and flood faults change *which* uploads are rejected,
+/// never what rejection means.
+#[must_use]
+pub fn check_ingest_quarantine(
+    report: &ServeReport,
+    outcomes: &[RequestOutcome],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let (mut accepted, mut rejected, mut flagged) = (0u64, 0u64, 0u64);
+    for outcome in outcomes {
+        let RequestOutcome::Completed {
+            ordinal, cache_hit, stage_secs, plan, recipe, ingest, ..
+        } = outcome
+        else {
+            continue;
+        };
+        match ingest.as_deref() {
+            Some(IngestDisposition::Accepted { ood, .. }) => {
+                accepted += 1;
+                if *ood {
+                    flagged += 1;
+                }
+            }
+            Some(IngestDisposition::Rejected { reason }) => {
+                rejected += 1;
+                if reason.is_empty() {
+                    violations.push(Violation::new(
+                        "ingest_quarantine",
+                        format!("ordinal {ordinal}: quarantined upload carries no reason"),
+                    ));
+                }
+                if *cache_hit {
+                    violations.push(Violation::new(
+                        "ingest_quarantine",
+                        format!("ordinal {ordinal}: quarantined upload hit the result cache"),
+                    ));
+                }
+                if stage_secs.iter().flatten().any(|&s| s != 0.0) {
+                    violations.push(Violation::new(
+                        "ingest_quarantine",
+                        format!(
+                            "ordinal {ordinal}: quarantined upload carries live predictions \
+                             (reached the GCN)"
+                        ),
+                    ));
+                }
+                if plan.is_some() || recipe.is_some() {
+                    violations.push(Violation::new(
+                        "ingest_quarantine",
+                        format!("ordinal {ordinal}: quarantined upload produced a plan"),
+                    ));
+                }
+            }
+            None => {}
+        }
+    }
+    let c = &report.counters;
+    if (accepted, rejected, flagged) != (c.ingest_accepted, c.ingest_rejected, c.ood_flagged) {
+        violations.push(Violation::new(
+            "ingest_quarantine",
+            format!(
+                "outcomes dispose {accepted} accepted / {rejected} rejected / {flagged} flagged, \
+                 counters say {} / {} / {}",
+                c.ingest_accepted, c.ingest_rejected, c.ood_flagged
+            ),
+        ));
     }
     violations
 }
@@ -405,6 +479,84 @@ mod tests {
         assert_eq!(violations.len(), 1);
         assert_eq!(violations[0].checker, "fleet_conservation");
         assert!(violations[0].detail.contains("submitted 5"));
+    }
+
+    fn serve_report(counters: eda_cloud_serve::ServeCounters) -> ServeReport {
+        ServeReport {
+            seed: 7,
+            counters,
+            deadline_hit_rate: 0.0,
+            mean_latency_ms: 0.0,
+            p50_latency_ms: 0.0,
+            p95_latency_ms: 0.0,
+            mean_batch_size: 0.0,
+            max_queue_depth: 0,
+            makespan_ms: 0.0,
+            latency_hist: Histogram::new(vec![1.0]),
+            batch_hist: Histogram::new(vec![1.0]),
+            depth_hist: Histogram::new(vec![1.0]),
+        }
+    }
+
+    fn ingest_outcome(ordinal: u64, ingest: IngestDisposition) -> RequestOutcome {
+        RequestOutcome::Completed {
+            ordinal,
+            latency_us: 1_000,
+            deadline_met: true,
+            cache_hit: false,
+            stage_secs: [[0.0; 4]; 4],
+            plan: None,
+            recipe: None,
+            ingest: Some(Box::new(ingest)),
+        }
+    }
+
+    #[test]
+    fn ingest_quarantine_accepts_clean_dispositions() {
+        let outcomes = vec![
+            ingest_outcome(
+                0,
+                IngestDisposition::Accepted { fingerprint: 0x1234, ood_distance_micros: 9, ood: true },
+            ),
+            ingest_outcome(1, IngestDisposition::Rejected { reason: "flooded".into() }),
+            RequestOutcome::Shed { ordinal: 2, queue_depth: 5 },
+        ];
+        let report = serve_report(eda_cloud_serve::ServeCounters {
+            ingest_accepted: 1,
+            ingest_rejected: 1,
+            ood_flagged: 1,
+            ..Default::default()
+        });
+        assert!(check_ingest_quarantine(&report, &outcomes).is_empty());
+    }
+
+    #[test]
+    fn ingest_quarantine_catches_leaks_and_drifted_counters() {
+        let mut leaky_secs = [[0.0; 4]; 4];
+        leaky_secs[2][1] = 3.5;
+        let outcomes = vec![
+            RequestOutcome::Completed {
+                ordinal: 0,
+                latency_us: 1_000,
+                deadline_met: true,
+                cache_hit: true, // quarantined yet cached
+                stage_secs: leaky_secs, // and carrying live predictions
+                plan: None,
+                recipe: None,
+                ingest: Some(Box::new(IngestDisposition::Rejected { reason: String::new() })),
+            },
+        ];
+        let report = serve_report(eda_cloud_serve::ServeCounters {
+            ingest_accepted: 1, // counters disagree with the outcomes too
+            ..Default::default()
+        });
+        let violations = check_ingest_quarantine(&report, &outcomes);
+        assert_eq!(violations.len(), 4, "{violations:?}");
+        assert!(violations.iter().all(|v| v.checker == "ingest_quarantine"));
+        assert!(violations.iter().any(|v| v.detail.contains("no reason")));
+        assert!(violations.iter().any(|v| v.detail.contains("result cache")));
+        assert!(violations.iter().any(|v| v.detail.contains("GCN")));
+        assert!(violations.iter().any(|v| v.detail.contains("counters say 1 / 0 / 0")));
     }
 
     #[test]

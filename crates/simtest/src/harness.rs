@@ -25,9 +25,10 @@ use eda_cloud_gcn::ModelConfig;
 use eda_cloud_lifecycle::{
     FeedbackEvent, LifecycleConfig, LifecycleController, LifecycleReport, SharedLifecycleFaults,
 };
+use eda_cloud_ingest::{fixtures, FrontDoor, FrontDoorConfig};
 use eda_cloud_serve::{
-    design_pool, synthetic_requests, CostTablePlanner, ModelSnapshot, RequestOutcome, ServeConfig,
-    ServeReport, Server, SharedServeFaults, WorkloadConfig,
+    design_pool, synthetic_requests_with_uploads, CostTablePlanner, ModelSnapshot, RequestOutcome,
+    ServeConfig, ServeReport, Server, SharedIngestFaults, SharedServeFaults, WorkloadConfig,
 };
 use eda_cloud_trace::{Trace, Tracer};
 use rand::{Rng, SeedableRng};
@@ -248,14 +249,19 @@ pub fn run_simtest_traced(
     tracer.adopt(0, "fleet", fleet_trace);
     violations.extend(check::check_fleet_conservation(&fleet));
 
-    // Serve phase.
+    // Serve phase. The workload interleaves external uploads (the
+    // checked-in ingest fixtures) so corruption and flood faults have
+    // real ingest traffic to hit, and the quarantine invariant gets
+    // exercised on every run.
     let pool = design_pool();
-    let requests = synthetic_requests(
+    let requests = synthetic_requests_with_uploads(
         &pool,
+        &fixtures::uploads(),
         &WorkloadConfig {
             requests: config.serve_requests,
             rate_per_sec: 150.0,
             seed: config.seed,
+            ingest_every: 4,
             ..Default::default()
         },
     );
@@ -265,8 +271,10 @@ pub fn run_simtest_traced(
         Box::new(CostTablePlanner::aws_like()),
         ServeConfig { workers: config.workers, ..Default::default() },
     )
+    .with_ingestor(Box::new(FrontDoor::with_pool_profile(FrontDoorConfig::default())))
     .with_tracer(serve_tracer.clone())
-    .with_faults(Arc::clone(&hooks) as SharedServeFaults);
+    .with_faults(Arc::clone(&hooks) as SharedServeFaults)
+    .with_ingest_faults(Arc::clone(&hooks) as SharedIngestFaults);
     let (serve, serve_outcomes) = server.run(config.seed, &requests)?;
     let serve_trace = serve_tracer.drain();
     fault_spans += count_fault_spans(&serve_trace);
@@ -276,6 +284,7 @@ pub fn run_simtest_traced(
         &serve_outcomes,
         config.serve_requests as u64,
     ));
+    violations.extend(check::check_ingest_quarantine(&serve, &serve_outcomes));
 
     // Lifecycle phase.
     let lifecycle_config = config.lifecycle_config();

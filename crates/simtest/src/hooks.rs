@@ -12,7 +12,7 @@ use eda_cloud_engine::EngineFaults;
 use eda_cloud_fleet::FleetFaults;
 use eda_cloud_lifecycle::{Arm, LifecycleFaults};
 use eda_cloud_recipe::RecipeFaults;
-use eda_cloud_serve::ServeFaults;
+use eda_cloud_serve::{IngestFaults, ServeFaults};
 
 /// A fault plan wired up as hook objects for all three loops.
 #[derive(Debug, Clone)]
@@ -76,6 +76,22 @@ impl ServeFaults for PlanFaults {
             .events
             .iter()
             .any(|event| matches!(*event, FaultEvent::CacheWipe { ordinal: o } if o == ordinal))
+    }
+}
+
+impl IngestFaults for PlanFaults {
+    fn corrupt_upload(&self, ordinal: u64) -> bool {
+        self.plan.events.iter().any(|event| {
+            matches!(*event, FaultEvent::IngestCorruptUpload { ordinal: o } if o == ordinal)
+        })
+    }
+
+    fn flood(&self, ordinal: u64) -> bool {
+        self.plan.events.iter().any(|event| {
+            matches!(*event,
+                FaultEvent::IngestFlood { ord_lo, ord_hi }
+                    if (ord_lo..=ord_hi).contains(&ordinal))
+        })
     }
 }
 
@@ -194,6 +210,8 @@ mod tests {
                 },
                 FaultEvent::RecipeEvalStall { iter_lo: 2, iter_hi: 4, extra_us: 250_000 },
                 FaultEvent::RecipeEvalStall { iter_lo: 4, iter_hi: 4, extra_us: 50_000 },
+                FaultEvent::IngestCorruptUpload { ordinal: 15 },
+                FaultEvent::IngestFlood { ord_lo: 40, ord_hi: 42 },
             ],
         })
     }
@@ -248,6 +266,14 @@ mod tests {
     }
 
     #[test]
+    fn ingest_hooks_match_identity_exactly() {
+        let h = hooks();
+        assert!(h.corrupt_upload(15) && !h.corrupt_upload(14));
+        assert!(h.flood(40) && h.flood(42) && !h.flood(43) && !h.flood(39));
+        assert!(!h.flood(15), "corruption and flood target different ordinals");
+    }
+
+    #[test]
     fn empty_plan_is_inert() {
         let h = PlanFaults::new(FaultPlan::empty(7));
         assert_eq!(h.interrupt(0, 0, 0), None);
@@ -258,6 +284,7 @@ mod tests {
         assert_eq!(h.message_extra_delay_us(0, 1, 0), 0);
         assert_eq!(h.partition_heal_us(0, 1, 0), None);
         assert_eq!(h.eval_extra_us(0), 0);
+        assert!(!h.corrupt_upload(0) && !h.flood(0));
         assert_eq!(h.plan().events.len(), 0);
     }
 }

@@ -116,6 +116,22 @@ pub enum FaultEvent {
         /// Extra simulated evaluation time per stalled iteration, µs.
         extra_us: u64,
     },
+    /// Ingest: tear the upload of the request with this arrival
+    /// ordinal mid-transfer (the front door must quarantine the torn
+    /// document with a typed parse error, never panic).
+    IngestCorruptUpload {
+        /// Arrival ordinal whose upload is torn.
+        ordinal: u64,
+    },
+    /// Ingest: reject every upload with ordinal in `ord_lo..=ord_hi`
+    /// before the ingestor runs (flood control); the rejection must
+    /// not poison the ingest cache for later identical uploads.
+    IngestFlood {
+        /// First flooded ordinal.
+        ord_lo: u64,
+        /// Last flooded ordinal (inclusive).
+        ord_hi: u64,
+    },
     /// Engine: partition the `src → dst` link — messages sent in
     /// `from_us..heal_us` are held at the destination until the
     /// partition heals at `heal_us`.
@@ -147,6 +163,8 @@ impl FaultEvent {
             FaultEvent::CanaryLatencySpike { .. } => "canary_latency_spike",
             FaultEvent::CrossShardDelay { .. } => "cross_shard_delay",
             FaultEvent::RecipeEvalStall { .. } => "recipe_eval_stall",
+            FaultEvent::IngestCorruptUpload { .. } => "ingest_corrupt_upload",
+            FaultEvent::IngestFlood { .. } => "ingest_flood",
             FaultEvent::RegionPartition { .. } => "region_partition",
         }
     }
@@ -188,6 +206,12 @@ impl FaultEvent {
             FaultEvent::RecipeEvalStall { iter_lo, iter_hi, extra_us } => format!(
                 "{{\"kind\":\"recipe_eval_stall\",\"iter_lo\":{iter_lo},\"iter_hi\":{iter_hi},\
                  \"extra_us\":{extra_us}}}"
+            ),
+            FaultEvent::IngestCorruptUpload { ordinal } => {
+                format!("{{\"kind\":\"ingest_corrupt_upload\",\"ordinal\":{ordinal}}}")
+            }
+            FaultEvent::IngestFlood { ord_lo, ord_hi } => format!(
+                "{{\"kind\":\"ingest_flood\",\"ord_lo\":{ord_lo},\"ord_hi\":{ord_hi}}}"
             ),
             FaultEvent::RegionPartition { src, dst, from_us, heal_us } => format!(
                 "{{\"kind\":\"region_partition\",\"src\":{src},\"dst\":{dst},\
@@ -321,6 +345,7 @@ impl FaultPlan {
                     }
                 }
                 FaultEvent::OverloadBurst { ord_lo, ord_hi }
+                | FaultEvent::IngestFlood { ord_lo, ord_hi }
                 | FaultEvent::CanaryLatencySpike { ord_lo, ord_hi, .. } => {
                     if ord_lo > ord_hi {
                         Some(format!("ordinal range {ord_lo}..={ord_hi} is inverted"))
@@ -546,6 +571,14 @@ fn parse_event(object: &str) -> Result<FaultEvent, SimtestError> {
             let v = take(&fields, &["iter_lo", "iter_hi", "extra_us"])?;
             FaultEvent::RecipeEvalStall { iter_lo: v[0], iter_hi: v[1], extra_us: v[2] }
         }
+        "ingest_corrupt_upload" => {
+            let v = take(&fields, &["ordinal"])?;
+            FaultEvent::IngestCorruptUpload { ordinal: v[0] }
+        }
+        "ingest_flood" => {
+            let v = take(&fields, &["ord_lo", "ord_hi"])?;
+            FaultEvent::IngestFlood { ord_lo: v[0], ord_hi: v[1] }
+        }
         "region_partition" => {
             let v = take(&fields, &["src", "dst", "from_us", "heal_us"])?;
             let region = |v: u64| {
@@ -591,6 +624,8 @@ mod tests {
                     extra_us: 120_000,
                 },
                 FaultEvent::RecipeEvalStall { iter_lo: 4, iter_hi: 11, extra_us: 250_000 },
+                FaultEvent::IngestCorruptUpload { ordinal: 13 },
+                FaultEvent::IngestFlood { ord_lo: 20, ord_hi: 25 },
                 FaultEvent::RegionPartition { src: 1, dst: 0, from_us: 100_000, heal_us: 900_000 },
             ],
         }
@@ -615,10 +650,12 @@ mod tests {
         assert_eq!(a.events.len(), 32);
         a.validate().expect("generated plans are always valid");
         // All ten generated kinds show up in a 64-event draw.
-        // `recipe_eval_stall` is deliberately outside the generator's
-        // draw range: adding it would shift the seeded stream and
-        // invalidate every checked-in fault-plan golden. It is injected
-        // by hand-written plans (and the recipe invariant tests) only.
+        // `recipe_eval_stall`, `ingest_corrupt_upload`, and
+        // `ingest_flood` are deliberately outside the generator's draw
+        // range: adding them would shift the seeded stream and
+        // invalidate every checked-in fault-plan golden. They are
+        // injected by hand-written plans (and the recipe/ingest
+        // invariant tests) only.
         let wide = FaultPlan::generate(21, 64, &config);
         wide.validate().expect("generated plans are always valid");
         let kinds: std::collections::BTreeSet<&str> =
@@ -706,6 +743,14 @@ mod tests {
         assert!(
             matches!(bad.validate(), Err(SimtestError::Plan { .. })),
             "inverted iteration range"
+        );
+        let bad = FaultPlan {
+            seed: 0,
+            events: vec![FaultEvent::IngestFlood { ord_lo: 7, ord_hi: 3 }],
+        };
+        assert!(
+            matches!(bad.validate(), Err(SimtestError::Plan { .. })),
+            "inverted flood range"
         );
     }
 

@@ -133,7 +133,8 @@ impl SimtestReport {
         out.push_str(&format!(
             "  \"serve\": {{\"digest\": \"{:016x}\", \"requests\": {}, \"completed\": {}, \
              \"shed\": {}, \"deadline_hits\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"gcn_predictions\": {}, \"batches\": {}}},\n",
+             \"gcn_predictions\": {}, \"batches\": {}, \"ingest_accepted\": {}, \
+             \"ingest_rejected\": {}, \"ood_flagged\": {}}},\n",
             self.serve_digest,
             s.requests,
             s.completed,
@@ -143,6 +144,9 @@ impl SimtestReport {
             s.cache_misses,
             s.gcn_predictions,
             s.batches,
+            s.ingest_accepted,
+            s.ingest_rejected,
+            s.ood_flagged,
         ));
         let l = &self.lifecycle;
         out.push_str(&format!(

@@ -26,6 +26,42 @@ fn clean_seed_7_run_walks_the_full_arc_and_passes() {
         "the canary reaches a decision"
     );
     assert_eq!(report.fault_spans, 0, "no faults injected");
+    // The serve stream interleaves external uploads; with no faults
+    // every fixture ingests cleanly.
+    assert!(report.serve.ingest_accepted > 0, "uploads flow through the serve phase");
+    assert_eq!(report.serve.ingest_rejected, 0, "no faults, no quarantines");
+}
+
+#[test]
+fn ingest_faults_quarantine_uploads_without_poisoning_caches() {
+    let config = SimtestConfig::default();
+    let clean =
+        run_simtest(&config, &FaultPlan::empty(config.seed)).expect("clean run");
+    // Flood the whole window and corrupt a few ordinals: every ingest
+    // request in the stream must be rejected, and the quarantine
+    // checker must still pass (no cache poisoning, no GCN leakage).
+    let plan = FaultPlan {
+        seed: config.seed,
+        events: vec![
+            FaultEvent::IngestFlood { ord_lo: 0, ord_hi: 23 },
+            FaultEvent::IngestCorruptUpload { ordinal: 24 },
+            FaultEvent::IngestCorruptUpload { ordinal: 25 },
+        ],
+    };
+    plan.validate().expect("plan is well-formed");
+    let run = run_simtest(&config, &plan).expect("harness runs");
+    let report = &run.report;
+    assert!(report.passed(), "violations: {:?}", report.violations);
+    assert!(report.serve.ingest_rejected > 0, "the flood quarantines uploads");
+    assert!(
+        report.serve.ingest_rejected > clean.report.serve.ingest_rejected,
+        "faults reject more than the clean run"
+    );
+    assert_eq!(
+        report.serve.ingest_accepted + report.serve.ingest_rejected,
+        clean.report.serve.ingest_accepted + clean.report.serve.ingest_rejected,
+        "faults change dispositions, never the number of ingest requests"
+    );
 }
 
 #[test]

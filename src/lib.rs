@@ -19,6 +19,9 @@
 //! * [`mckp`] — the multi-choice-knapsack deployment optimizer.
 //! * [`fleet`] — deterministic discrete-event fleet simulator.
 //! * [`serve`] — deterministic online prediction & planning service.
+//! * [`ingest`] — validating front door for external netlists: BLIF,
+//!   structural Verilog, and Bookshelf parsers, canonical
+//!   fingerprinting, quota enforcement, and OOD gating.
 //! * [`recipe`] — deterministic synthesis-recipe search (seeded MCTS)
 //!   with a LOSTIN-style hybrid QoR/runtime predictor for joint
 //!   recipe × VM planning.
@@ -49,6 +52,7 @@ pub use eda_cloud_engine as engine;
 pub use eda_cloud_fleet as fleet;
 pub use eda_cloud_flow as flow;
 pub use eda_cloud_gcn as gcn;
+pub use eda_cloud_ingest as ingest;
 pub use eda_cloud_lifecycle as lifecycle;
 pub use eda_cloud_mckp as mckp;
 pub use eda_cloud_netlist as netlist;
